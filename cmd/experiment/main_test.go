@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privcount/internal/figures"
+)
+
+func TestWriteFigureProducesArtifacts(t *testing.T) {
+	f, err := figures.Build("fig7", figures.Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeFigure(dir, f); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pgm int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pgm") {
+			pgm++
+		}
+	}
+	if pgm != 3 {
+		t.Fatalf("want 3 PGM heatmaps for fig7, got %d (%v)", pgm, entries)
+	}
+}
+
+func TestWriteFigureTSVNaming(t *testing.T) {
+	f, err := figures.Build("fig9", figures.Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeFigure(dir, f); err != nil {
+		t.Fatal(err)
+	}
+	// fig9 has three tables -> numbered files.
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, "fig9_"+string(rune('0'+i))+".tsv")
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		if !strings.Contains(string(b), "GM") {
+			t.Errorf("%s missing GM column", path)
+		}
+	}
+}

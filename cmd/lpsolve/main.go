@@ -1,0 +1,87 @@
+// Command lpsolve solves linear programs written in the lp_solve-style
+// text format accepted by the internal solver — the same interchange
+// format the paper's PyLPSolve pipeline used.
+//
+// Usage:
+//
+//	lpsolve model.lp
+//	echo 'max: 3x + 2y; c1: x + y <= 4; c2: x + 3y <= 6;' | lpsolve -
+//	lpsolve -duals model.lp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privcount/internal/lp"
+)
+
+func main() {
+	var (
+		showDuals = flag.Bool("duals", false, "print dual values per constraint")
+		echo      = flag.Bool("echo", false, "echo the parsed model before solving")
+		maxIter   = flag.Int("maxiter", 0, "simplex iteration limit (0 = automatic)")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lpsolve [-duals] [-echo] <file.lp | ->")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	model, err := lp.ParseLP(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *echo {
+		fmt.Print(model.WriteLP())
+		fmt.Println()
+	}
+
+	sol, err := model.SolveWith(lp.Options{MaxIterations: *maxIter})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("status:     %s\n", sol.Status)
+	fmt.Printf("objective:  %.10g\n", sol.Objective)
+	fmt.Printf("iterations: %d\n", sol.Iterations)
+	fmt.Println("variables:")
+	for v := 0; v < model.NumVariables(); v++ {
+		fmt.Printf("  %-16s %.10g\n", model.VariableName(v), sol.Value(v))
+	}
+	if *showDuals {
+		fmt.Println("duals:")
+		for i := 0; i < model.NumConstraints(); i++ {
+			fmt.Printf("  %-16s %.10g\n", model.Constraint(i).Name, sol.Duals[i])
+		}
+	}
+}
+
+func readSource(path string) (string, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		r = f
+	}
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadSourceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.lp")
+	const content = "min: x; c: x >= 1;"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != content {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestReadSourceMissingFile(t *testing.T) {
+	if _, err := readSource("/does/not/exist.lp"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadSourceStdin(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.WriteString("max: y; c: y <= 3;")
+		w.Close()
+	}()
+	got, err := readSource("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "max: y") {
+		t.Fatalf("stdin read %q", got)
+	}
+}

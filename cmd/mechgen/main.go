@@ -1,0 +1,129 @@
+// Command mechgen constructs differentially private count mechanisms and
+// prints their matrices, heatmaps, properties, and accuracy scores.
+//
+// Usage:
+//
+//	mechgen -n 8 -alpha 0.9 -mech em -heatmap
+//	mechgen -n 6 -alpha 0.76 -mech lp -props WH+CM
+//	mechgen -n 4 -alpha 0.9 -mech choose -props F -pgm out.pgm
+//
+// Mechanisms: gm (geometric), em (explicit fair), um (uniform), wm
+// (weak-honesty LP), krr, exp (exponential), lap (truncated Laplace),
+// lp (solve LP with -props), choose (Figure 5 decision procedure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privcount/internal/core"
+	"privcount/internal/design"
+	"privcount/internal/heatmap"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "group size (outputs range over 0..n)")
+		alpha    = flag.Float64("alpha", 0.9, "privacy parameter in (0,1); closer to 1 is more private")
+		mech     = flag.String("mech", "gm", "mechanism: gm|em|um|wm|krr|exp|lap|lp|choose")
+		props    = flag.String("props", "", "structural properties for -mech lp/choose, e.g. WH+CM or all")
+		objP     = flag.Float64("p", 0, "objective exponent p for -mech lp (0 = L0)")
+		showMap  = flag.Bool("heatmap", false, "print an ASCII heatmap")
+		showMat  = flag.Bool("matrix", true, "print the probability matrix")
+		pgmPath  = flag.String("pgm", "", "also write a PGM heatmap image to this path")
+		pgmScale = flag.Int("pgm-scale", 24, "pixels per matrix cell in the PGM image")
+	)
+	flag.Parse()
+
+	m, err := build(*mech, *n, *alpha, *props, *objP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mechgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s  n=%d  alpha=%.4g\n", m.Name(), m.N(), *alpha)
+	if *showMat {
+		fmt.Println(m.Matrix())
+	}
+	if *showMap {
+		fmt.Println(heatmap.ASCII(m.Matrix()))
+	}
+
+	fmt.Printf("satisfies alpha-DP:  %v (tightest alpha %.4f)\n", m.SatisfiesDP(*alpha, 0), m.DPAlpha())
+	fmt.Printf("properties:          %s\n", core.PropertySetString(m.SatisfiedProperties(1e-7)))
+	tp, err := m.TruthProb(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mechgen:", err)
+		os.Exit(1)
+	}
+	l1, _ := m.ExpectedAbsError(nil)
+	rmse, _ := m.RMSE(nil)
+	fmt.Printf("L0 (rescaled):       %.6f\n", m.L0())
+	fmt.Printf("truth probability:   %.6f (uniform guessing: %.6f)\n", tp, 1/float64(m.N()+1))
+	fmt.Printf("expected |error|:    %.6f\n", l1)
+	fmt.Printf("RMSE:                %.6f\n", rmse)
+	if gaps := m.Gaps(0); len(gaps) > 0 {
+		fmt.Printf("WARNING: gaps (outputs never reported): %v\n", gaps)
+	}
+
+	if *pgmPath != "" {
+		f, err := os.Create(*pgmPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mechgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := heatmap.WritePGM(f, m.Matrix(), *pgmScale); err != nil {
+			fmt.Fprintln(os.Stderr, "mechgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote heatmap image: %s\n", *pgmPath)
+	}
+}
+
+func build(mech string, n int, alpha float64, propsStr string, p float64) (*core.Mechanism, error) {
+	switch mech {
+	case "gm":
+		return core.Geometric(n, alpha)
+	case "em":
+		return core.ExplicitFair(n, alpha)
+	case "um":
+		return core.Uniform(n)
+	case "wm":
+		return design.WM(n, alpha)
+	case "krr":
+		return core.KRR(n, alpha)
+	case "exp":
+		return core.Exponential(n, alpha, nil)
+	case "lap":
+		return core.TruncatedLaplace(n, alpha)
+	case "lp":
+		props, err := core.ParseProperties(propsStr)
+		if err != nil {
+			return nil, err
+		}
+		r, err := design.Solve(design.Problem{
+			N: n, Alpha: alpha, Props: props,
+			Objective:      design.Objective{P: p},
+			ReduceSymmetry: props&core.Symmetry != 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Mechanism, nil
+	case "choose":
+		props, err := core.ParseProperties(propsStr)
+		if err != nil {
+			return nil, err
+		}
+		choice, err := design.Choose(n, alpha, props)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("decision: %s\n", choice.Rule)
+		return choice.Mechanism, nil
+	default:
+		return nil, fmt.Errorf("unknown mechanism %q (want gm|em|um|wm|krr|exp|lap|lp|choose)", mech)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildKnownMechanisms(t *testing.T) {
+	for _, mech := range []string{"gm", "em", "um", "wm", "krr", "exp", "lap"} {
+		m, err := build(mech, 5, 0.8, "", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if m.N() != 5 {
+			t.Errorf("%s: n = %d", mech, m.N())
+		}
+	}
+}
+
+func TestBuildLPWithProps(t *testing.T) {
+	m, err := build("lp", 4, 0.9, "WH+CM+S", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SatisfiesDP(0.9, 1e-7) {
+		t.Error("LP mechanism violates DP")
+	}
+}
+
+func TestBuildChoose(t *testing.T) {
+	m, err := build("choose", 4, 0.9, "F", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "EM" {
+		t.Errorf("choose F should yield EM, got %s", m.Name())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("nope", 4, 0.9, "", 0); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if _, err := build("lp", 4, 0.9, "BAD", 0); err == nil {
+		t.Error("bad property string accepted")
+	}
+	if _, err := build("gm", 0, 0.9, "", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestBuildErrorsMentionValidChoices(t *testing.T) {
+	_, err := build("nope", 4, 0.9, "", 0)
+	if err == nil || !strings.Contains(err.Error(), "gm|em|um") {
+		t.Errorf("error should list valid mechanisms: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package privcount
+
+import (
+	"io"
+
+	"privcount/internal/dataset"
+	"privcount/internal/experiment"
+	"privcount/internal/heatmap"
+)
+
+// This file exposes the workload and measurement layers of the library:
+// group-count datasets (synthetic Binomial populations and the Adult
+// census workload of §V), the repetition-based experiment harness, and
+// heatmap rendering.
+
+// Groups holds per-group true counts of a sensitive bit, the input to
+// every experiment.
+type Groups = dataset.Groups
+
+// BinomialGroups generates the paper's synthetic workload (§V-C): a
+// population of individuals whose bit is 1 with probability p, split
+// into groups of size n.
+func BinomialGroups(population, n int, p float64, src Source) (Groups, error) {
+	return dataset.BinomialGroups(population, n, p, src)
+}
+
+// GroupBits partitions a bit-population into consecutive groups of size
+// n and counts the set bits in each.
+func GroupBits(bits []bool, n int) (Groups, error) {
+	return dataset.GroupBits(bits, n)
+}
+
+// AdultRecord is one row of the (real or synthetic) Adult census
+// dataset used by the paper's §V-B experiments.
+type AdultRecord = dataset.AdultRecord
+
+// AdultTarget selects one of the paper's three sensitive attributes
+// (young, gender, income).
+type AdultTarget = dataset.Target
+
+// The Figure 10 target attributes.
+const (
+	// TargetIncome is true for income >50K.
+	TargetIncome = dataset.TargetIncome
+	// TargetGender is true for male.
+	TargetGender = dataset.TargetGender
+	// TargetYoung is true for age under 30.
+	TargetYoung = dataset.TargetYoung
+)
+
+// GenerateAdult produces synthetic Adult-like records calibrated to the
+// published marginals (see DESIGN.md for the substitution rationale).
+func GenerateAdult(rows int, src Source) []AdultRecord {
+	return dataset.GenerateAdult(rows, src)
+}
+
+// LoadAdultCSV parses records in the UCI `adult.data` format, for
+// running the §V-B experiments against the genuine dataset.
+func LoadAdultCSV(r io.Reader) ([]AdultRecord, error) {
+	return dataset.LoadAdultCSV(r)
+}
+
+// AdultGroups projects records onto one target attribute and groups
+// them, yielding the Figure 10 workload.
+func AdultGroups(records []AdultRecord, t AdultTarget, n int) (Groups, error) {
+	return dataset.AdultGroups(records, t, n)
+}
+
+// Stat is a mean with dispersion across experiment repetitions.
+type Stat = experiment.Stat
+
+// Metric reduces (truths, outputs) pairs from one repetition to a single
+// number.
+type Metric = experiment.Metric
+
+// WrongRate is the empirical L0 metric: the fraction of groups whose
+// noisy count differs from the truth (Figure 10).
+func WrongRate(truths, outputs []int) float64 {
+	return experiment.WrongRate(truths, outputs)
+}
+
+// TailRate returns the fraction of groups whose output is more than d
+// steps from the truth (Figures 11 and 12).
+func TailRate(d int) Metric { return experiment.TailRate(d) }
+
+// EmpiricalRMSE is the root-mean-square error of noisy counts against
+// truths (Figure 13).
+func EmpiricalRMSE(truths, outputs []int) float64 {
+	return experiment.RMSE(truths, outputs)
+}
+
+// RunExperiment samples every group `reps` times through the mechanism
+// and summarises the metric with error bars; `seed` makes runs
+// reproducible.
+func RunExperiment(m *Mechanism, groups Groups, metric Metric, reps int, seed uint64) (Stat, error) {
+	return experiment.Run(m, groups, metric, reps, seed)
+}
+
+// RunExperimentParallel is RunExperiment with repetitions spread over
+// `workers` goroutines (0 = GOMAXPROCS). Results are bit-identical to
+// the sequential run with the same seed.
+func RunExperimentParallel(m *Mechanism, groups Groups, metric Metric, reps int, seed uint64, workers int) (Stat, error) {
+	return experiment.RunParallel(m, groups, metric, reps, seed, workers)
+}
+
+// HeatmapASCII renders a mechanism's matrix as a terminal heatmap in the
+// visual style of the paper's Figures 1, 2 and 7.
+func HeatmapASCII(m *Mechanism) string {
+	return heatmap.ASCII(m.Matrix())
+}
+
+// WriteHeatmapPGM writes the mechanism's matrix as a plain PGM image
+// with scale×scale pixels per matrix cell.
+func WriteHeatmapPGM(w io.Writer, m *Mechanism, scale int) error {
+	return heatmap.WritePGM(w, m.Matrix(), scale)
+}

@@ -1,0 +1,86 @@
+package privcount_test
+
+import (
+	"fmt"
+	"math"
+
+	"privcount"
+)
+
+// Example builds the explicit fair mechanism for a small group, verifies
+// its guarantee, and releases a noisy count.
+func Example() {
+	em, err := privcount.NewExplicitFair(8, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("0.9-DP: %v\n", em.SatisfiesDP(0.9, 0))
+	fmt.Printf("L0 score: %.4f (GM: %.4f, UM: 1)\n", em.L0(), privcount.GeometricL0(0.9))
+
+	sampler, err := privcount.NewSampler(em)
+	if err != nil {
+		panic(err)
+	}
+	src := privcount.NewRand(42)
+	fmt.Printf("true count 5 -> releases: %d %d %d\n",
+		sampler.Sample(src, 5), sampler.Sample(src, 5), sampler.Sample(src, 5))
+	// Output:
+	// 0.9-DP: true
+	// L0 score: 0.9685 (GM: 0.9474, UM: 1)
+	// true count 5 -> releases: 4 6 7
+}
+
+// ExampleChoose walks the paper's Figure 5 decision procedure.
+func ExampleChoose() {
+	choice, err := privcount.Choose(6, 0.9, privcount.Fairness)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(choice.Mechanism.Name(), "-", choice.Rule)
+	// Output:
+	// EM - fairness => EM
+}
+
+// ExampleDesign finds the optimal mechanism for a custom property set.
+func ExampleDesign() {
+	r, err := privcount.Design(privcount.DesignProblem{
+		N: 6, Alpha: 0.9,
+		Props:          privcount.WeakHonesty | privcount.Symmetry,
+		ReduceSymmetry: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal L0 under WH: %.6f\n", r.Mechanism.L0())
+	fmt.Printf("weakly honest: %v\n", r.Mechanism.Check(privcount.WeakHonesty, 1e-7))
+	// Output:
+	// optimal L0 under WH: 0.963355
+	// weakly honest: true
+}
+
+// ExampleMechanism_UnbiasedEstimator debiases noisy counts for aggregate
+// statistics.
+func ExampleMechanism_UnbiasedEstimator() {
+	gm, err := privcount.NewGeometric(4, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	est, err := gm.UnbiasedEstimator()
+	if err != nil {
+		panic(err)
+	}
+	// E[est[output] | input=j] = j for every true count j.
+	for j := 0; j <= 4; j++ {
+		var e float64
+		for i := 0; i <= 4; i++ {
+			e += gm.Prob(i, j) * est[i]
+		}
+		fmt.Printf("input %d -> expected estimate %.2f\n", j, math.Abs(e))
+	}
+	// Output:
+	// input 0 -> expected estimate 0.00
+	// input 1 -> expected estimate 1.00
+	// input 2 -> expected estimate 2.00
+	// input 3 -> expected estimate 3.00
+	// input 4 -> expected estimate 4.00
+}

@@ -1,0 +1,128 @@
+// Rangequery explores the paper's closing suggestion — using constrained
+// count mechanisms as the building block for range queries. A population
+// is split into B ordered buckets (e.g. age bands); each bucket's count
+// of a sensitive bit is released once under a constrained mechanism, and
+// an analyst answers range-sum queries by adding the debiased releases.
+// The error of a range query grows with its length, and the choice of
+// mechanism (GM vs EM) shifts where that error comes from: GM is biased
+// toward the interior on extreme buckets, EM is unbiased-by-symmetry but
+// noisier per bucket.
+//
+//	go run ./examples/rangequery -buckets 32 -n 10 -alpha 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"privcount"
+)
+
+func main() {
+	var (
+		buckets = flag.Int("buckets", 32, "number of ordered buckets")
+		n       = flag.Int("n", 10, "individuals per bucket")
+		alpha   = flag.Float64("alpha", 0.8, "privacy parameter per bucket release")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	// Synthetic ordered population: the sensitive-bit rate drifts across
+	// buckets (like a prevalence that rises with an ordered attribute).
+	src := privcount.NewRand(*seed)
+	truths := make([]int, *buckets)
+	for b := range truths {
+		rate := 0.15 + 0.6*float64(b)/float64(*buckets-1)
+		count := 0
+		for k := 0; k < *n; k++ {
+			if src.Float64() < rate {
+				count++
+			}
+		}
+		truths[b] = count
+	}
+
+	gm, err := privcount.NewGeometric(*n, *alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	em, err := privcount.NewExplicitFair(*n, *alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("released %d buckets of %d people at alpha=%.2f (per-bucket DP)\n\n",
+		*buckets, *n, *alpha)
+	fmt.Printf("%-22s %10s %10s %10s\n", "range query", "true", "GM est", "EM est")
+
+	type release struct {
+		value    float64
+		debiased float64
+	}
+	releaseAll := func(m *privcount.Mechanism) ([]release, error) {
+		sampler, err := privcount.NewSampler(m)
+		if err != nil {
+			return nil, err
+		}
+		est, err := m.UnbiasedEstimator()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]release, len(truths))
+		for b, truth := range truths {
+			v := sampler.Sample(src, truth)
+			out[b] = release{value: float64(v), debiased: est[v]}
+		}
+		return out, nil
+	}
+	gmRel, err := releaseAll(gm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emRel, err := releaseAll(em)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := [][2]int{
+		{0, 3},
+		{0, *buckets / 4},
+		{*buckets / 4, 3 * *buckets / 4},
+		{0, *buckets - 1},
+	}
+	for _, q := range queries {
+		lo, hi := q[0], q[1]
+		var truth int
+		var gmSum, emSum float64
+		for b := lo; b <= hi; b++ {
+			truth += truths[b]
+			gmSum += gmRel[b].debiased
+			emSum += emRel[b].debiased
+		}
+		fmt.Printf("buckets [%2d, %2d]        %10d %10.1f %10.1f\n", lo, hi, truth, gmSum, emSum)
+	}
+
+	// Predicted standard error per mechanism for the full range, from the
+	// estimator variance at the true inputs.
+	sePredict := func(m *privcount.Mechanism) float64 {
+		est, err := m.UnbiasedEstimator()
+		if err != nil {
+			return math.NaN()
+		}
+		vars, err := m.EstimatorVariance(est)
+		if err != nil {
+			return math.NaN()
+		}
+		var total float64
+		for _, truth := range truths {
+			total += vars[truth]
+		}
+		return math.Sqrt(total)
+	}
+	fmt.Printf("\npredicted full-range standard error: GM ±%.1f, EM ±%.1f\n",
+		sePredict(gm), sePredict(em))
+	fmt.Println("longer ranges average out per-bucket noise relative to the total;")
+	fmt.Println("debiasing removes GM's truncation bias, at the cost of variance.")
+}

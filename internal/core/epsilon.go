@@ -1,0 +1,41 @@
+package core
+
+import "math"
+
+// The paper writes privacy as α ∈ [0,1] with α = exp(−ε) (§II-A); most
+// of the differential-privacy literature uses ε. These helpers translate
+// between the two conventions and give the standard sequential
+// composition bound in α form.
+
+// AlphaFromEpsilon returns α = exp(−ε). ε = 0 is perfect privacy
+// (α = 1); larger ε weakens the guarantee toward α = 0.
+func AlphaFromEpsilon(eps float64) float64 {
+	return math.Exp(-eps)
+}
+
+// EpsilonFromAlpha returns ε = −ln α, the privacy-loss bound of an α-DP
+// mechanism. It returns +Inf for α = 0.
+func EpsilonFromAlpha(alpha float64) float64 {
+	return -math.Log(alpha)
+}
+
+// ComposedAlpha returns the privacy level of k independent releases of an
+// α-DP mechanism on the same input: ε adds, so α multiplies (α^k).
+// Deciding between one strong release and several weak ones is the
+// classic accuracy/privacy budgeting question; the composition ablation
+// in internal/figures measures both sides empirically.
+func ComposedAlpha(alpha float64, k int) float64 {
+	if k < 1 {
+		return 1
+	}
+	return math.Pow(alpha, float64(k))
+}
+
+// SplitAlpha returns the per-release privacy level α^(1/k) that makes k
+// independent releases compose to an overall level of α.
+func SplitAlpha(alpha float64, k int) float64 {
+	if k < 1 {
+		return alpha
+	}
+	return math.Pow(alpha, 1/float64(k))
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphaEpsilonRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		eps := float64(raw%500)/100 + 0.01 // 0.01 .. 5.0
+		alpha := AlphaFromEpsilon(eps)
+		if alpha <= 0 || alpha >= 1 {
+			return false
+		}
+		return math.Abs(EpsilonFromAlpha(alpha)-eps) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpsilonEdgeCases(t *testing.T) {
+	if AlphaFromEpsilon(0) != 1 {
+		t.Error("eps=0 should be alpha=1")
+	}
+	if !math.IsInf(EpsilonFromAlpha(0), 1) {
+		t.Error("alpha=0 should be eps=+Inf")
+	}
+	if EpsilonFromAlpha(1) != 0 {
+		t.Error("alpha=1 should be eps=0")
+	}
+}
+
+func TestComposedAlpha(t *testing.T) {
+	if got := ComposedAlpha(0.9, 2); math.Abs(got-0.81) > 1e-15 {
+		t.Errorf("ComposedAlpha(0.9, 2) = %v", got)
+	}
+	if ComposedAlpha(0.9, 0) != 1 {
+		t.Error("k=0 should be perfect privacy")
+	}
+	// Composition in alpha matches addition in epsilon.
+	eps := EpsilonFromAlpha(0.8)
+	if math.Abs(ComposedAlpha(0.8, 3)-AlphaFromEpsilon(3*eps)) > 1e-12 {
+		t.Error("alpha composition inconsistent with epsilon addition")
+	}
+}
+
+func TestSplitAlpha(t *testing.T) {
+	for _, k := range []int{1, 2, 5} {
+		per := SplitAlpha(0.7, k)
+		if math.Abs(ComposedAlpha(per, k)-0.7) > 1e-12 {
+			t.Errorf("SplitAlpha/ComposedAlpha not inverse at k=%d", k)
+		}
+	}
+	if SplitAlpha(0.7, 0) != 0.7 {
+		t.Error("k=0 should return alpha unchanged")
+	}
+}
+
+func TestCompositionEmpirical(t *testing.T) {
+	// Two releases of a sqrt(alpha) mechanism have, jointly, exactly the
+	// alpha guarantee: the product matrix of probabilities for the pair
+	// of outputs bounds ratios by alpha.
+	const alpha = 0.81
+	per := SplitAlpha(alpha, 2)
+	m, err := Geometric(3, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each output pair (a, b) and neighbouring inputs, check the
+	// joint ratio bound.
+	for a := 0; a <= 3; a++ {
+		for b := 0; b <= 3; b++ {
+			for j := 0; j < 3; j++ {
+				p1 := m.Prob(a, j) * m.Prob(b, j)
+				p2 := m.Prob(a, j+1) * m.Prob(b, j+1)
+				if p1 < alpha*p2-1e-12 || p2 < alpha*p1-1e-12 {
+					t.Fatalf("joint release breaches composed alpha at (%d,%d|%d)", a, b, j)
+				}
+			}
+		}
+	}
+}

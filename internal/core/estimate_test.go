@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMLETableIdentityForColumnHonest(t *testing.T) {
+	// For a column-honest AND row-honest mechanism like EM, the MLE of
+	// output i is i itself.
+	em := mustEM(t, 6, 0.8)
+	for i, j := range em.MLETable() {
+		if i != j {
+			t.Fatalf("EM MLE table maps %d -> %d", i, j)
+		}
+	}
+}
+
+func TestMLETableGMInterior(t *testing.T) {
+	// GM's interior rows peak on the diagonal (y > y·alpha), and the
+	// extreme rows peak at the matching extreme input.
+	gm := mustGM(t, 5, 0.9)
+	table := gm.MLETable()
+	if table[0] != 0 || table[5] != 5 {
+		t.Fatalf("GM extreme rows decode to %d, %d", table[0], table[5])
+	}
+	for i := 1; i < 5; i++ {
+		if table[i] != i {
+			t.Fatalf("GM row %d decodes to %d", i, table[i])
+		}
+	}
+}
+
+func TestPosterior(t *testing.T) {
+	gm := mustGM(t, 4, 0.7)
+	post, err := gm.Posterior(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range post {
+		if v < 0 {
+			t.Fatalf("negative posterior %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+	// With a uniform prior, the posterior is the normalised row, which
+	// peaks at j = 2 for GM's interior rows.
+	best := 0
+	for j, v := range post {
+		if v > post[best] {
+			best = j
+		}
+	}
+	if best != 2 {
+		t.Fatalf("posterior mode %d, want 2", best)
+	}
+	if _, err := gm.Posterior(-1, nil); err == nil {
+		t.Error("negative output accepted")
+	}
+	if _, err := gm.Posterior(9, nil); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+}
+
+func TestPosteriorZeroProbabilityOutput(t *testing.T) {
+	// A prior that excludes every input reaching output 0 makes the
+	// posterior undefined.
+	m := stochastic(t, 1, [][]float64{
+		{1, 0},
+		{0, 1},
+	})
+	if _, err := m.Posterior(0, []float64{0, 1}); err == nil {
+		t.Error("zero-probability output accepted")
+	}
+}
+
+func TestPosteriorMean(t *testing.T) {
+	um := mustUM(t, 4)
+	// Uniform mechanism carries no information: posterior mean is the
+	// prior mean 2.
+	mean, err := um.PosteriorMean(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-2) > 1e-12 {
+		t.Fatalf("UM posterior mean %v, want 2", mean)
+	}
+}
+
+func TestUnbiasedEstimator(t *testing.T) {
+	for _, build := range []func() (*Mechanism, error){
+		func() (*Mechanism, error) { return Geometric(5, 0.8) },
+		func() (*Mechanism, error) { return ExplicitFair(5, 0.8) },
+		func() (*Mechanism, error) { return ExplicitFair(4, 0.95) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.UnbiasedEstimator()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		// E[a[out] | input j] = Σ_i P[i][j]·a[i] must equal j.
+		for j := 0; j <= m.N(); j++ {
+			var e float64
+			for i := 0; i <= m.N(); i++ {
+				e += m.Prob(i, j) * a[i]
+			}
+			if math.Abs(e-float64(j)) > 1e-8 {
+				t.Errorf("%s: E[est | %d] = %v", m.Name(), j, e)
+			}
+		}
+	}
+}
+
+func TestUnbiasedEstimatorFailsForUniform(t *testing.T) {
+	um := mustUM(t, 3)
+	if _, err := um.UnbiasedEstimator(); err == nil {
+		t.Error("UM is singular; estimator should fail")
+	}
+}
+
+func TestEstimatorVariance(t *testing.T) {
+	m := mustEM(t, 4, 0.8)
+	a, err := m.UnbiasedEstimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.EstimatorVariance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 5 {
+		t.Fatalf("variance vector length %d", len(v))
+	}
+	for j, vv := range v {
+		if vv < 0 {
+			t.Errorf("negative variance %v at input %d", vv, j)
+		}
+	}
+	// Cross-check against a direct second-moment computation at j = 2.
+	var mean, second float64
+	for i := 0; i <= 4; i++ {
+		mean += m.Prob(i, 2) * a[i]
+		second += m.Prob(i, 2) * a[i] * a[i]
+	}
+	if want := second - mean*mean; math.Abs(v[2]-want) > 1e-9 {
+		t.Errorf("variance at 2 = %v, want %v", v[2], want)
+	}
+	if _, err := m.EstimatorVariance([]float64{1}); err == nil {
+		t.Error("short estimator accepted")
+	}
+}
+
+func TestExpectedMLERisk(t *testing.T) {
+	em := mustEM(t, 5, 0.8)
+	risk, err := em.ExpectedMLERisk(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a fair, column-honest mechanism the MLE decode is the identity,
+	// so the risk equals the wrong-answer probability 1 - y.
+	want := 1 - ExplicitFairY(5, 0.8)
+	if math.Abs(risk-want) > 1e-12 {
+		t.Fatalf("MLE risk %v, want %v", risk, want)
+	}
+	if risk < 0 || risk > 1 {
+		t.Fatalf("risk %v outside [0,1]", risk)
+	}
+}
+
+func TestBiasShape(t *testing.T) {
+	gm := mustGM(t, 6, 0.9)
+	bias := gm.Bias()
+	// GM pulls extremes inward: positive bias at input 0, negative at n.
+	if bias[0] <= 0 {
+		t.Errorf("bias at 0 = %v, want > 0", bias[0])
+	}
+	if bias[6] >= 0 {
+		t.Errorf("bias at n = %v, want < 0", bias[6])
+	}
+	// Symmetric mechanism: bias is antisymmetric about the midpoint.
+	for j := 0; j <= 6; j++ {
+		if math.Abs(bias[j]+bias[6-j]) > 1e-12 {
+			t.Errorf("bias not antisymmetric: b[%d]=%v b[%d]=%v", j, bias[j], 6-j, bias[6-j])
+		}
+	}
+	if got := gm.MaxAbsBias(); math.Abs(got-math.Abs(bias[0])) > 1e-12 {
+		t.Errorf("MaxAbsBias %v, want %v", got, math.Abs(bias[0]))
+	}
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// alphaGrid covers the privacy levels the paper evaluates.
+var alphaGrid = []float64{0.25, 0.5, 0.62, 2.0 / 3.0, 0.76, 0.9, 10.0 / 11.0, 0.99}
+
+func TestGeometricArgumentValidation(t *testing.T) {
+	for _, bad := range []struct {
+		n     int
+		alpha float64
+	}{{0, 0.5}, {-2, 0.5}, {3, 0}, {3, 1}, {3, -0.1}, {3, 1.5}} {
+		if _, err := Geometric(bad.n, bad.alpha); err == nil {
+			t.Errorf("Geometric(%d, %v) accepted", bad.n, bad.alpha)
+		}
+	}
+}
+
+func TestGeometricStructure(t *testing.T) {
+	// Entries must match the Fig 3 closed form exactly.
+	for _, alpha := range alphaGrid {
+		for _, n := range []int{1, 2, 3, 7, 12} {
+			m := mustGM(t, n, alpha)
+			x := 1 / (1 + alpha)
+			y := (1 - alpha) / (1 + alpha)
+			for j := 0; j <= n; j++ {
+				for i := 0; i <= n; i++ {
+					var want float64
+					switch i {
+					case 0:
+						want = x * math.Pow(alpha, float64(j))
+					case n:
+						want = x * math.Pow(alpha, float64(n-j))
+					default:
+						want = y * math.Pow(alpha, math.Abs(float64(i-j)))
+					}
+					if math.Abs(m.Prob(i, j)-want) > 1e-14 {
+						t.Fatalf("GM(n=%d,a=%v)[%d][%d] = %v, want %v", n, alpha, i, j, m.Prob(i, j), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeometricColumnsSumToOne(t *testing.T) {
+	f := func(nRaw uint8, aRaw uint16) bool {
+		n := int(nRaw%30) + 1
+		alpha := (float64(aRaw%998) + 1) / 1000 // in (0.001, 0.999)
+		m, err := Geometric(n, alpha)
+		if err != nil {
+			return false
+		}
+		return m.Matrix().IsColumnStochastic(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricAlwaysSymmetricAndRowMonotone(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		for _, n := range []int{1, 3, 6, 11} {
+			m := mustGM(t, n, alpha)
+			if v := m.Violation(Symmetry|RowMonotone|RowHonesty, 1e-12); v != "" {
+				t.Errorf("GM(n=%d, a=%v): %s", n, alpha, v)
+			}
+		}
+	}
+}
+
+func TestGeometricL0ClosedForm(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		want := 2 * alpha / (1 + alpha)
+		if got := GeometricL0(alpha); math.Abs(got-want) > 1e-15 {
+			t.Errorf("GeometricL0(%v) = %v", alpha, got)
+		}
+		// Matches the matrix for every n (the paper: independent of n).
+		for _, n := range []int{2, 5, 9, 17} {
+			if got := mustGM(t, n, alpha).L0(); math.Abs(got-want) > 1e-9 {
+				t.Errorf("GM(n=%d, a=%v).L0() = %v, want %v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestGeometricWeakHonestyLemma2(t *testing.T) {
+	// GM is weakly honest iff n >= 2a/(1-a). The lemma's proof focuses on
+	// the interior diagonal value y, which only exists for n >= 2; at
+	// n = 1 both diagonal entries are x = 1/(1+a) >= 1/2, so GM is always
+	// weakly honest there.
+	if !mustGM(t, 1, 0.9).Check(WeakHonesty, 1e-12) {
+		t.Error("GM(n=1) should always be weakly honest")
+	}
+	for _, alpha := range []float64{0.5, 0.62, 0.76, 0.9} {
+		threshold := GeometricWeakHonestyThreshold(alpha)
+		for n := 2; n <= 30; n++ {
+			m := mustGM(t, n, alpha)
+			got := m.Check(WeakHonesty, 1e-12)
+			want := float64(n) >= threshold-1e-9
+			if got != want {
+				t.Errorf("GM(n=%d, a=%v) WH = %v, Lemma 2 predicts %v (threshold %.3f)",
+					n, alpha, got, want, threshold)
+			}
+		}
+	}
+}
+
+func TestGeometricColumnMonotoneLemma3(t *testing.T) {
+	// GM is column monotone iff alpha <= 1/2.
+	for _, alpha := range []float64{0.2, 0.4, 0.5, 0.500001, 0.6, 0.9} {
+		for _, n := range []int{2, 4, 8} {
+			m := mustGM(t, n, alpha)
+			got := m.Check(ColumnMonotone, 1e-12)
+			want := alpha <= 0.5
+			if got != want {
+				t.Errorf("GM(n=%d, a=%v) CM = %v, Lemma 3 predicts %v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestGeometricIsNotFair(t *testing.T) {
+	// Corner diagonal x exceeds interior diagonal y for all alpha in (0,1).
+	for _, alpha := range alphaGrid {
+		if mustGM(t, 4, alpha).Check(Fairness, 1e-12) {
+			t.Errorf("GM(a=%v) claims fairness", alpha)
+		}
+	}
+}
+
+func TestExplicitFairArgumentValidation(t *testing.T) {
+	for _, bad := range []struct {
+		n     int
+		alpha float64
+	}{{0, 0.5}, {3, 0}, {3, 1}} {
+		if _, err := ExplicitFair(bad.n, bad.alpha); err == nil {
+			t.Errorf("ExplicitFair(%d, %v) accepted", bad.n, bad.alpha)
+		}
+	}
+}
+
+func TestExplicitFairMatchesFigure4(t *testing.T) {
+	const alpha = 0.77
+	m := mustEM(t, 7, alpha)
+	want := [8][8]int{
+		{0, 1, 2, 3, 4, 4, 4, 4},
+		{1, 0, 1, 2, 3, 3, 3, 3},
+		{1, 1, 0, 1, 2, 3, 3, 3},
+		{2, 2, 1, 0, 1, 2, 2, 2},
+		{2, 2, 2, 1, 0, 1, 2, 2},
+		{3, 3, 3, 2, 1, 0, 1, 1},
+		{3, 3, 3, 3, 2, 1, 0, 1},
+		{4, 4, 4, 4, 3, 2, 1, 0},
+	}
+	y := ExplicitFairY(7, alpha)
+	for i := 0; i <= 7; i++ {
+		for j := 0; j <= 7; j++ {
+			expect := y * math.Pow(alpha, float64(want[i][j]))
+			if math.Abs(m.Prob(i, j)-expect) > 1e-14 {
+				t.Fatalf("EM[%d][%d] = %v, want y*a^%d = %v", i, j, m.Prob(i, j), want[i][j], expect)
+			}
+		}
+	}
+}
+
+func TestExplicitFairSatisfiesEverything(t *testing.T) {
+	// Theorem 4: EM meets all seven properties, for every n and alpha.
+	for _, alpha := range alphaGrid {
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 13, 20, 33} {
+			m := mustEM(t, n, alpha)
+			if v := m.Violation(AllProperties, 1e-11); v != "" {
+				t.Errorf("EM(n=%d, a=%v): %s", n, alpha, v)
+			}
+			if !m.SatisfiesDP(alpha, 1e-11) {
+				t.Errorf("EM(n=%d, a=%v) DP violation: %s", n, alpha, m.DPViolation(alpha, 1e-11))
+			}
+		}
+	}
+}
+
+func TestExplicitFairColumnStochasticProperty(t *testing.T) {
+	f := func(nRaw uint8, aRaw uint16) bool {
+		n := int(nRaw%40) + 1
+		alpha := (float64(aRaw%998) + 1) / 1000
+		m, err := ExplicitFair(n, alpha)
+		if err != nil {
+			return false
+		}
+		return m.Matrix().IsColumnStochastic(1e-9) && m.Check(AllProperties, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplicitFairYClosedForms(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		// Even n: y = (1-a)/(1+a-2a^{n/2+1}) — Lemma 4 attained.
+		for _, n := range []int{2, 4, 8, 14} {
+			want := (1 - alpha) / (1 + alpha - 2*math.Pow(alpha, float64(n/2+1)))
+			if got := ExplicitFairY(n, alpha); math.Abs(got-want) > 1e-12 {
+				t.Errorf("even n=%d a=%v: y = %v, want %v", n, alpha, got, want)
+			}
+		}
+		// Odd n: y = (1-a)/(1+a-a^{(n+1)/2}-a^{(n+3)/2}).
+		for _, n := range []int{3, 5, 7, 13} {
+			k := (n + 1) / 2
+			want := (1 - alpha) / (1 + alpha - math.Pow(alpha, float64(k)) - math.Pow(alpha, float64(k+1)))
+			if got := ExplicitFairY(n, alpha); math.Abs(got-want) > 1e-12 {
+				t.Errorf("odd n=%d a=%v: y = %v, want %v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestExplicitFairRespectsLemma4Bound(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		for n := 1; n <= 24; n++ {
+			y := ExplicitFairY(n, alpha)
+			bound := FairDiagonalBound(n, alpha)
+			if n%2 == 0 {
+				// Lemma 4 is exact for even n and EM attains it.
+				if math.Abs(y-bound) > 1e-12 {
+					t.Errorf("n=%d a=%v: even-n bound not attained (y=%v bound=%v)", n, alpha, y, bound)
+				}
+				continue
+			}
+			// Odd n: the middle column does not exist; the attainable
+			// optimum sits between the even formulas for n and n−1
+			// (shrinking the domain can only raise the diagonal).
+			if y < bound-1e-12 {
+				t.Errorf("n=%d a=%v: odd-n y=%v below even-formula bound %v", n, alpha, y, bound)
+			}
+			if upper := FairDiagonalBound(n-1, alpha); y > upper+1e-12 {
+				t.Errorf("n=%d a=%v: odd-n y=%v exceeds bound for n-1: %v", n, alpha, y, upper)
+			}
+			// The exact odd-n normaliser must match the multiset formula.
+			k := (n + 1) / 2
+			exact := (1 - alpha) / (1 + alpha - math.Pow(alpha, float64(k)) - math.Pow(alpha, float64(k+1)))
+			if math.Abs(y-exact) > 1e-12 {
+				t.Errorf("n=%d a=%v: y=%v, exact odd bound %v", n, alpha, y, exact)
+			}
+		}
+	}
+}
+
+func TestExplicitFairL0(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		for _, n := range []int{2, 5, 9} {
+			m := mustEM(t, n, alpha)
+			want := ExplicitFairL0(n, alpha)
+			if got := m.L0(); math.Abs(got-want) > 1e-12 {
+				t.Errorf("EM(n=%d, a=%v).L0() = %v, want %v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestExplicitFairCostRatioApproaches1Plus1OverN(t *testing.T) {
+	// The paper: EM costs about (1 + 1/n)× GM. The approximation needs
+	// a^{n/2} to be negligible, so test at moderate alpha; at high alpha
+	// the ratio is even smaller (EM relatively cheaper).
+	const alpha = 0.5
+	for _, n := range []int{10, 20, 40} {
+		ratio := ExplicitFairL0(n, alpha) / GeometricL0(alpha)
+		expect := float64(n+1) / float64(n)
+		if math.Abs(ratio-expect) > 0.02 {
+			t.Errorf("n=%d: cost ratio %v, want about %v", n, ratio, expect)
+		}
+		if ratio > expect+1e-12 {
+			t.Errorf("n=%d: ratio %v exceeds (n+1)/n = %v", n, ratio, expect)
+		}
+	}
+	// At any alpha the overhead never exceeds the (n+1)/n factor.
+	for _, a := range alphaGrid {
+		for _, n := range []int{4, 9, 16} {
+			ratio := ExplicitFairL0(n, a) / GeometricL0(a)
+			if ratio > float64(n+1)/float64(n)+1e-12 || ratio < 1-1e-12 {
+				t.Errorf("n=%d a=%v: ratio %v outside [1, (n+1)/n]", n, a, ratio)
+			}
+		}
+	}
+}
+
+func TestGMLessCostlyThanEM(t *testing.T) {
+	for _, alpha := range alphaGrid {
+		for _, n := range []int{2, 5, 9, 17} {
+			gm := GeometricL0(alpha)
+			em := ExplicitFairL0(n, alpha)
+			if gm > em+1e-12 {
+				t.Errorf("n=%d a=%v: GM cost %v exceeds EM cost %v", n, alpha, gm, em)
+			}
+			if em > 1+1e-12 {
+				t.Errorf("n=%d a=%v: EM cost %v exceeds UM's 1", n, alpha, em)
+			}
+		}
+	}
+}
+
+func TestUniformMechanism(t *testing.T) {
+	m := mustUM(t, 3)
+	for i := 0; i <= 3; i++ {
+		for j := 0; j <= 3; j++ {
+			if m.Prob(i, j) != 0.25 {
+				t.Fatalf("UM[%d][%d] = %v", i, j, m.Prob(i, j))
+			}
+		}
+	}
+	if v := m.Violation(AllProperties, 0); v != "" {
+		t.Fatalf("UM property violation: %s", v)
+	}
+	if !m.SatisfiesDP(0.999, 0) {
+		t.Fatal("UM should satisfy every alpha")
+	}
+	if _, err := Uniform(0); err == nil {
+		t.Error("Uniform(0) accepted")
+	}
+}
+
+func TestRandomizedResponseIsGMAtN1(t *testing.T) {
+	const alpha = 0.8
+	rr, err := RandomizedResponse(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := mustGM(t, 1, alpha)
+	d, err := rr.Matrix().MaxAbsDiff(gm.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("RR differs from GM(1) by %v", d)
+	}
+	// Truth probability 1/(1+alpha).
+	if got := rr.Prob(0, 0); math.Abs(got-1/(1+alpha)) > 1e-15 {
+		t.Fatalf("RR truth prob %v", got)
+	}
+	if rr.Name() != "RR" {
+		t.Errorf("name = %q", rr.Name())
+	}
+}
+
+func TestKRR(t *testing.T) {
+	const n, alpha = 5, 0.7
+	m, err := KRR(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 1 / (1 + float64(n)*alpha)
+	if math.Abs(m.Prob(2, 2)-p) > 1e-15 {
+		t.Fatalf("KRR diagonal %v, want %v", m.Prob(2, 2), p)
+	}
+	if !m.SatisfiesDP(alpha, 1e-12) {
+		t.Fatalf("KRR DP violation: %s", m.DPViolation(alpha, 1e-12))
+	}
+	// The DP constraint is tight: alpha is exactly the best level.
+	if got := m.DPAlpha(); math.Abs(got-alpha) > 1e-12 {
+		t.Fatalf("KRR DPAlpha %v, want %v", got, alpha)
+	}
+	// KRR is fair and satisfies all structural properties...
+	if v := m.Violation(AllProperties, 1e-12); v != "" {
+		t.Fatalf("KRR violates %s", v)
+	}
+	// ...but is costlier than EM (the paper: low utility for counts).
+	em := mustEM(t, n, alpha)
+	if m.L0() < em.L0()-1e-12 {
+		t.Fatalf("KRR L0 %v beats EM %v", m.L0(), em.L0())
+	}
+	if _, err := KRR(0, alpha); err == nil {
+		t.Error("KRR(0) accepted")
+	}
+}
+
+func TestExponentialMechanism(t *testing.T) {
+	const n, alpha = 6, 0.8
+	m, err := Exponential(n, alpha, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Matrix().IsColumnStochastic(1e-12) {
+		t.Fatal("EXP not column stochastic")
+	}
+	// The mechanism is guaranteed exp(-eps)-DP.
+	if !m.SatisfiesDP(alpha, 1e-12) {
+		t.Fatalf("EXP DP violation: %s", m.DPViolation(alpha, 1e-12))
+	}
+	// The paper: the factor 2 in Eq 2 wastes privacy budget — the achieved
+	// alpha is strictly larger (weaker use of the budget) than requested.
+	if got := m.DPAlpha(); got <= alpha+0.01 {
+		t.Errorf("EXP effective alpha %v; expected visible slack above requested %v", got, alpha)
+	}
+	// Zero-sensitivity quality must be rejected.
+	if _, err := Exponential(n, alpha, func(int, int) float64 { return 1 }); err == nil {
+		t.Error("constant quality accepted")
+	}
+	// A scaled quality is invariant (sensitivity normalisation cancels it)...
+	scaled, err := Exponential(n, alpha, func(j, i int) float64 {
+		return -2 * math.Abs(float64(i-j))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := scaled.Matrix().MaxAbsDiff(m.Matrix()); d > 1e-12 {
+		t.Errorf("scaling the quality changed the mechanism by %v", d)
+	}
+	// ...but a different shape is honoured and still alpha-DP.
+	quad, err := Exponential(n, alpha, func(j, i int) float64 {
+		d := float64(i - j)
+		return -d * d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := quad.Matrix().MaxAbsDiff(m.Matrix()); d < 1e-6 {
+		t.Error("quadratic quality produced the same mechanism as linear")
+	}
+	if !quad.SatisfiesDP(alpha, 1e-12) {
+		t.Errorf("quadratic-quality EXP violates DP: %s", quad.DPViolation(alpha, 1e-12))
+	}
+}
+
+func TestTruncatedLaplace(t *testing.T) {
+	const n, alpha = 6, 0.8
+	m, err := TruncatedLaplace(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Matrix().IsColumnStochastic(1e-12) {
+		t.Fatal("LAP not column stochastic")
+	}
+	// Rounding + truncation are post-processing: alpha-DP must survive.
+	if !m.SatisfiesDP(alpha, 1e-9) {
+		t.Fatalf("LAP DP violation: %s", m.DPViolation(alpha, 1e-9))
+	}
+	if v := m.Violation(Symmetry|RowMonotone, 1e-9); v != "" {
+		t.Fatalf("LAP violates %s", v)
+	}
+	if _, err := TruncatedLaplace(0, alpha); err == nil {
+		t.Error("TruncatedLaplace(0) accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"privcount/internal/rng"
+)
+
+// Large-n tests: the explicit constructions are closed-form, so they must
+// remain correct and fast far beyond the LP-tractable range — the "as n
+// becomes very large, off-the-shelf mechanisms do a good enough job"
+// regime the paper describes.
+
+func TestExplicitMechanismsAtLargeN(t *testing.T) {
+	const n, alpha = 500, 0.95
+	gm, err := Geometric(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := ExplicitFair(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gm.Matrix().IsColumnStochastic(1e-8) {
+		t.Error("GM columns broken at n=500")
+	}
+	if !em.Matrix().IsColumnStochastic(1e-8) {
+		t.Error("EM columns broken at n=500")
+	}
+	if !gm.SatisfiesDP(alpha, 1e-9) {
+		t.Error("GM DP broken at n=500")
+	}
+	if !em.SatisfiesDP(alpha, 1e-9) {
+		t.Error("EM DP broken at n=500")
+	}
+	// With n far beyond 2a/(1-a) = 38, GM is weakly honest (Lemma 2) and
+	// the EM premium over GM is tiny.
+	if !gm.Check(WeakHonesty, 1e-12) {
+		t.Error("GM should be weakly honest at n=500")
+	}
+	if ratio := em.L0() / gm.L0(); ratio > 1.01 {
+		t.Errorf("EM/GM cost ratio %v at n=500, want ~1", ratio)
+	}
+}
+
+func TestSamplingAtLargeN(t *testing.T) {
+	const n, alpha = 300, 0.9
+	em, err := ExplicitFair(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for k := 0; k < 5000; k++ {
+		out := s.Sample(src, k%(n+1))
+		if out < 0 || out > n {
+			t.Fatalf("sample %d out of range", out)
+		}
+	}
+}
+
+func TestDirectGeometricSamplingMatchesMatrixAtLargeN(t *testing.T) {
+	// rng.GeometricNoise (matrix-free GM sampling) agrees with the GM
+	// matrix even at sizes where one would not materialise the matrix.
+	const n, alpha = 200, 0.8
+	gm, err := Geometric(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	const trials = 100000
+	zero, half := 0, 0
+	for k := 0; k < trials; k++ {
+		if rng.GeometricNoise(src, 100, n, alpha) == 100 {
+			half++
+		}
+		if rng.GeometricNoise(src, 0, n, alpha) == 0 {
+			zero++
+		}
+	}
+	if d := float64(half)/trials - gm.Prob(100, 100); d > 0.01 || d < -0.01 {
+		t.Errorf("interior direct sampling off by %v", d)
+	}
+	if d := float64(zero)/trials - gm.Prob(0, 0); d > 0.01 || d < -0.01 {
+		t.Errorf("boundary direct sampling off by %v", d)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privcount/internal/mat"
+	"privcount/internal/rng"
+)
+
+func TestPostProcessValidation(t *testing.T) {
+	gm := mustGM(t, 3, 0.8)
+	if _, err := PostProcess(gm, mat.NewDense(2, 2)); err == nil {
+		t.Error("wrong-shape remap accepted")
+	}
+	if _, err := PostProcess(gm, mat.NewDense(4, 4)); err == nil {
+		t.Error("non-stochastic remap accepted")
+	}
+}
+
+func TestPostProcessIdentityIsNoop(t *testing.T) {
+	gm := mustGM(t, 4, 0.8)
+	out, err := PostProcess(gm, mat.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := out.Matrix().MaxAbsDiff(gm.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-15 {
+		t.Fatalf("identity remap changed the mechanism by %v", d)
+	}
+}
+
+func TestPostProcessPreservesDP(t *testing.T) {
+	// Post-processing invariance: T·M stays alpha-DP for any stochastic T.
+	const alpha = 0.7
+	gm := mustGM(t, 5, alpha)
+	src := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		tmat := randomStochastic(src, 6)
+		out, err := PostProcess(gm, tmat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.SatisfiesDP(alpha, 1e-9) {
+			t.Fatalf("trial %d: post-processing broke DP: %s", trial, out.DPViolation(alpha, 1e-9))
+		}
+	}
+}
+
+// randomStochastic builds a random column-stochastic matrix.
+func randomStochastic(src rng.Source, n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var sum float64
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = src.Float64()
+			sum += col[i]
+		}
+		for i := range col {
+			m.Set(i, j, col[i]/sum)
+		}
+	}
+	return m
+}
+
+func TestPostProcessedGMPassesGSTest(t *testing.T) {
+	// The positive direction of Gupte–Sundararajan: every mechanism
+	// obtained by post-processing GM must pass the derivability test.
+	const alpha = 0.8
+	gm := mustGM(t, 4, alpha)
+	src := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		out, err := PostProcess(gm, randomStochastic(src, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !DerivableFromGM(out, alpha, 1e-9) {
+			t.Fatalf("trial %d: post-processing of GM fails the GS test: %s",
+				trial, GSViolation(out, alpha, 1e-9))
+		}
+	}
+}
+
+func TestPostProcessMLERemapMatchesTable(t *testing.T) {
+	// Deterministically remapping GM's outputs through its own MLE table
+	// is a valid post-processing.
+	gm := mustGM(t, 4, 0.9)
+	remap, err := RemapTable(4, gm.MLETable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PostProcess(gm, remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SatisfiesDP(0.9, 1e-9) {
+		t.Fatal("MLE remap broke DP")
+	}
+	if !DerivableFromGM(out, 0.9, 1e-9) {
+		t.Fatal("MLE remap of GM should be GM-derivable")
+	}
+}
+
+func TestRemapTableValidation(t *testing.T) {
+	if _, err := RemapTable(3, []int{0, 1}); err == nil {
+		t.Error("short table accepted")
+	}
+	if _, err := RemapTable(3, []int{0, 1, 2, 5}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	tm, err := RemapTable(2, []int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversal permutation matrix.
+	if tm.At(2, 0) != 1 || tm.At(1, 1) != 1 || tm.At(0, 2) != 1 {
+		t.Fatalf("remap matrix wrong:\n%v", tm)
+	}
+}
+
+func TestPostProcessCollapseToConstant(t *testing.T) {
+	// Mapping every output to a single value yields a constant (and
+	// perfectly private, alpha = 1) mechanism.
+	gm := mustGM(t, 3, 0.6)
+	remap, err := RemapTable(3, []int{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PostProcess(gm, remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.DPAlpha(); got != 1 {
+		t.Fatalf("constant mechanism DPAlpha = %v, want 1", got)
+	}
+	for j := 0; j <= 3; j++ {
+		if math.Abs(out.Prob(2, j)-1) > 1e-12 {
+			t.Fatalf("column %d not collapsed: %v", j, out.Column(j))
+		}
+	}
+}

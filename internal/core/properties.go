@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Property identifies one of the paper's structural properties (§IV-A),
+// plus the output-side DP constraint sketched in the concluding remarks.
+// Properties combine into a PropertySet bitmask.
+type Property uint16
+
+// The seven structural properties of §IV-A, in the paper's notation,
+// plus the OutputDP extension.
+const (
+	// RowHonesty (RH, Eq 7): Pr[i|i] ≥ Pr[i|j] for all i, j.
+	RowHonesty Property = 1 << iota
+	// RowMonotone (RM, Eq 8): entries in row i are non-increasing moving
+	// away from the diagonal. Implies RowHonesty.
+	RowMonotone
+	// ColumnHonesty (CH, Eq 9): Pr[j|j] ≥ Pr[i|j] for all i, j.
+	ColumnHonesty
+	// ColumnMonotone (CM, Eq 10): entries in column j are non-increasing
+	// moving away from the diagonal. Implies ColumnHonesty.
+	ColumnMonotone
+	// Fairness (F, Eq 11): all diagonal entries are equal.
+	Fairness
+	// WeakHonesty (WH, Eq 13): Pr[i|i] ≥ 1/(n+1) for all i.
+	WeakHonesty
+	// Symmetry (S, Eq 14): Pr[i|j] = Pr[n−i|n−j] (centrosymmetric matrix).
+	Symmetry
+	// OutputDP is the extension from the concluding remarks: the DP ratio
+	// bound applied along columns, i.e. between neighbouring outputs.
+	// It is not one of the paper's seven properties and is excluded from
+	// AllProperties.
+	OutputDP
+)
+
+// PropertySet is a bitmask of Properties.
+type PropertySet = Property
+
+// AllProperties is the paper's full set of seven structural properties.
+const AllProperties PropertySet = RowHonesty | RowMonotone | ColumnHonesty |
+	ColumnMonotone | Fairness | WeakHonesty | Symmetry
+
+var propertyNames = []struct {
+	p    Property
+	name string
+}{
+	{RowHonesty, "RH"},
+	{RowMonotone, "RM"},
+	{ColumnHonesty, "CH"},
+	{ColumnMonotone, "CM"},
+	{Fairness, "F"},
+	{WeakHonesty, "WH"},
+	{Symmetry, "S"},
+	{OutputDP, "ODP"},
+}
+
+// String renders a set like "RH+CM+WH"; the empty set renders as "none".
+func PropertySetString(ps PropertySet) string {
+	var parts []string
+	for _, pn := range propertyNames {
+		if ps&pn.p != 0 {
+			parts = append(parts, pn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseProperties parses a "+"- or ","-separated list of property codes
+// (RH, RM, CH, CM, F, WH, S, ODP; case-insensitive). "all" yields
+// AllProperties and "" or "none" the empty set.
+func ParseProperties(s string) (PropertySet, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "", "none":
+		return 0, nil
+	case "all":
+		return AllProperties, nil
+	}
+	var ps PropertySet
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool { return r == '+' || r == ',' || r == ' ' }) {
+		found := false
+		for _, pn := range propertyNames {
+			if strings.EqualFold(tok, pn.name) {
+				ps |= pn.p
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("core: unknown property %q (want RH, RM, CH, CM, F, WH, S, or ODP)", tok)
+		}
+	}
+	return ps, nil
+}
+
+// Closure expands ps with all properties implied by it, following §IV-A:
+// RM ⇒ RH, CM ⇒ CH, CH ⇒ WH, F∧RH ⇒ CH, and F∧CH ⇒ RH. The result is the
+// least fixed point, so cost-equivalent property requests normalise to the
+// same set (used by the §IV-D classification of all 128 subsets).
+func Closure(ps PropertySet) PropertySet {
+	for {
+		next := ps
+		if ps&RowMonotone != 0 {
+			next |= RowHonesty
+		}
+		if ps&ColumnMonotone != 0 {
+			next |= ColumnHonesty
+		}
+		if ps&ColumnHonesty != 0 {
+			next |= WeakHonesty
+		}
+		if ps&Fairness != 0 && ps&RowHonesty != 0 {
+			next |= ColumnHonesty
+		}
+		if ps&Fairness != 0 && ps&ColumnHonesty != 0 {
+			next |= RowHonesty
+		}
+		if next == ps {
+			return ps
+		}
+		ps = next
+	}
+}
+
+// Properties returns the individual properties in ps, in declaration
+// order.
+func Properties(ps PropertySet) []Property {
+	var out []Property
+	for _, pn := range propertyNames {
+		if ps&pn.p != 0 {
+			out = append(out, pn.p)
+		}
+	}
+	return out
+}
+
+// EnumerateSubsets returns all subsets of the paper's seven properties
+// (2⁷ = 128 sets), in increasing bitmask order. Used to reproduce the
+// §IV-D collapse result.
+func EnumerateSubsets() []PropertySet {
+	base := Properties(AllProperties)
+	out := make([]PropertySet, 0, 1<<len(base))
+	for mask := 0; mask < 1<<len(base); mask++ {
+		var ps PropertySet
+		for b, p := range base {
+			if mask&(1<<b) != 0 {
+				ps |= p
+			}
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Check reports whether the mechanism satisfies every property in ps
+// within tol (0 selects DefaultTol). OutputDP is checked against the
+// mechanism's design alpha.
+func (m *Mechanism) Check(ps PropertySet, tol float64) bool {
+	return m.Violation(ps, tol) == ""
+}
+
+// Violation returns a description of the first violated property in ps
+// beyond tol, or "" if all hold. Pass tol = 0 for DefaultTol.
+func (m *Mechanism) Violation(ps PropertySet, tol float64) string {
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	n, p := m.n, m.p
+	if ps&RowHonesty != 0 {
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				if p.At(i, i) < p.At(i, j)-tol {
+					return fmt.Sprintf("RH: P[%d|%d]=%g < P[%d|%d]=%g", i, i, p.At(i, i), i, j, p.At(i, j))
+				}
+			}
+		}
+	}
+	if ps&RowMonotone != 0 {
+		for i := 0; i <= n; i++ {
+			for j := 1; j <= i; j++ {
+				if p.At(i, j-1) > p.At(i, j)+tol {
+					return fmt.Sprintf("RM: P[%d|%d]=%g > P[%d|%d]=%g", i, j-1, p.At(i, j-1), i, j, p.At(i, j))
+				}
+			}
+			for j := i; j < n; j++ {
+				if p.At(i, j+1) > p.At(i, j)+tol {
+					return fmt.Sprintf("RM: P[%d|%d]=%g > P[%d|%d]=%g", i, j+1, p.At(i, j+1), i, j, p.At(i, j))
+				}
+			}
+		}
+	}
+	if ps&ColumnHonesty != 0 {
+		for j := 0; j <= n; j++ {
+			for i := 0; i <= n; i++ {
+				if p.At(j, j) < p.At(i, j)-tol {
+					return fmt.Sprintf("CH: P[%d|%d]=%g < P[%d|%d]=%g", j, j, p.At(j, j), i, j, p.At(i, j))
+				}
+			}
+		}
+	}
+	if ps&ColumnMonotone != 0 {
+		for j := 0; j <= n; j++ {
+			for i := 1; i <= j; i++ {
+				if p.At(i-1, j) > p.At(i, j)+tol {
+					return fmt.Sprintf("CM: P[%d|%d]=%g > P[%d|%d]=%g", i-1, j, p.At(i-1, j), i, j, p.At(i, j))
+				}
+			}
+			for i := j; i < n; i++ {
+				if p.At(i+1, j) > p.At(i, j)+tol {
+					return fmt.Sprintf("CM: P[%d|%d]=%g > P[%d|%d]=%g", i+1, j, p.At(i+1, j), i, j, p.At(i, j))
+				}
+			}
+		}
+	}
+	if ps&Fairness != 0 {
+		y := p.At(0, 0)
+		for i := 1; i <= n; i++ {
+			if math.Abs(p.At(i, i)-y) > tol {
+				return fmt.Sprintf("F: P[%d|%d]=%g != P[0|0]=%g", i, i, p.At(i, i), y)
+			}
+		}
+	}
+	if ps&WeakHonesty != 0 {
+		floor := 1 / float64(n+1)
+		for i := 0; i <= n; i++ {
+			if p.At(i, i) < floor-tol {
+				return fmt.Sprintf("WH: P[%d|%d]=%g < 1/(n+1)=%g", i, i, p.At(i, i), floor)
+			}
+		}
+	}
+	if ps&Symmetry != 0 {
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				if math.Abs(p.At(i, j)-p.At(n-i, n-j)) > tol {
+					return fmt.Sprintf("S: P[%d|%d]=%g != P[%d|%d]=%g", i, j, p.At(i, j), n-i, n-j, p.At(n-i, n-j))
+				}
+			}
+		}
+	}
+	if ps&OutputDP != 0 {
+		alpha := m.alpha
+		for j := 0; j <= n; j++ {
+			for i := 0; i < n; i++ {
+				a, b := p.At(i, j), p.At(i+1, j)
+				if a < alpha*b-tol || b < alpha*a-tol {
+					return fmt.Sprintf("ODP: outputs %d,%d for input %d: %g vs %g breach ratio %g",
+						i, i+1, j, a, b, alpha)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// SatisfiedProperties returns the subset of the paper's seven properties
+// (plus OutputDP when the design alpha is known) that the mechanism
+// satisfies within tol.
+func (m *Mechanism) SatisfiedProperties(tol float64) PropertySet {
+	var ps PropertySet
+	for _, pn := range propertyNames {
+		if pn.p == OutputDP && m.alpha == 0 {
+			continue
+		}
+		if m.Check(pn.p, tol) {
+			ps |= pn.p
+		}
+	}
+	return ps
+}

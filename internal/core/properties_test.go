@@ -1,0 +1,276 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"privcount/internal/mat"
+)
+
+// stochastic builds a mechanism from explicit column distributions
+// (given as rows of the matrix) and fails on invalid input.
+func stochastic(t *testing.T, n int, rows [][]float64) *Mechanism {
+	t.Helper()
+	p, err := mat.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("test", n, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParsePropertiesValid(t *testing.T) {
+	cases := map[string]PropertySet{
+		"":          0,
+		"none":      0,
+		"all":       AllProperties,
+		"WH":        WeakHonesty,
+		"wh":        WeakHonesty,
+		"RH+CM":     RowHonesty | ColumnMonotone,
+		"rh,cm":     RowHonesty | ColumnMonotone,
+		"F + S":     Fairness | Symmetry,
+		"RM+CH+ODP": RowMonotone | ColumnHonesty | OutputDP,
+	}
+	for in, want := range cases {
+		got, err := ParseProperties(in)
+		if err != nil {
+			t.Errorf("ParseProperties(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseProperties(%q) = %s, want %s", in, PropertySetString(got), PropertySetString(want))
+		}
+	}
+}
+
+func TestParsePropertiesInvalid(t *testing.T) {
+	for _, in := range []string{"XX", "WH+XX", "RHCM"} {
+		if _, err := ParseProperties(in); err == nil {
+			t.Errorf("ParseProperties(%q) accepted", in)
+		}
+	}
+}
+
+func TestPropertySetString(t *testing.T) {
+	if got := PropertySetString(0); got != "none" {
+		t.Errorf("empty set renders %q", got)
+	}
+	got := PropertySetString(WeakHonesty | RowHonesty)
+	if got != "RH+WH" {
+		t.Errorf("got %q, want RH+WH", got)
+	}
+	full := PropertySetString(AllProperties)
+	for _, code := range []string{"RH", "RM", "CH", "CM", "F", "WH", "S"} {
+		if !strings.Contains(full, code) {
+			t.Errorf("AllProperties string %q missing %s", full, code)
+		}
+	}
+}
+
+func TestClosureImplications(t *testing.T) {
+	cases := []struct {
+		in, want PropertySet
+	}{
+		{RowMonotone, RowMonotone | RowHonesty},
+		{ColumnMonotone, ColumnMonotone | ColumnHonesty | WeakHonesty},
+		{ColumnHonesty, ColumnHonesty | WeakHonesty},
+		{Fairness | RowHonesty, Fairness | RowHonesty | ColumnHonesty | WeakHonesty},
+		{Fairness | ColumnHonesty, Fairness | ColumnHonesty | RowHonesty | WeakHonesty},
+		{Fairness, Fairness},
+		{Symmetry, Symmetry},
+		{WeakHonesty, WeakHonesty},
+	}
+	for _, c := range cases {
+		if got := Closure(c.in); got != c.want {
+			t.Errorf("Closure(%s) = %s, want %s",
+				PropertySetString(c.in), PropertySetString(got), PropertySetString(c.want))
+		}
+	}
+}
+
+func TestClosureIdempotent(t *testing.T) {
+	for _, ps := range EnumerateSubsets() {
+		once := Closure(ps)
+		if twice := Closure(once); twice != once {
+			t.Fatalf("Closure not idempotent on %s", PropertySetString(ps))
+		}
+		if once&ps != ps {
+			t.Fatalf("Closure(%s) dropped requested properties", PropertySetString(ps))
+		}
+	}
+}
+
+func TestEnumerateSubsets(t *testing.T) {
+	subsets := EnumerateSubsets()
+	if len(subsets) != 128 {
+		t.Fatalf("got %d subsets, want 128", len(subsets))
+	}
+	seen := map[PropertySet]bool{}
+	for _, ps := range subsets {
+		if seen[ps] {
+			t.Fatalf("duplicate subset %s", PropertySetString(ps))
+		}
+		seen[ps] = true
+		if ps&^AllProperties != 0 {
+			t.Fatalf("subset %s contains non-core properties", PropertySetString(ps))
+		}
+	}
+}
+
+func TestPropertiesList(t *testing.T) {
+	ps := Properties(RowMonotone | Fairness)
+	if len(ps) != 2 || ps[0] != RowMonotone || ps[1] != Fairness {
+		t.Fatalf("Properties = %v", ps)
+	}
+}
+
+// The violation tests build small matrices that break exactly one
+// property each.
+
+func TestViolationRowHonesty(t *testing.T) {
+	// Row 0 has a larger entry off-diagonal: P[0|1] > P[0|0].
+	m := stochastic(t, 1, [][]float64{
+		{0.4, 0.6},
+		{0.6, 0.4},
+	})
+	if m.Check(RowHonesty, 0) {
+		t.Error("RH violation not caught")
+	}
+	if !strings.Contains(m.Violation(RowHonesty, 0), "RH") {
+		t.Error("violation should name the property")
+	}
+}
+
+func TestViolationRowMonotone(t *testing.T) {
+	// In row 0, moving away from the diagonal the entries must fall;
+	// make P[0|2] > P[0|1].
+	m := stochastic(t, 2, [][]float64{
+		{0.5, 0.2, 0.3},
+		{0.3, 0.5, 0.3},
+		{0.2, 0.3, 0.4},
+	})
+	if m.Check(RowMonotone, 0) {
+		t.Error("RM violation not caught")
+	}
+	// It is still row honest (diagonal entries are maximal in each row).
+	if !m.Check(RowHonesty, 0) {
+		t.Errorf("RH should hold: %s", m.Violation(RowHonesty, 0))
+	}
+}
+
+func TestViolationColumnHonesty(t *testing.T) {
+	// Column 1: the diagonal is not the maximum of the column.
+	m := stochastic(t, 1, [][]float64{
+		{0.7, 0.6},
+		{0.3, 0.4},
+	})
+	if m.Check(ColumnHonesty, 0) {
+		t.Error("CH violation not caught")
+	}
+}
+
+func TestViolationColumnMonotone(t *testing.T) {
+	// Column 0: entries must fall moving down from the diagonal; put a
+	// bump at distance 2.
+	m := stochastic(t, 2, [][]float64{
+		{0.5, 0.3, 0.2},
+		{0.1, 0.4, 0.3},
+		{0.4, 0.3, 0.5},
+	})
+	if m.Check(ColumnMonotone, 0) {
+		t.Error("CM violation not caught")
+	}
+}
+
+func TestViolationFairness(t *testing.T) {
+	m := stochastic(t, 1, [][]float64{
+		{0.7, 0.4},
+		{0.3, 0.6},
+	})
+	if m.Check(Fairness, 0) {
+		t.Error("F violation not caught (diagonal 0.7 vs 0.6)")
+	}
+}
+
+func TestViolationWeakHonesty(t *testing.T) {
+	m := stochastic(t, 2, [][]float64{
+		{0.2, 0.3, 0.3}, // P[0|0] = 0.2 < 1/3
+		{0.4, 0.4, 0.3},
+		{0.4, 0.3, 0.4},
+	})
+	if m.Check(WeakHonesty, 0) {
+		t.Error("WH violation not caught")
+	}
+}
+
+func TestViolationSymmetry(t *testing.T) {
+	m := stochastic(t, 1, [][]float64{
+		{0.7, 0.4},
+		{0.3, 0.6},
+	})
+	// P[0][0]=0.7 vs P[1][1]=0.6 breaks centro-symmetry.
+	if m.Check(Symmetry, 0) {
+		t.Error("S violation not caught")
+	}
+}
+
+func TestOutputDPCheck(t *testing.T) {
+	gm, err := Geometric(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GM at alpha=0.9: column ratios between rows 0 and 1 are
+	// x·a^j vs y·a^{|1-j|}; at j=0 the ratio x/(y·a) is far above 1/a,
+	// so output-side DP fails.
+	if gm.Check(OutputDP, 0) {
+		t.Error("GM should fail output-side DP at alpha=0.9")
+	}
+	em, err := ExplicitFair(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !em.Check(OutputDP, 0) {
+		t.Errorf("EM should satisfy output-side DP: %s", em.Violation(OutputDP, 0))
+	}
+}
+
+func TestSatisfiedProperties(t *testing.T) {
+	em, err := ExplicitFair(6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := em.SatisfiedProperties(1e-9)
+	if got&AllProperties != AllProperties {
+		t.Errorf("EM satisfied set %s missing core properties", PropertySetString(got))
+	}
+	gm, err := Geometric(3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = gm.SatisfiedProperties(1e-9)
+	if got&Fairness != 0 {
+		t.Error("GM should not be fair")
+	}
+	if got&(Symmetry|RowMonotone) != (Symmetry | RowMonotone) {
+		t.Errorf("GM should be symmetric and row monotone, got %s", PropertySetString(got))
+	}
+}
+
+func TestCheckToleranceZeroMeansDefault(t *testing.T) {
+	// A matrix violating fairness by less than DefaultTol passes with
+	// tol = 0 (treated as DefaultTol), fails with explicit 1e-18.
+	eps := 1e-12
+	m := stochastic(t, 1, [][]float64{
+		{0.5 + eps, 0.5},
+		{0.5 - eps, 0.5},
+	})
+	if !m.Check(Fairness, 0) {
+		t.Error("sub-tolerance violation should pass with default tol")
+	}
+	if m.Check(Fairness, 1e-18) {
+		t.Error("explicit tiny tolerance should catch the violation")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"privcount/internal/rng"
+)
+
+// Sampler draws outputs from a mechanism in O(1) per draw using one alias
+// table per input column. Build one Sampler per mechanism and reuse it
+// across experiment repetitions; it is safe for concurrent use as long as
+// each goroutine supplies its own rng.Source.
+type Sampler struct {
+	m     *Mechanism
+	cols  []*rng.Alias
+	exact bool
+}
+
+// NewSampler prepares alias tables for every input column of m.
+func NewSampler(m *Mechanism) (*Sampler, error) {
+	s := &Sampler{m: m, cols: make([]*rng.Alias, m.n+1)}
+	for j := 0; j <= m.n; j++ {
+		a, err := rng.NewAlias(m.Column(j))
+		if err != nil {
+			return nil, fmt.Errorf("core: NewSampler column %d: %w", j, err)
+		}
+		s.cols[j] = a
+	}
+	return s, nil
+}
+
+// Mechanism returns the mechanism the sampler draws from.
+func (s *Sampler) Mechanism() *Mechanism { return s.m }
+
+// Sample draws one output for true count j. It panics if j is out of
+// range, mirroring slice indexing semantics.
+func (s *Sampler) Sample(src rng.Source, j int) int {
+	return s.cols[j].Sample(src)
+}
+
+// SampleMany draws one output for each true count in js, appending to dst
+// (pass nil to allocate).
+func (s *Sampler) SampleMany(src rng.Source, js []int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, 0, len(js))
+	}
+	for _, j := range js {
+		dst = append(dst, s.cols[j].Sample(src))
+	}
+	return dst
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privcount/internal/rng"
+)
+
+func TestSamplerMatchesMatrix(t *testing.T) {
+	m, err := Geometric(4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	const trials = 200000
+	for _, j := range []int{0, 2, 4} {
+		counts := make([]int, 5)
+		for k := 0; k < trials; k++ {
+			counts[s.Sample(src, j)]++
+		}
+		var chi2 float64
+		for i := 0; i <= 4; i++ {
+			expected := m.Prob(i, j) * trials
+			if expected < 1 {
+				continue
+			}
+			d := float64(counts[i]) - expected
+			chi2 += d * d / expected
+		}
+		// 4 dof: P(chi2 > 23.5) < 1e-4.
+		if chi2 > 23.5 {
+			t.Errorf("column %d: chi-square %v; counts %v", j, chi2, counts)
+		}
+	}
+}
+
+func TestSamplerMechanismAccessor(t *testing.T) {
+	m, err := Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mechanism() != m {
+		t.Error("Mechanism() should return the wrapped mechanism")
+	}
+}
+
+func TestSampleManyAppends(t *testing.T) {
+	m, err := ExplicitFair(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	js := []int{0, 1, 2, 3, 3, 0}
+	out := s.SampleMany(src, js, nil)
+	if len(out) != len(js) {
+		t.Fatalf("got %d outputs for %d inputs", len(out), len(js))
+	}
+	for _, v := range out {
+		if v < 0 || v > 3 {
+			t.Fatalf("output %d out of range", v)
+		}
+	}
+	// Appending to an existing slice keeps its prefix.
+	prefix := []int{42}
+	out2 := s.SampleMany(src, js[:2], prefix)
+	if len(out2) != 3 || out2[0] != 42 {
+		t.Fatalf("SampleMany did not append: %v", out2)
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	m, err := Uniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample with out-of-range input did not panic")
+		}
+	}()
+	s.Sample(rng.New(1), 5)
+}
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	m, err := Geometric(5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.SampleMany(rng.New(3), []int{0, 1, 2, 3, 4, 5}, nil)
+	b := s.SampleMany(rng.New(3), []int{0, 1, 2, 3, 4, 5}, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSamplerEmpiricalMeanTracksBias(t *testing.T) {
+	// For GM with input at the midpoint, bias is ~0 by symmetry; the
+	// empirical mean must land near the analytic conditional mean.
+	m, err := Geometric(6, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	const trials = 100000
+	var sum float64
+	for k := 0; k < trials; k++ {
+		sum += float64(s.Sample(src, 3))
+	}
+	want := 3 + m.Bias()[3]
+	if got := sum / trials; math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical mean %v, analytic %v", got, want)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privcount/internal/mat"
+	"privcount/internal/rng"
+)
+
+// randomDPMechanism builds a random column-stochastic mechanism that
+// satisfies alpha-DP, by smoothing random columns toward uniform until
+// the ratio constraints hold. Used by property-based tests.
+func randomDPMechanism(seed uint64, n int, alpha float64) (*Mechanism, error) {
+	src := rng.New(seed)
+	p := mat.NewDense(n+1, n+1)
+	// Start from a random row-wise log-Lipschitz construction: row i is
+	// w_i · alpha^{|i-j|·u_i} for random weights, then normalise columns.
+	// Column normalisation preserves the row-ratio bounds only if all
+	// columns share the normaliser, so instead build columns directly and
+	// then mix with uniform to restore DP.
+	for j := 0; j <= n; j++ {
+		var sum float64
+		col := make([]float64, n+1)
+		for i := range col {
+			col[i] = 0.1 + src.Float64()
+			sum += col[i]
+		}
+		for i := range col {
+			p.Set(i, j, col[i]/sum)
+		}
+	}
+	// Mix with the uniform mechanism until DP holds: M_t = t·M + (1-t)·U.
+	u := 1 / float64(n+1)
+	for t := 1.0; t >= 0; t -= 0.05 {
+		q := mat.NewDense(n+1, n+1)
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				q.Set(i, j, t*p.At(i, j)+(1-t)*u)
+			}
+		}
+		m, err := New("rand", n, alpha, q)
+		if err != nil {
+			return nil, err
+		}
+		if m.SatisfiesDP(alpha, 1e-12) {
+			return m, nil
+		}
+	}
+	return Uniform(n)
+}
+
+func TestSymmetrizeProducesSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		m, err := randomDPMechanism(seed, 5, 0.7)
+		if err != nil {
+			return false
+		}
+		s, err := Symmetrize(m)
+		if err != nil {
+			return false
+		}
+		return s.Check(Symmetry, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetrizePreservesDP(t *testing.T) {
+	f := func(seed uint64) bool {
+		m, err := randomDPMechanism(seed, 4, 0.8)
+		if err != nil {
+			return false
+		}
+		s, err := Symmetrize(m)
+		if err != nil {
+			return false
+		}
+		return s.SatisfiesDP(0.8, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetrizePreservesTraceAndL0(t *testing.T) {
+	f := func(seed uint64) bool {
+		m, err := randomDPMechanism(seed, 6, 0.75)
+		if err != nil {
+			return false
+		}
+		s, err := Symmetrize(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Trace()-s.Trace()) < 1e-12 && math.Abs(m.L0()-s.L0()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetrizePreservesProperties(t *testing.T) {
+	// Theorem 1: every satisfied property survives symmetrisation.
+	for seed := uint64(0); seed < 20; seed++ {
+		m, err := randomDPMechanism(seed, 5, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Symmetrize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.SatisfiedProperties(1e-9) & AllProperties
+		after := s.SatisfiedProperties(1e-9) & AllProperties
+		if lost := before &^ after; lost != 0 {
+			t.Fatalf("seed %d: symmetrisation lost %s", seed, PropertySetString(lost))
+		}
+	}
+}
+
+func TestSymmetrizeFixedPoint(t *testing.T) {
+	// A symmetric mechanism is unchanged.
+	em, err := ExplicitFair(5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Symmetrize(em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Matrix().MaxAbsDiff(em.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-15 {
+		t.Fatalf("symmetrising EM changed it by %v", d)
+	}
+}
+
+func TestSymmetrizeColumnStochastic(t *testing.T) {
+	m, err := randomDPMechanism(99, 7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Symmetrize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matrix().IsColumnStochastic(1e-12) {
+		t.Fatal("symmetrised mechanism is not column stochastic")
+	}
+}
+
+func TestGMPassesGSTest(t *testing.T) {
+	// GM is trivially derivable from itself: all its DP constraints are
+	// tight, making the GS inequality an equality.
+	for _, alpha := range []float64{0.3, 0.62, 0.9} {
+		for _, n := range []int{2, 4, 8} {
+			gm, err := Geometric(n, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !DerivableFromGM(gm, alpha, 1e-12) {
+				t.Errorf("GM(n=%d, a=%v) fails its own test: %s", n, alpha, GSViolation(gm, alpha, 1e-12))
+			}
+		}
+	}
+}
+
+func TestEMFailsGSTestForNGreaterThan1(t *testing.T) {
+	// The paper's §IV-D argument: Pr[2|0] = Pr[2|1] = ya while
+	// Pr[2|2] = y breaks the condition for every n > 1 and alpha > 0.
+	for _, alpha := range []float64{0.3, 0.62, 0.9} {
+		for _, n := range []int{2, 3, 5, 9} {
+			em, err := ExplicitFair(n, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if DerivableFromGM(em, alpha, 1e-12) {
+				t.Errorf("EM(n=%d, a=%v) unexpectedly GM-derivable", n, alpha)
+			}
+		}
+	}
+}
+
+func TestEMPassesGSTestAtN1(t *testing.T) {
+	// At n = 1, EM coincides with randomized response = GM.
+	em, err := ExplicitFair(1, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DerivableFromGM(em, 0.7, 1e-12) {
+		t.Error("EM(n=1) should be GM-derivable (it is GM)")
+	}
+}
+
+func TestGSViolationMessage(t *testing.T) {
+	em, err := ExplicitFair(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := GSViolation(em, 0.8, 1e-12); msg == "" {
+		t.Error("expected a violation message for EM")
+	}
+}

@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"privcount/internal/rng"
+)
+
+func TestGenerateAdultSizeAndFields(t *testing.T) {
+	records := GenerateAdult(500, rng.New(1))
+	if len(records) != 500 {
+		t.Fatalf("generated %d records", len(records))
+	}
+	for i, r := range records {
+		if r.Age < 17 || r.Age > 90 {
+			t.Fatalf("record %d: age %d", i, r.Age)
+		}
+		if r.Sex != "Male" && r.Sex != "Female" {
+			t.Fatalf("record %d: sex %q", i, r.Sex)
+		}
+		if r.WorkClass == "" || r.Education == "" || r.Occupation == "" ||
+			r.Race == "" || r.NativeCountry == "" || r.MaritalStatus == "" {
+			t.Fatalf("record %d has empty categorical fields: %+v", i, r)
+		}
+		if r.HoursPerWeek < 1 {
+			t.Fatalf("record %d: hours %d", i, r.HoursPerWeek)
+		}
+	}
+}
+
+func TestGenerateAdultMarginals(t *testing.T) {
+	// The synthetic generator must match the published UCI marginals;
+	// this is the substitution contract recorded in DESIGN.md.
+	records := GenerateAdultDefault(rng.New(7))
+	var young, male, high int
+	for _, r := range records {
+		if r.Bit(TargetYoung) {
+			young++
+		}
+		if r.Bit(TargetGender) {
+			male++
+		}
+		if r.Bit(TargetIncome) {
+			high++
+		}
+	}
+	total := float64(len(records))
+	checks := []struct {
+		name      string
+		rate, ref float64
+		tol       float64
+	}{
+		{"young", float64(young) / total, 0.31, 0.02},
+		{"male", float64(male) / total, 0.669, 0.02},
+		{"income", float64(high) / total, 0.241, 0.02},
+	}
+	for _, c := range checks {
+		if math.Abs(c.rate-c.ref) > c.tol {
+			t.Errorf("%s rate %.4f, want %.3f ± %.3f", c.name, c.rate, c.ref, c.tol)
+		}
+	}
+}
+
+func TestGenerateAdultIncomeCorrelations(t *testing.T) {
+	// Sex and age effects on income must be present (they shape the
+	// group-count distributions in Figure 10).
+	records := GenerateAdult(AdultRows, rng.New(11))
+	var maleHigh, maleTotal, femaleHigh, femaleTotal float64
+	var youngHigh, youngTotal float64
+	for _, r := range records {
+		if r.Sex == "Male" {
+			maleTotal++
+			if r.HighIncome {
+				maleHigh++
+			}
+		} else {
+			femaleTotal++
+			if r.HighIncome {
+				femaleHigh++
+			}
+		}
+		if r.Age < 30 {
+			youngTotal++
+			if r.HighIncome {
+				youngHigh++
+			}
+		}
+	}
+	maleRate := maleHigh / maleTotal
+	femaleRate := femaleHigh / femaleTotal
+	youngRate := youngHigh / youngTotal
+	if maleRate < 2*femaleRate {
+		t.Errorf("male income rate %.3f should be >= 2x female %.3f", maleRate, femaleRate)
+	}
+	if youngRate > 0.15 {
+		t.Errorf("young income rate %.3f should be low", youngRate)
+	}
+}
+
+func TestAdultBitTargets(t *testing.T) {
+	r := AdultRecord{Age: 25, Sex: "Male", HighIncome: true}
+	if !r.Bit(TargetYoung) || !r.Bit(TargetGender) || !r.Bit(TargetIncome) {
+		t.Error("bits should all be set")
+	}
+	r = AdultRecord{Age: 45, Sex: "Female", HighIncome: false}
+	if r.Bit(TargetYoung) || r.Bit(TargetGender) || r.Bit(TargetIncome) {
+		t.Error("bits should all be clear")
+	}
+	if r.Bit(Target(99)) {
+		t.Error("unknown target should be false")
+	}
+}
+
+func TestTargetStrings(t *testing.T) {
+	if TargetIncome.String() != "income" || TargetGender.String() != "gender" || TargetYoung.String() != "young" {
+		t.Error("target names wrong")
+	}
+	if !strings.Contains(Target(9).String(), "9") {
+		t.Error("unknown target should render its number")
+	}
+	if len(AllTargets) != 3 {
+		t.Error("AllTargets should have 3 entries")
+	}
+}
+
+func TestAdultCSVRoundTrip(t *testing.T) {
+	records := GenerateAdult(200, rng.New(3))
+	var buf bytes.Buffer
+	if err := WriteAdultCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAdultCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(records))
+	}
+	for i := range records {
+		if records[i] != back[i] {
+			t.Fatalf("record %d changed:\n  out: %+v\n  in:  %+v", i, records[i], back[i])
+		}
+	}
+}
+
+func TestLoadAdultCSVRealFormat(t *testing.T) {
+	// A verbatim line from the UCI file (with its space-after-comma style).
+	src := "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n" +
+		"\n" + // blank lines are skipped
+		"50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, >50K.\n"
+	records, err := LoadAdultCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("parsed %d records", len(records))
+	}
+	if records[0].Age != 39 || records[0].HighIncome {
+		t.Errorf("record 0: %+v", records[0])
+	}
+	// The test-split format suffixes the class with '.'.
+	if !records[1].HighIncome {
+		t.Errorf("record 1 should be >50K: %+v", records[1])
+	}
+}
+
+func TestLoadAdultCSVErrors(t *testing.T) {
+	if _, err := LoadAdultCSV(strings.NewReader("too, few, fields\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := LoadAdultCSV(strings.NewReader("x, a, 1, a, 1, a, a, a, a, Male, 0, 0, 1, a, <=50K\n")); err == nil {
+		t.Error("non-numeric age accepted")
+	}
+	if _, err := LoadAdultCSV(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestAdultGroups(t *testing.T) {
+	records := GenerateAdult(1000, rng.New(5))
+	g, err := AdultGroups(records, TargetGender, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Counts) != 142 {
+		t.Fatalf("groups %d, want 142", len(g.Counts))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The mean count should track the male rate times the group size.
+	if mean := g.Mean(); math.Abs(mean-7*0.669) > 0.6 {
+		t.Errorf("mean count %v, want ~%v", mean, 7*0.669)
+	}
+}
+
+func TestBitsProjection(t *testing.T) {
+	records := []AdultRecord{
+		{Age: 20}, {Age: 40}, {Age: 29},
+	}
+	bits := Bits(records, TargetYoung)
+	if !bits[0] || bits[1] || !bits[2] {
+		t.Fatalf("bits %v", bits)
+	}
+}

@@ -1,0 +1,146 @@
+// Package dataset provides the data substrates for the paper's
+// experiments (§V): synthetic Binomial populations split into small
+// groups, and an Adult-census workload — either loaded from a real UCI
+// `adult.data` file or generated synthetically with the published
+// marginal statistics. Experiments only consume per-group true counts of
+// a binary attribute, so the generator is calibrated to the statistics
+// that drive mechanism behaviour: the Bernoulli rate of each target and
+// its correlation with group composition.
+package dataset
+
+import (
+	"fmt"
+
+	"privcount/internal/rng"
+)
+
+// Groups holds the true counts of a sensitive bit for a collection of
+// groups, each of the same size N. Counts are in [0, N].
+type Groups struct {
+	// N is the group size (the mechanism domain is {0..N}).
+	N int
+	// Counts[g] is the number of set bits in group g.
+	Counts []int
+}
+
+// Validate checks every count lies in [0, N].
+func (g Groups) Validate() error {
+	if g.N < 1 {
+		return fmt.Errorf("dataset: group size %d, want >= 1", g.N)
+	}
+	for i, c := range g.Counts {
+		if c < 0 || c > g.N {
+			return fmt.Errorf("dataset: group %d has count %d outside [0,%d]", i, c, g.N)
+		}
+	}
+	return nil
+}
+
+// Histogram returns how many groups have each count value 0..N.
+func (g Groups) Histogram() []int {
+	h := make([]int, g.N+1)
+	for _, c := range g.Counts {
+		h[c]++
+	}
+	return h
+}
+
+// EmpiricalWeights returns the observed distribution of counts as a prior
+// vector (length N+1, summing to 1), usable as objective weights.
+func (g Groups) EmpiricalWeights() []float64 {
+	h := g.Histogram()
+	w := make([]float64, g.N+1)
+	total := float64(len(g.Counts))
+	if total == 0 {
+		return w
+	}
+	for i, c := range h {
+		w[i] = float64(c) / total
+	}
+	return w
+}
+
+// Mean returns the average group count.
+func (g Groups) Mean() float64 {
+	if len(g.Counts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range g.Counts {
+		s += float64(c)
+	}
+	return s / float64(len(g.Counts))
+}
+
+// BinomialGroups generates the paper's synthetic workload (§V-C): a
+// population of `population` individuals, each holding a one-bit with
+// probability p, divided into groups of size n. Individuals that do not
+// fill a final group are discarded, matching the paper's fixed group
+// sizes.
+func BinomialGroups(population, n int, p float64, src rng.Source) (Groups, error) {
+	if n < 1 {
+		return Groups{}, fmt.Errorf("dataset: BinomialGroups with n=%d", n)
+	}
+	if population < n {
+		return Groups{}, fmt.Errorf("dataset: population %d smaller than group size %d", population, n)
+	}
+	if p < 0 || p > 1 {
+		return Groups{}, fmt.Errorf("dataset: BinomialGroups with p=%v", p)
+	}
+	numGroups := population / n
+	g := Groups{N: n, Counts: make([]int, numGroups)}
+	for i := range g.Counts {
+		g.Counts[i] = rng.Binomial(src, n, p)
+	}
+	return g, nil
+}
+
+// GroupBits partitions a population of bits into consecutive groups of
+// size n and counts the set bits per group, discarding any remainder —
+// the paper's "gathered the rows arbitrarily into groups" step.
+func GroupBits(bits []bool, n int) (Groups, error) {
+	if n < 1 {
+		return Groups{}, fmt.Errorf("dataset: GroupBits with n=%d", n)
+	}
+	numGroups := len(bits) / n
+	if numGroups == 0 {
+		return Groups{}, fmt.Errorf("dataset: %d bits cannot fill a group of %d", len(bits), n)
+	}
+	g := Groups{N: n, Counts: make([]int, numGroups)}
+	for gi := 0; gi < numGroups; gi++ {
+		c := 0
+		for k := 0; k < n; k++ {
+			if bits[gi*n+k] {
+				c++
+			}
+		}
+		g.Counts[gi] = c
+	}
+	return g, nil
+}
+
+// SkewedGroups draws group counts from a two-point mixture: with
+// probability pExtreme the group is fully biased (count 0 or n with equal
+// chance), otherwise Binomial(n, 1/2). It stresses the extreme-input
+// regime where GM is strongest, used by ablation benches.
+func SkewedGroups(numGroups, n int, pExtreme float64, src rng.Source) (Groups, error) {
+	if n < 1 || numGroups < 1 {
+		return Groups{}, fmt.Errorf("dataset: SkewedGroups with numGroups=%d n=%d", numGroups, n)
+	}
+	if pExtreme < 0 || pExtreme > 1 {
+		return Groups{}, fmt.Errorf("dataset: SkewedGroups with pExtreme=%v", pExtreme)
+	}
+	g := Groups{N: n, Counts: make([]int, numGroups)}
+	for i := range g.Counts {
+		if src.Float64() < pExtreme {
+			if src.Float64() < 0.5 {
+				g.Counts[i] = 0
+			} else {
+				g.Counts[i] = n
+			}
+		} else {
+			g.Counts[i] = rng.Binomial(src, n, 0.5)
+		}
+	}
+	return g, nil
+}

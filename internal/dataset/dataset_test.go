@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"privcount/internal/rng"
+)
+
+func TestGroupsValidate(t *testing.T) {
+	good := Groups{N: 3, Counts: []int{0, 1, 3}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid groups rejected: %v", err)
+	}
+	if err := (Groups{N: 0}).Validate(); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := (Groups{N: 3, Counts: []int{4}}).Validate(); err == nil {
+		t.Error("count above n accepted")
+	}
+	if err := (Groups{N: 3, Counts: []int{-1}}).Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestGroupsHistogram(t *testing.T) {
+	g := Groups{N: 2, Counts: []int{0, 1, 1, 2, 2, 2}}
+	h := g.Histogram()
+	if h[0] != 1 || h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestGroupsEmpiricalWeights(t *testing.T) {
+	g := Groups{N: 2, Counts: []int{0, 1, 1, 2}}
+	w := g.EmpiricalWeights()
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weights %v", w)
+		}
+	}
+	empty := Groups{N: 2}
+	for _, v := range empty.EmpiricalWeights() {
+		if v != 0 {
+			t.Fatal("empty groups should have zero weights")
+		}
+	}
+}
+
+func TestGroupsMean(t *testing.T) {
+	g := Groups{N: 4, Counts: []int{1, 3}}
+	if g.Mean() != 2 {
+		t.Fatalf("mean %v", g.Mean())
+	}
+	if (Groups{N: 4}).Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestBinomialGroups(t *testing.T) {
+	src := rng.New(1)
+	g, err := BinomialGroups(10000, 8, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Counts) != 1250 {
+		t.Fatalf("got %d groups, want 1250", len(g.Counts))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean count should track n·p = 2.4.
+	if math.Abs(g.Mean()-2.4) > 0.15 {
+		t.Errorf("mean %v, want ~2.4", g.Mean())
+	}
+}
+
+func TestBinomialGroupsErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, err := BinomialGroups(100, 0, 0.5, src); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BinomialGroups(3, 8, 0.5, src); err == nil {
+		t.Error("population smaller than group accepted")
+	}
+	if _, err := BinomialGroups(100, 8, 1.5, src); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestGroupBits(t *testing.T) {
+	bits := []bool{true, false, true, true, true, false, false, false}
+	g, err := GroupBits(bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: [1,0,1]=2, [1,1,0]=2; remainder (2 bits) discarded.
+	if len(g.Counts) != 2 || g.Counts[0] != 2 || g.Counts[1] != 2 {
+		t.Fatalf("counts %v", g.Counts)
+	}
+}
+
+func TestGroupBitsErrors(t *testing.T) {
+	if _, err := GroupBits([]bool{true}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GroupBits([]bool{true}, 5); err == nil {
+		t.Error("too few bits accepted")
+	}
+}
+
+func TestSkewedGroups(t *testing.T) {
+	src := rng.New(3)
+	g, err := SkewedGroups(5000, 6, 0.5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := g.Histogram()
+	// About half the groups are extreme (0 or 6).
+	extreme := float64(h[0]+h[6]) / 5000
+	if math.Abs(extreme-0.5) > 0.05 {
+		t.Errorf("extreme fraction %v, want ~0.5", extreme)
+	}
+	if _, err := SkewedGroups(0, 6, 0.5, src); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := SkewedGroups(10, 6, 1.5, src); err == nil {
+		t.Error("pExtreme > 1 accepted")
+	}
+}

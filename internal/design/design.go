@@ -1,0 +1,408 @@
+// Package design finds optimal constrained mechanisms by linear
+// programming, following §III and §IV of the paper: the BASICDP
+// constraints (entries are probabilities, columns sum to one, α-DP ratio
+// bounds along rows) plus any subset of the structural properties of
+// §IV-A encoded as linear constraints, minimising an O_{p,Σ} objective.
+//
+// A design with the Symmetry property can optionally be solved on a
+// reduced variable set that identifies ρ[i][j] with ρ[n−i][n−j]
+// (justified by Theorem 1), roughly halving the LP and making the paper's
+// parameter sweeps tractable.
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"privcount/internal/core"
+	"privcount/internal/lp"
+	"privcount/internal/mat"
+)
+
+// Objective selects the loss to minimise: Σ_j w_j Σ_i |i−j|^p ρ[i][j],
+// with the L0 convention at p = 0 (wrong answers cost 1). A nil Weights
+// slice means the uniform prior.
+type Objective struct {
+	P       float64
+	Weights []float64
+}
+
+// L0Objective is the paper's default objective.
+var L0Objective = Objective{P: 0}
+
+// Problem specifies one constrained mechanism-design instance.
+type Problem struct {
+	N     int
+	Alpha float64
+	// Props is the set of structural properties to enforce on top of
+	// BASICDP. Zero means the unconstrained §III problem.
+	Props core.PropertySet
+	// Objective defaults to L0Objective when zero.
+	Objective Objective
+	// ReduceSymmetry solves on the folded variable set when Symmetry is
+	// requested (or implied); it requires symmetric weights. It is an
+	// optimisation only — results agree with the full LP within tolerance.
+	ReduceSymmetry bool
+}
+
+// Result carries the designed mechanism along with LP diagnostics.
+type Result struct {
+	Mechanism *Mechanism
+	// Cost is the objective value of the LP (in the problem's loss, not
+	// rescaled; use Mechanism.L0 etc. for the paper's rescaled scores).
+	Cost       float64
+	Iterations int
+	Variables  int
+	Rows       int
+}
+
+// Mechanism aliases core.Mechanism for readability of this package's API.
+type Mechanism = core.Mechanism
+
+func (p Problem) objective() Objective {
+	o := p.Objective
+	if o.Weights == nil {
+		o.Weights = core.UniformWeights(p.N)
+	}
+	return o
+}
+
+// penalty returns the objective coefficient for cell (i, j).
+func penalty(p float64, i, j int) float64 {
+	if p == 0 {
+		if i == j {
+			return 0
+		}
+		return 1
+	}
+	return math.Pow(math.Abs(float64(i-j)), p)
+}
+
+// symmetricWeights reports whether w[j] == w[n−j] for all j.
+func symmetricWeights(w []float64) bool {
+	for j, k := 0, len(w)-1; j < k; j, k = j+1, k-1 {
+		if math.Abs(w[j]-w[k]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve builds and optimises the LP for the problem, returning the
+// optimal mechanism. Properties implied by requested ones are pruned from
+// the constraint set (e.g. RH rows are dropped when RM is requested), so
+// cost-equivalent requests produce identical LPs.
+func Solve(p Problem) (*Result, error) {
+	if p.N < 1 {
+		return nil, fmt.Errorf("design: n=%d, want >= 1", p.N)
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return nil, fmt.Errorf("design: alpha=%v, want 0 < alpha < 1", p.Alpha)
+	}
+	obj := p.objective()
+	if len(obj.Weights) != p.N+1 {
+		return nil, fmt.Errorf("design: %d weights for n=%d", len(obj.Weights), p.N)
+	}
+
+	reduce := p.ReduceSymmetry && p.Props&core.Symmetry != 0
+	if reduce && !symmetricWeights(obj.Weights) {
+		return nil, fmt.Errorf("design: ReduceSymmetry requires symmetric weights")
+	}
+
+	b := newBuilder(p.N, p.Alpha, reduce)
+	if err := b.addBasicDP(); err != nil {
+		return nil, err
+	}
+	if err := b.addProperties(p.Props); err != nil {
+		return nil, err
+	}
+	for _, cell := range b.cells() {
+		i, j := cell.i, cell.j
+		c := obj.Weights[j] * penalty(obj.P, i, j)
+		if c != 0 {
+			v := b.varOf(i, j)
+			if err := b.model.SetObjective(v, b.model.ObjectiveCoeff(v)+c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if reduce {
+		b.model.DedupeConstraints()
+	}
+	sol, err := b.model.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("design: n=%d alpha=%g props=%s: %w",
+			p.N, p.Alpha, core.PropertySetString(p.Props), err)
+	}
+
+	m, err := b.extract(sol, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Mechanism:  m,
+		Cost:       sol.Objective,
+		Iterations: sol.Iterations,
+		Variables:  b.model.NumVariables(),
+		Rows:       b.model.NumConstraints(),
+	}, nil
+}
+
+// cell is one matrix position.
+type cell struct{ i, j int }
+
+// builder assembles the LP, optionally folding symmetric cells onto a
+// single variable.
+type builder struct {
+	n      int
+	alpha  float64
+	reduce bool
+	model  *lp.Model
+	vars   map[cell]int
+}
+
+func newBuilder(n int, alpha float64, reduce bool) *builder {
+	b := &builder{
+		n:      n,
+		alpha:  alpha,
+		reduce: reduce,
+		model:  lp.NewModel(fmt.Sprintf("design-n%d", n), lp.Minimize),
+		vars:   make(map[cell]int, (n+1)*(n+1)),
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			r := b.rep(i, j)
+			if _, ok := b.vars[r]; !ok {
+				b.vars[r] = b.model.AddVariable(fmt.Sprintf("r_%d_%d", r.i, r.j))
+			}
+		}
+	}
+	return b
+}
+
+// rep returns the canonical representative of cell (i, j) under the
+// centro-symmetry identification when folding is enabled.
+func (b *builder) rep(i, j int) cell {
+	if !b.reduce {
+		return cell{i, j}
+	}
+	mirror := cell{b.n - i, b.n - j}
+	me := cell{i, j}
+	if mirror.i < me.i || (mirror.i == me.i && mirror.j < me.j) {
+		return mirror
+	}
+	return me
+}
+
+func (b *builder) varOf(i, j int) int { return b.vars[b.rep(i, j)] }
+
+// cells lists every matrix position (not just representatives) so
+// objective coefficients accumulate over folded cells.
+func (b *builder) cells() []cell {
+	out := make([]cell, 0, (b.n+1)*(b.n+1))
+	for i := 0; i <= b.n; i++ {
+		for j := 0; j <= b.n; j++ {
+			out = append(out, cell{i, j})
+		}
+	}
+	return out
+}
+
+// addBasicDP adds the §III constraints: column sums (Eq 5) and the α
+// ratio bounds (Eq 6). Non-negativity is native to the solver and upper
+// bounds are implied by the column sums.
+func (b *builder) addBasicDP() error {
+	n, alpha := b.n, b.alpha
+	for j := 0; j <= n; j++ {
+		terms := make([]lp.Term, 0, n+1)
+		for i := 0; i <= n; i++ {
+			terms = append(terms, lp.Term{Var: b.varOf(i, j), Coeff: 1})
+		}
+		if _, err := b.model.AddConstraint(fmt.Sprintf("sum_%d", j), terms, lp.EQ, 1); err != nil {
+			return err
+		}
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j < n; j++ {
+			// ρ[i][j] ≥ α·ρ[i][j+1]  ⇒  α·ρ[i][j+1] − ρ[i][j] ≤ 0
+			if _, err := b.model.AddConstraint(
+				fmt.Sprintf("dpA_%d_%d", i, j),
+				[]lp.Term{{Var: b.varOf(i, j+1), Coeff: alpha}, {Var: b.varOf(i, j), Coeff: -1}},
+				lp.LE, 0); err != nil {
+				return err
+			}
+			// ρ[i][j+1] ≥ α·ρ[i][j]
+			if _, err := b.model.AddConstraint(
+				fmt.Sprintf("dpB_%d_%d", i, j),
+				[]lp.Term{{Var: b.varOf(i, j), Coeff: alpha}, {Var: b.varOf(i, j+1), Coeff: -1}},
+				lp.LE, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addProperties encodes the requested structural properties, pruning ones
+// implied by stronger requested ones.
+func (b *builder) addProperties(ps core.PropertySet) error {
+	n := b.n
+	effective := ps
+	if effective&core.RowMonotone != 0 {
+		effective &^= core.RowHonesty
+	}
+	if effective&core.ColumnMonotone != 0 {
+		effective &^= core.ColumnHonesty
+	}
+	if ps&(core.ColumnMonotone|core.ColumnHonesty) != 0 {
+		effective &^= core.WeakHonesty
+	}
+
+	addLE := func(name string, hi, lo cellRef) error {
+		_, err := b.model.AddConstraint(name,
+			[]lp.Term{{Var: b.varOf(hi.i, hi.j), Coeff: 1}, {Var: b.varOf(lo.i, lo.j), Coeff: -1}},
+			lp.LE, 0)
+		return err
+	}
+
+	if effective&core.RowHonesty != 0 {
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				if i == j {
+					continue
+				}
+				if err := addLE(fmt.Sprintf("rh_%d_%d", i, j), cellRef{i, j}, cellRef{i, i}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if effective&core.RowMonotone != 0 {
+		for i := 0; i <= n; i++ {
+			for j := 1; j <= i; j++ {
+				if err := addLE(fmt.Sprintf("rmL_%d_%d", i, j), cellRef{i, j - 1}, cellRef{i, j}); err != nil {
+					return err
+				}
+			}
+			for j := i; j < n; j++ {
+				if err := addLE(fmt.Sprintf("rmR_%d_%d", i, j), cellRef{i, j + 1}, cellRef{i, j}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if effective&core.ColumnHonesty != 0 {
+		for j := 0; j <= n; j++ {
+			for i := 0; i <= n; i++ {
+				if i == j {
+					continue
+				}
+				if err := addLE(fmt.Sprintf("ch_%d_%d", i, j), cellRef{i, j}, cellRef{j, j}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if effective&core.ColumnMonotone != 0 {
+		for j := 0; j <= n; j++ {
+			for i := 1; i <= j; i++ {
+				if err := addLE(fmt.Sprintf("cmU_%d_%d", i, j), cellRef{i - 1, j}, cellRef{i, j}); err != nil {
+					return err
+				}
+			}
+			for i := j; i < n; i++ {
+				if err := addLE(fmt.Sprintf("cmD_%d_%d", i, j), cellRef{i + 1, j}, cellRef{i, j}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if effective&core.Fairness != 0 {
+		for i := 1; i <= n; i++ {
+			if _, err := b.model.AddConstraint(fmt.Sprintf("fair_%d", i),
+				[]lp.Term{{Var: b.varOf(i, i), Coeff: 1}, {Var: b.varOf(0, 0), Coeff: -1}},
+				lp.EQ, 0); err != nil {
+				return err
+			}
+		}
+	}
+	if effective&core.WeakHonesty != 0 {
+		floor := 1 / float64(n+1)
+		for i := 0; i <= n; i++ {
+			if _, err := b.model.AddConstraint(fmt.Sprintf("wh_%d", i),
+				[]lp.Term{{Var: b.varOf(i, i), Coeff: 1}}, lp.GE, floor); err != nil {
+				return err
+			}
+		}
+	}
+	if effective&core.Symmetry != 0 && !b.reduce {
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				mi, mj := n-i, n-j
+				if mi < i || (mi == i && mj <= j) {
+					continue
+				}
+				if _, err := b.model.AddConstraint(fmt.Sprintf("sym_%d_%d", i, j),
+					[]lp.Term{{Var: b.varOf(i, j), Coeff: 1}, {Var: b.varOf(mi, mj), Coeff: -1}},
+					lp.EQ, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if effective&core.OutputDP != 0 {
+		alpha := b.alpha
+		for j := 0; j <= n; j++ {
+			for i := 0; i < n; i++ {
+				if _, err := b.model.AddConstraint(fmt.Sprintf("odpA_%d_%d", i, j),
+					[]lp.Term{{Var: b.varOf(i+1, j), Coeff: alpha}, {Var: b.varOf(i, j), Coeff: -1}},
+					lp.LE, 0); err != nil {
+					return err
+				}
+				if _, err := b.model.AddConstraint(fmt.Sprintf("odpB_%d_%d", i, j),
+					[]lp.Term{{Var: b.varOf(i, j), Coeff: alpha}, {Var: b.varOf(i+1, j), Coeff: -1}},
+					lp.LE, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type cellRef struct{ i, j int }
+
+// extract converts the LP solution into a validated Mechanism, repairing
+// the tiny numeric drift a simplex basis can leave (clamping negatives of
+// magnitude ≤ 1e-9 and renormalising columns).
+func (b *builder) extract(sol *lp.Solution, p Problem) (*Mechanism, error) {
+	n := b.n
+	px := mat.NewDense(n+1, n+1)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			v := sol.Value(b.varOf(i, j))
+			if v < 0 {
+				if v < -1e-7 {
+					return nil, fmt.Errorf("design: solution has negative probability %g at (%d,%d)", v, i, j)
+				}
+				v = 0
+			}
+			px.Set(i, j, v)
+		}
+	}
+	for j := 0; j <= n; j++ {
+		var s float64
+		for i := 0; i <= n; i++ {
+			s += px.At(i, j)
+		}
+		if math.Abs(s-1) > 1e-6 {
+			return nil, fmt.Errorf("design: column %d sums to %g", j, s)
+		}
+		for i := 0; i <= n; i++ {
+			px.Set(i, j, px.At(i, j)/s)
+		}
+	}
+	name := fmt.Sprintf("LP[%s]", core.PropertySetString(p.Props))
+	return core.New(name, n, p.Alpha, px)
+}

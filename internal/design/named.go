@@ -1,0 +1,214 @@
+package design
+
+import (
+	"fmt"
+	"sync"
+
+	"privcount/internal/core"
+)
+
+// This file provides the paper's named LP mechanisms and the Figure 5
+// decision procedure, with a process-wide cache so experiment sweeps do
+// not re-solve identical LPs.
+
+// WMProps is the property set the paper settles on for WM after the
+// Figure 8 study: weak honesty with both monotonicity properties
+// ("From now on, we use WM to refer to the mechanism with WH, RM and CM
+// properties"), plus symmetry, which Theorem 1 grants at no cost and
+// which halves the LP.
+const WMProps = core.WeakHonesty | core.RowMonotone | core.ColumnMonotone | core.Symmetry
+
+type cacheKey struct {
+	n     int
+	alpha float64
+	props core.PropertySet
+	p     float64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*Result{}
+)
+
+// solveCached solves with symmetry reduction enabled and memoises on
+// (n, alpha, props, objective-p) for uniform-weight problems.
+func solveCached(n int, alpha float64, props core.PropertySet, obj Objective) (*Result, error) {
+	if obj.Weights != nil {
+		return Solve(Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
+	}
+	key := cacheKey{n: n, alpha: alpha, props: props, p: obj.P}
+	cacheMu.Lock()
+	if r, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	r, err := Solve(Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	cache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// ClearCache drops all memoised LP results (used by benchmarks that want
+// to measure cold solves).
+func ClearCache() {
+	cacheMu.Lock()
+	cache = map[cacheKey]*Result{}
+	cacheMu.Unlock()
+}
+
+// WM returns the paper's weakly-honest mechanism for L0: the LP optimum
+// under WH + RM + CM (+S at no cost). Its L0 cost is sandwiched between
+// GM's 2α/(1+α) and EM's ≈ 2α/(1+α)·(n+1)/n (Figure 6).
+func WM(n int, alpha float64) (*core.Mechanism, error) {
+	r, err := solveCached(n, alpha, WMProps, L0Objective)
+	if err != nil {
+		return nil, err
+	}
+	return r.Mechanism.Rename("WM"), nil
+}
+
+// WHOnly returns the LP optimum under weak honesty alone (+S), the other
+// LP-defined behaviour in the Figure 5 flowchart. When n ≥ 2α/(1−α) it
+// coincides with GM (Lemma 2).
+func WHOnly(n int, alpha float64) (*core.Mechanism, error) {
+	r, err := solveCached(n, alpha, core.WeakHonesty|core.Symmetry, L0Objective)
+	if err != nil {
+		return nil, err
+	}
+	return r.Mechanism.Rename("WH-LP"), nil
+}
+
+// Unconstrained returns the §III optimum under BASICDP alone for the
+// given objective exponent p — the mechanisms whose pathologies Figure 1
+// displays. For p = 0 this is GM (Theorem 3).
+func Unconstrained(n int, alpha float64, p float64) (*core.Mechanism, error) {
+	r, err := Solve(Problem{N: n, Alpha: alpha, Objective: Objective{P: p}})
+	if err != nil {
+		return nil, err
+	}
+	return r.Mechanism.Rename(fmt.Sprintf("LP-L%g", p)), nil
+}
+
+// UnconstrainedL0D returns the BASICDP optimum minimising the probability
+// of an answer more than d steps from the truth (the "L0 with d" loss of
+// Figure 1).
+func UnconstrainedL0D(n int, alpha float64, d int) (*core.Mechanism, error) {
+	weights := core.UniformWeights(n)
+	m, err := buildL0D(n, alpha, d, weights, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return m.Rename(fmt.Sprintf("LP-L0d%d", d)), nil
+}
+
+// ConstrainedL0D is UnconstrainedL0D plus structural properties.
+func ConstrainedL0D(n int, alpha float64, d int, props core.PropertySet) (*core.Mechanism, error) {
+	m, err := buildL0D(n, alpha, d, core.UniformWeights(n), props, props&core.Symmetry != 0)
+	if err != nil {
+		return nil, err
+	}
+	return m.Rename(fmt.Sprintf("LP-L0d%d[%s]", d, core.PropertySetString(props))), nil
+}
+
+// buildL0D solves with the step-loss objective: cost 1 when |i−j| > d.
+func buildL0D(n int, alpha float64, d int, weights []float64, props core.PropertySet, reduce bool) (*core.Mechanism, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("design: L0D with d=%d", d)
+	}
+	b := newBuilder(n, alpha, reduce)
+	if err := b.addBasicDP(); err != nil {
+		return nil, err
+	}
+	if err := b.addProperties(props); err != nil {
+		return nil, err
+	}
+	for _, c := range b.cells() {
+		if abs(c.i-c.j) > d {
+			v := b.varOf(c.i, c.j)
+			if err := b.model.SetObjective(v, b.model.ObjectiveCoeff(v)+weights[c.j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if reduce {
+		b.model.DedupeConstraints()
+	}
+	sol, err := b.model.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("design: L0D n=%d alpha=%g d=%d: %w", n, alpha, d, err)
+	}
+	return b.extract(sol, Problem{N: n, Alpha: alpha, Props: props})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Choice reports which mechanism the Figure 5 flowchart selects.
+type Choice struct {
+	Mechanism *core.Mechanism
+	// Rule is the flowchart path taken, e.g. "fairness => EM".
+	Rule string
+}
+
+// Choose implements the Figure 5 decision procedure for the L0 objective:
+// fairness demands EM; subsets of {S, RH, RM} are served by GM (Theorem
+// 3); requests involving column properties need the WH+CM LP unless GM
+// already satisfies them (α ≤ ½, Lemma 3); weak-honesty-only requests are
+// served by GM once n ≥ 2α/(1−α) (Lemma 2) and by the WH LP below that.
+func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
+	props &^= core.Symmetry // free by Theorem 1; every branch provides it
+	closed := core.Closure(props)
+
+	switch {
+	case closed&core.Fairness != 0:
+		m, err := core.ExplicitFair(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return &Choice{Mechanism: m, Rule: "fairness => EM"}, nil
+
+	case closed&(core.ColumnHonesty|core.ColumnMonotone) != 0:
+		if alpha <= 0.5 {
+			m, err := core.Geometric(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			return &Choice{Mechanism: m, Rule: "column property, alpha <= 1/2 => GM (Lemma 3)"}, nil
+		}
+		m, err := WM(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return &Choice{Mechanism: m, Rule: "column property, alpha > 1/2 => WH+CM LP (WM)"}, nil
+
+	case closed&core.WeakHonesty != 0:
+		if float64(n) >= core.GeometricWeakHonestyThreshold(alpha) {
+			m, err := core.Geometric(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			return &Choice{Mechanism: m, Rule: "weak honesty, n >= 2a/(1-a) => GM (Lemma 2)"}, nil
+		}
+		m, err := WHOnly(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return &Choice{Mechanism: m, Rule: "weak honesty, n < 2a/(1-a) => WH LP"}, nil
+
+	default:
+		m, err := core.Geometric(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return &Choice{Mechanism: m, Rule: "subset of {S, RH, RM} => GM (Theorem 3)"}, nil
+	}
+}

@@ -1,0 +1,95 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privcount/internal/core"
+)
+
+// Property-based tests of design invariants over random instances.
+
+func TestDesignedMechanismsAlwaysValid(t *testing.T) {
+	f := func(nRaw, propRaw uint8, aRaw uint16) bool {
+		n := int(nRaw%6) + 2                      // 2..7
+		alpha := 0.3 + 0.65*float64(aRaw%100)/100 // 0.30..0.95
+		props := core.PropertySet(propRaw) & core.AllProperties
+		r, err := Solve(Problem{N: n, Alpha: alpha, Props: props})
+		if err != nil {
+			return false
+		}
+		m := r.Mechanism
+		return m.Matrix().IsColumnStochastic(1e-7) &&
+			m.SatisfiesDP(alpha, 1e-6) &&
+			m.Violation(props, 1e-6) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostMonotoneUnderInclusion(t *testing.T) {
+	// Adding properties can only increase the optimal L0.
+	f := func(propRaw uint8, extraRaw uint8, aRaw uint16) bool {
+		const n = 5
+		alpha := 0.4 + 0.55*float64(aRaw%100)/100
+		base := core.PropertySet(propRaw) & core.AllProperties
+		super := base | (core.PropertySet(extraRaw) & core.AllProperties)
+		rBase, err := Solve(Problem{N: n, Alpha: alpha, Props: base})
+		if err != nil {
+			return false
+		}
+		rSuper, err := Solve(Problem{N: n, Alpha: alpha, Props: super})
+		if err != nil {
+			return false
+		}
+		return rBase.Mechanism.L0() <= rSuper.Mechanism.L0()+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostBoundedByGMAndUM(t *testing.T) {
+	// Every constrained optimum sits between GM's cost and UM's cost 1.
+	f := func(propRaw uint8, aRaw uint16) bool {
+		const n = 4
+		alpha := 0.35 + 0.6*float64(aRaw%100)/100
+		props := core.PropertySet(propRaw) & core.AllProperties
+		r, err := Solve(Problem{N: n, Alpha: alpha, Props: props})
+		if err != nil {
+			return false
+		}
+		cost := r.Mechanism.L0()
+		return cost >= core.GeometricL0(alpha)-1e-7 && cost <= 1+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosureEquivalentRequestsShareCost(t *testing.T) {
+	// Requests with the same implication closure must have equal optima.
+	const n, alpha = 5, 0.85
+	pairs := [][2]core.PropertySet{
+		{core.RowMonotone, core.RowMonotone | core.RowHonesty},
+		{core.ColumnMonotone, core.ColumnMonotone | core.ColumnHonesty},
+		{core.ColumnMonotone, core.ColumnMonotone | core.WeakHonesty},
+		{core.Fairness | core.RowHonesty, core.Fairness | core.RowHonesty | core.ColumnHonesty},
+	}
+	for _, pair := range pairs {
+		a, err := Solve(Problem{N: n, Alpha: alpha, Props: pair[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(Problem{N: n, Alpha: alpha, Props: pair[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.Mechanism.L0() - b.Mechanism.L0(); d > 1e-7 || d < -1e-7 {
+			t.Errorf("%s vs %s: costs %v vs %v",
+				core.PropertySetString(pair[0]), core.PropertySetString(pair[1]),
+				a.Mechanism.L0(), b.Mechanism.L0())
+		}
+	}
+}

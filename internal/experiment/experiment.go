@@ -1,0 +1,220 @@
+// Package experiment is the measurement harness for §V of the paper: it
+// runs mechanisms over group-count workloads with repeated sampling and
+// reports empirical accuracy metrics (wrong-answer rate, off-by-more-
+// than-d rate, RMSE) with error bars, matching the paper's 30–50
+// repetition protocol.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"privcount/internal/core"
+	"privcount/internal/dataset"
+	"privcount/internal/rng"
+)
+
+// Stat is a mean with dispersion across repetitions.
+type Stat struct {
+	Mean   float64
+	StdDev float64 // sample standard deviation across repetitions
+	StdErr float64 // StdDev / sqrt(reps)
+	Reps   int
+}
+
+func (s Stat) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean, s.StdErr)
+}
+
+// Summarize computes a Stat from per-repetition values.
+func Summarize(values []float64) Stat {
+	n := len(values)
+	if n == 0 {
+		return Stat{}
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	st := Stat{Mean: mean, Reps: n}
+	if n > 1 {
+		st.StdDev = math.Sqrt(ss / float64(n-1))
+		st.StdErr = st.StdDev / math.Sqrt(float64(n))
+	}
+	return st
+}
+
+// Metric evaluates one repetition: it samples an output for every group
+// count and reduces the (truth, output) pairs to a single number.
+type Metric func(truths, outputs []int) float64
+
+// WrongRate is the empirical L0 metric of Figure 10: the fraction of
+// groups whose noisy count differs from the truth.
+func WrongRate(truths, outputs []int) float64 {
+	if len(truths) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range truths {
+		if outputs[i] != truths[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(truths))
+}
+
+// TailRate returns the Figure 11/12 metric: the fraction of groups whose
+// output is more than d steps from the truth.
+func TailRate(d int) Metric {
+	return func(truths, outputs []int) float64 {
+		if len(truths) == 0 {
+			return 0
+		}
+		far := 0
+		for i := range truths {
+			diff := outputs[i] - truths[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > d {
+				far++
+			}
+		}
+		return float64(far) / float64(len(truths))
+	}
+}
+
+// RMSE is the Figure 13 metric: root mean squared error of the noisy
+// counts against the truths.
+func RMSE(truths, outputs []int) float64 {
+	if len(truths) == 0 {
+		return 0
+	}
+	var ss float64
+	for i := range truths {
+		d := float64(outputs[i] - truths[i])
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(truths)))
+}
+
+// MeanAbsErr is the expected-L1 companion metric.
+func MeanAbsErr(truths, outputs []int) float64 {
+	if len(truths) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range truths {
+		d := outputs[i] - truths[i]
+		if d < 0 {
+			d = -d
+		}
+		s += float64(d)
+	}
+	return s / float64(len(truths))
+}
+
+// Run samples every group `reps` times through the mechanism and
+// summarises the metric across repetitions. The master seed makes runs
+// reproducible; each repetition uses an independent derived stream.
+func Run(m *core.Mechanism, groups dataset.Groups, metric Metric, reps int, seed uint64) (Stat, error) {
+	if err := groups.Validate(); err != nil {
+		return Stat{}, err
+	}
+	if groups.N != m.N() {
+		return Stat{}, fmt.Errorf("experiment: mechanism n=%d but groups n=%d", m.N(), groups.N)
+	}
+	if reps < 1 {
+		return Stat{}, fmt.Errorf("experiment: reps=%d, want >= 1", reps)
+	}
+	sampler, err := core.NewSampler(m)
+	if err != nil {
+		return Stat{}, err
+	}
+	master := rng.New(seed)
+	values := make([]float64, reps)
+	outputs := make([]int, len(groups.Counts))
+	for r := 0; r < reps; r++ {
+		src := master.Split(uint64(r))
+		outputs = outputs[:0]
+		outputs = sampler.SampleMany(src, groups.Counts, outputs)
+		values[r] = metric(groups.Counts, outputs)
+	}
+	return Summarize(values), nil
+}
+
+// RunAll evaluates several mechanisms on the same workload, reusing the
+// same seed so they face identical randomness streams per repetition.
+func RunAll(ms []*core.Mechanism, groups dataset.Groups, metric Metric, reps int, seed uint64) (map[string]Stat, error) {
+	out := make(map[string]Stat, len(ms))
+	for _, m := range ms {
+		st, err := Run(m, groups, metric, reps, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", m.Name(), err)
+		}
+		out[m.Name()] = st
+	}
+	return out, nil
+}
+
+// RunParallel is Run with repetitions spread over workers goroutines
+// (0 selects GOMAXPROCS). Each repetition draws from an independent
+// stream derived from the master seed, so the result is bit-identical to
+// the sequential Run with the same arguments.
+func RunParallel(m *core.Mechanism, groups dataset.Groups, metric Metric, reps int, seed uint64, workers int) (Stat, error) {
+	if err := groups.Validate(); err != nil {
+		return Stat{}, err
+	}
+	if groups.N != m.N() {
+		return Stat{}, fmt.Errorf("experiment: mechanism n=%d but groups n=%d", m.N(), groups.N)
+	}
+	if reps < 1 {
+		return Stat{}, fmt.Errorf("experiment: reps=%d, want >= 1", reps)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	sampler, err := core.NewSampler(m)
+	if err != nil {
+		return Stat{}, err
+	}
+	// Derive all repetition streams up front on a single goroutine so the
+	// split sequence matches Run exactly.
+	master := rng.New(seed)
+	sources := make([]*rng.Rand, reps)
+	for r := range sources {
+		sources[r] = master.Split(uint64(r))
+	}
+
+	values := make([]float64, reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outputs := make([]int, 0, len(groups.Counts))
+			for r := range next {
+				outputs = sampler.SampleMany(sources[r], groups.Counts, outputs[:0])
+				values[r] = metric(groups.Counts, outputs)
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	return Summarize(values), nil
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privcount/internal/core"
+	"privcount/internal/dataset"
+)
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Reps != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+	one := Summarize([]float64{5})
+	if one.Mean != 5 || one.StdDev != 0 || one.Reps != 1 {
+		t.Errorf("single Summarize = %+v", one)
+	}
+	s := Summarize([]float64{2, 4, 6})
+	if s.Mean != 4 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Errorf("stddev %v, want 2", s.StdDev)
+	}
+	if math.Abs(s.StdErr-2/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("stderr %v", s.StdErr)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestMetricsOnKnownPairs(t *testing.T) {
+	truths := []int{0, 1, 2, 3}
+	outputs := []int{0, 2, 2, 0}
+	if got := WrongRate(truths, outputs); got != 0.5 {
+		t.Errorf("WrongRate = %v, want 0.5", got)
+	}
+	if got := TailRate(0)(truths, outputs); got != 0.5 {
+		t.Errorf("TailRate(0) = %v, want 0.5", got)
+	}
+	// |errors| = 0, 1, 0, 3 → more than 1 step: just the last → 0.25.
+	if got := TailRate(1)(truths, outputs); got != 0.25 {
+		t.Errorf("TailRate(1) = %v, want 0.25", got)
+	}
+	if got := TailRate(3)(truths, outputs); got != 0 {
+		t.Errorf("TailRate(3) = %v, want 0", got)
+	}
+	wantRMSE := math.Sqrt((0 + 1 + 0 + 9) / 4.0)
+	if got := RMSE(truths, outputs); math.Abs(got-wantRMSE) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, wantRMSE)
+	}
+	if got := MeanAbsErr(truths, outputs); got != 1 {
+		t.Errorf("MeanAbsErr = %v, want 1", got)
+	}
+}
+
+func TestMetricsEmptyInputs(t *testing.T) {
+	if WrongRate(nil, nil) != 0 || RMSE(nil, nil) != 0 ||
+		MeanAbsErr(nil, nil) != 0 || TailRate(1)(nil, nil) != 0 {
+		t.Error("empty metrics should be 0")
+	}
+}
+
+func TestRunUniformMechanism(t *testing.T) {
+	// UM's wrong-answer rate is n/(n+1) regardless of the data.
+	um, err := core.Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 4, Counts: make([]int, 5000)}
+	for i := range groups.Counts {
+		groups.Counts[i] = i % 5
+	}
+	st, err := Run(um, groups, WrongRate, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Mean-0.8) > 0.02 {
+		t.Errorf("UM wrong rate %v, want ~0.8", st.Mean)
+	}
+	if st.Reps != 10 {
+		t.Errorf("reps %d", st.Reps)
+	}
+}
+
+func TestRunNearIdentityMechanism(t *testing.T) {
+	// At tiny alpha GM is almost the identity: wrong rate near 0.
+	gm, err := core.Geometric(4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 4, Counts: []int{0, 1, 2, 3, 4, 2, 2}}
+	st, err := Run(gm, groups, WrongRate, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean > 0.05 {
+		t.Errorf("near-identity wrong rate %v", st.Mean)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	gm, err := core.Geometric(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := dataset.Groups{N: 4, Counts: []int{1}}
+	if _, err := Run(gm, dataset.Groups{N: 3, Counts: []int{1}}, WrongRate, 5, 1); err == nil {
+		t.Error("group-size mismatch accepted")
+	}
+	if _, err := Run(gm, good, WrongRate, 0, 1); err == nil {
+		t.Error("reps=0 accepted")
+	}
+	if _, err := Run(gm, dataset.Groups{N: 4, Counts: []int{9}}, WrongRate, 5, 1); err == nil {
+		t.Error("invalid counts accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	gm, err := core.Geometric(5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 5, Counts: []int{0, 1, 2, 3, 4, 5, 2, 3}}
+	a, err := Run(gm, groups, WrongRate, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(gm, groups, WrongRate, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.StdDev != b.StdDev {
+		t.Error("same seed gave different results")
+	}
+	c, err := Run(gm, groups, WrongRate, 15, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == c.Mean && a.StdDev == c.StdDev {
+		t.Error("different seeds gave identical results (suspicious)")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	gm, err := core.Geometric(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := core.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 3, Counts: []int{0, 1, 2, 3}}
+	stats, err := RunAll([]*core.Mechanism{gm, um}, groups, WrongRate, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d mechanisms", len(stats))
+	}
+	if _, ok := stats["GM"]; !ok {
+		t.Error("missing GM stats")
+	}
+	if _, ok := stats["UM"]; !ok {
+		t.Error("missing UM stats")
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+
+	"privcount/internal/core"
+	"privcount/internal/dataset"
+)
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	m, err := core.ExplicitFair(6, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 6, Counts: []int{0, 1, 2, 3, 4, 5, 6, 3, 2, 4}}
+	seq, err := Run(m, groups, WrongRate, 24, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		par, err := RunParallel(m, groups, WrongRate, 24, 99, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Mean != seq.Mean || par.StdDev != seq.StdDev {
+			t.Errorf("workers=%d: parallel %v vs sequential %v", workers, par, seq)
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	m, err := core.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(m, dataset.Groups{N: 4, Counts: []int{1}}, WrongRate, 3, 1, 2); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := RunParallel(m, dataset.Groups{N: 3, Counts: []int{1}}, WrongRate, 0, 1, 2); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}
+
+func TestRunParallelMoreWorkersThanReps(t *testing.T) {
+	m, err := core.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.Groups{N: 3, Counts: []int{0, 1, 2, 3}}
+	st, err := RunParallel(m, groups, WrongRate, 2, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reps != 2 {
+		t.Errorf("reps = %d", st.Reps)
+	}
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled curve: x-values with measured statistics, the
+// unit figures are assembled from.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64 // one standard error (or deviation); may be nil
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y, err float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Err = append(s.Err, err)
+}
+
+// Table is a set of series over a shared x-axis with axis labels, the
+// exchange format between figure builders, the CLI, and benchmarks.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// AddNote appends a free-form annotation (printed under the table).
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// SeriesByLabel returns the series with the given label, or nil.
+func (t *Table) SeriesByLabel(label string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// WriteTSV emits the table as tab-separated values: a header row of
+// "x" plus one column per series ("label" and, when present,
+// "label±err"), then one row per x value. Series are aligned on exact x
+// values; missing points print as empty cells.
+func (t *Table) WriteTSV(w io.Writer) error {
+	// Collect the union of x values.
+	xsSet := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	header := []string{t.XLabel}
+	hasErr := make([]bool, len(t.Series))
+	for i, s := range t.Series {
+		header = append(header, s.Label)
+		for _, e := range s.Err {
+			if e != 0 {
+				hasErr[i] = true
+				break
+			}
+		}
+		if hasErr[i] {
+			header = append(header, s.Label+"±")
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		cells := []string{trimFloat(x)}
+		for i, s := range t.Series {
+			idx := -1
+			for k, sx := range s.X {
+				if sx == x {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				cells = append(cells, "")
+				if hasErr[i] {
+					cells = append(cells, "")
+				}
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.6f", s.Y[idx]))
+			if hasErr[i] {
+				cells = append(cells, fmt.Sprintf("%.6f", s.Err[idx]))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.6f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

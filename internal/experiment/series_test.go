@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 2, 0.1)
+	s.Append(2, 3, 0.2)
+	if len(s.X) != 2 || s.Y[1] != 3 || s.Err[0] != 0.1 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestTableSeriesByLabel(t *testing.T) {
+	tab := &Table{Series: []Series{{Label: "GM"}, {Label: "EM"}}}
+	if tab.SeriesByLabel("EM") == nil {
+		t.Error("EM not found")
+	}
+	if tab.SeriesByLabel("XX") != nil {
+		t.Error("missing label should be nil")
+	}
+}
+
+func TestTableWriteTSV(t *testing.T) {
+	tab := &Table{Title: "demo", XLabel: "n", YLabel: "score"}
+	gm := Series{Label: "GM"}
+	gm.Append(2, 0.5, 0)
+	gm.Append(4, 0.6, 0)
+	em := Series{Label: "EM"}
+	em.Append(2, 0.7, 0.01)
+	em.Append(4, 0.8, 0.02)
+	tab.Series = []Series{gm, em}
+	tab.AddNote("hello %d", 42)
+
+	var b strings.Builder
+	if err := tab.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# demo", "n\tGM\tEM\tEM±", "hello 42", "0.500000", "0.020000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TSV missing %q:\n%s", want, out)
+		}
+	}
+	// Two data rows (x = 2 and 4).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var dataLines int
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") && !strings.HasPrefix(l, "n\t") {
+			dataLines++
+		}
+	}
+	if dataLines != 2 {
+		t.Errorf("want 2 data rows, got %d:\n%s", dataLines, out)
+	}
+}
+
+func TestTableWriteTSVMisalignedSeries(t *testing.T) {
+	// Series with different x supports leave empty cells rather than
+	// corrupting alignment.
+	a := Series{Label: "A"}
+	a.Append(1, 10, 0)
+	b := Series{Label: "B"}
+	b.Append(2, 20, 0)
+	tab := &Table{Title: "gap", XLabel: "x", Series: []Series{a, b}}
+	var sb strings.Builder
+	if err := tab.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1\t10.000000\t\n") {
+		t.Errorf("row for x=1 malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "2\t\t20.000000\n") {
+		t.Errorf("row for x=2 malformed:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:    "2",
+		0.5:  "0.5",
+		0.25: "0.25",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package figures
+
+import (
+	"fmt"
+	"os"
+
+	"privcount/internal/core"
+	"privcount/internal/dataset"
+	"privcount/internal/design"
+	"privcount/internal/experiment"
+	"privcount/internal/rng"
+)
+
+// This file reproduces the empirical studies: Figure 10 (Adult dataset),
+// Figure 11 (L0,1 on Binomial data), Figure 12 (L0,d histograms) and
+// Figure 13 (RMSE).
+
+func init() {
+	register("fig10", "Empirical error probability on the Adult dataset, alpha = 0.9", figure10)
+	register("fig11", "L0,1 score for Binomial data, n in {4,8,12}, alpha in {0.91,0.67}", figure11)
+	register("fig12", "Histograms of L0,d scores for Binomial data, n = 8", figure12)
+	register("fig13", "Root mean square error for Binomial data", figure13)
+}
+
+// namedMechanisms builds the paper's four comparison mechanisms.
+func namedMechanisms(n int, alpha float64) ([]*core.Mechanism, error) {
+	gm, err := core.Geometric(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := design.WM(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	em, err := core.ExplicitFair(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	um, err := core.Uniform(n)
+	if err != nil {
+		return nil, err
+	}
+	return []*core.Mechanism{gm, wm, em, um}, nil
+}
+
+// figure10 runs the Adult experiment: for each target attribute and
+// group size, the fraction of groups whose noisy count is wrong, with
+// error bars over 50 repetitions.
+func figure10(o Options) (*Figure, error) {
+	const alpha = 0.9
+	f := &Figure{ID: "fig10", Title: "Empirical wrong-answer rate on Adult, alpha=0.9"}
+
+	reps := 50
+	sizes := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	rows := dataset.AdultRows
+	if o.Quick {
+		reps = 8
+		sizes = []int{2, 4, 6}
+		rows = 4000
+	}
+	var records []dataset.AdultRecord
+	if o.AdultPath != "" {
+		file, err := os.Open(o.AdultPath)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig10: %w", err)
+		}
+		records, err = dataset.LoadAdultCSV(file)
+		file.Close()
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig10: %w", err)
+		}
+		f.AddNote("dataset: %d real records from %s", len(records), o.AdultPath)
+	} else {
+		records = dataset.GenerateAdult(rows, rng.New(o.seed()))
+	}
+
+	for _, target := range dataset.AllTargets {
+		t := &experiment.Table{
+			Title:  fmt.Sprintf("Fig 10 estimating %s", target),
+			XLabel: "group size", YLabel: "wrong-answer rate",
+		}
+		series := map[string]*experiment.Series{}
+		order := []string{"GM", "WM", "EM", "UM"}
+		for _, name := range order {
+			series[name] = &experiment.Series{Label: name}
+		}
+		for _, n := range sizes {
+			groups, err := dataset.AdultGroups(records, target, n)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := namedMechanisms(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range ms {
+				st, err := experiment.RunParallel(m, groups, experiment.WrongRate, reps, o.seed()+uint64(n), 0)
+				if err != nil {
+					return nil, err
+				}
+				series[m.Name()].Append(float64(n), st.Mean, st.StdErr)
+			}
+		}
+		for _, name := range order {
+			t.Series = append(t.Series, *series[name])
+		}
+		f.Tables = append(f.Tables, t)
+	}
+	f.AddNote("paper: GM does worse than uniform guessing on this data; EM is best; WM tracks UM")
+	if o.AdultPath == "" {
+		f.AddNote("dataset: synthetic Adult-like records (see DESIGN.md substitution table); pass -adult to cmd/experiment to use the real file")
+	}
+	return f, nil
+}
+
+// binomialSettings are the (alpha, n) grid of Figures 11 and 13.
+func binomialSettings(quick bool) (alphas []float64, ns []int, ps []float64, reps, pop int) {
+	alphas = []float64{0.91, 0.67}
+	ns = []int{4, 8, 12}
+	ps = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	reps = 30
+	pop = 10000
+	if quick {
+		ns = []int{4, 8}
+		ps = []float64{0.1, 0.5, 0.9}
+		reps = 8
+		pop = 2000
+	}
+	return
+}
+
+// figure11 measures the fraction of groups more than one step off.
+func figure11(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig11", Title: "L0,1 on Binomial data"}
+	alphas, ns, ps, reps, pop := binomialSettings(o.Quick)
+	metric := experiment.TailRate(1)
+	for _, alpha := range alphas {
+		for _, n := range ns {
+			t := &experiment.Table{
+				Title:  fmt.Sprintf("Fig 11 alpha=%.2f n=%d", alpha, n),
+				XLabel: "p", YLabel: "fraction |error| > 1",
+			}
+			ms, err := namedMechanisms(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			series := make([]experiment.Series, len(ms))
+			for i, m := range ms {
+				series[i].Label = m.Name()
+			}
+			for _, p := range ps {
+				groups, err := dataset.BinomialGroups(pop, n, p, rng.New(o.seed()^uint64(n*1000)^uint64(p*100)))
+				if err != nil {
+					return nil, err
+				}
+				for i, m := range ms {
+					st, err := experiment.RunParallel(m, groups, metric, reps, o.seed()+uint64(n), 0)
+					if err != nil {
+						return nil, err
+					}
+					series[i].Append(p, st.Mean, st.StdErr)
+				}
+			}
+			t.Series = series
+			f.Tables = append(f.Tables, t)
+		}
+	}
+	f.AddNote("paper: GM wins only for extreme p; constrained mechanisms win for proportionate inputs; at lower alpha WM and GM converge")
+	return f, nil
+}
+
+// figure12 varies the distance threshold d at n = 8.
+func figure12(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig12", Title: "L0,d on Binomial data, n=8"}
+	const n = 8
+	reps := 30
+	pop := 10000
+	if o.Quick {
+		reps = 8
+		pop = 2000
+	}
+	ds := []int{0, 1, 2, 3, 4, 5, 6}
+	for _, alpha := range []float64{0.91, 0.67} {
+		for _, p := range []float64{0.5, 0.1} {
+			t := &experiment.Table{
+				Title:  fmt.Sprintf("Fig 12 alpha=%.2f p=%.1f (d sweep)", alpha, p),
+				XLabel: "d", YLabel: "fraction |error| > d",
+			}
+			groups, err := dataset.BinomialGroups(pop, n, p, rng.New(o.seed()^uint64(p*1000)))
+			if err != nil {
+				return nil, err
+			}
+			ms, err := namedMechanisms(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			series := make([]experiment.Series, len(ms))
+			for i, m := range ms {
+				series[i].Label = m.Name()
+				for _, d := range ds {
+					st, err := experiment.RunParallel(m, groups, experiment.TailRate(d), reps, o.seed()+uint64(d), 0)
+					if err != nil {
+						return nil, err
+					}
+					series[i].Append(float64(d), st.Mean, st.StdErr)
+				}
+			}
+			t.Series = series
+			f.Tables = append(f.Tables, t)
+		}
+	}
+	f.AddNote("paper: with proportionate inputs (p=0.5) EM beats GM and the margin grows with d; skewed inputs (p=0.1) favour GM but EM stays close")
+	return f, nil
+}
+
+// figure13 measures RMSE with one-standard-deviation error bars.
+func figure13(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig13", Title: "RMSE on Binomial data"}
+	alphas, ns, ps, reps, pop := binomialSettings(o.Quick)
+	for _, alpha := range alphas {
+		for _, n := range ns {
+			t := &experiment.Table{
+				Title:  fmt.Sprintf("Fig 13 alpha=%.2f n=%d", alpha, n),
+				XLabel: "p", YLabel: "RMSE",
+			}
+			ms, err := namedMechanisms(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			series := make([]experiment.Series, len(ms))
+			for i, m := range ms {
+				series[i].Label = m.Name()
+			}
+			for _, p := range ps {
+				groups, err := dataset.BinomialGroups(pop, n, p, rng.New(o.seed()^uint64(n*77)^uint64(p*100)))
+				if err != nil {
+					return nil, err
+				}
+				for i, m := range ms {
+					st, err := experiment.RunParallel(m, groups, experiment.RMSE, reps, o.seed()+uint64(n), 0)
+					if err != nil {
+						return nil, err
+					}
+					// Figure 13 shows one standard deviation.
+					series[i].Append(p, st.Mean, st.StdDev)
+				}
+			}
+			t.Series = series
+			f.Tables = append(f.Tables, t)
+		}
+	}
+	f.AddNote("paper: at alpha=0.91 EM gives lower error across group sizes and input distributions; GM is frequently worse than UM")
+	return f, nil
+}

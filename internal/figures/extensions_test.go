@@ -1,0 +1,57 @@
+package figures
+
+import (
+	"testing"
+)
+
+func TestMinimaxFigureInvariants(t *testing.T) {
+	f, err := Build("minimax", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := f.Tables[0]
+	avgMean := tab.SeriesByLabel("avg-design mean")
+	avgWorst := tab.SeriesByLabel("avg-design worst-input")
+	mmMean := tab.SeriesByLabel("minimax-design mean")
+	mmWorst := tab.SeriesByLabel("minimax-design worst-input")
+	if avgMean == nil || avgWorst == nil || mmMean == nil || mmWorst == nil {
+		t.Fatal("missing series")
+	}
+	for i := range avgMean.X {
+		// The average design has the best mean; the minimax design the
+		// best worst-input value.
+		if avgMean.Y[i] > mmMean.Y[i]+1e-9 {
+			t.Errorf("n=%v: avg design mean %v worse than minimax %v",
+				avgMean.X[i], avgMean.Y[i], mmMean.Y[i])
+		}
+		if mmWorst.Y[i] > avgWorst.Y[i]+1e-9 {
+			t.Errorf("n=%v: minimax worst %v worse than avg design %v",
+				mmWorst.X[i], mmWorst.Y[i], avgWorst.Y[i])
+		}
+		// Worst-input loss always dominates the mean.
+		if mmWorst.Y[i] < mmMean.Y[i]-1e-9 {
+			t.Errorf("n=%v: worst %v below mean %v", mmWorst.X[i], mmWorst.Y[i], mmMean.Y[i])
+		}
+	}
+}
+
+func TestCompositionFigureInvariants(t *testing.T) {
+	f, err := Build("composition", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Tables[0].Series[0]
+	if len(s.X) != 4 {
+		t.Fatalf("want 4 k-values, got %d", len(s.X))
+	}
+	for _, y := range s.Y {
+		if y <= 0 || y > 10 {
+			t.Errorf("implausible RMSE %v", y)
+		}
+	}
+	// Averaging k weaker releases of a truncated-domain mechanism should
+	// not be catastrophically worse than the single strong release.
+	if s.Y[len(s.Y)-1] > 2*s.Y[0] {
+		t.Errorf("k=8 RMSE %v more than doubles k=1 RMSE %v", s.Y[len(s.Y)-1], s.Y[0])
+	}
+}

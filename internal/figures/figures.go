@@ -1,0 +1,113 @@
+// Package figures reproduces every table and figure of the paper's
+// evaluation, one builder per artefact. Builders return structured data
+// (tables of series, heatmaps, and notes) that the experiment CLI prints
+// and the repository benchmarks execute; EXPERIMENTS.md records the
+// paper-versus-measured comparison for each.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privcount/internal/experiment"
+	"privcount/internal/mat"
+)
+
+// Heatmap is one labelled probability-matrix panel.
+type Heatmap struct {
+	Label string
+	M     *mat.Dense
+}
+
+// Figure is the result of reproducing one paper artefact.
+type Figure struct {
+	ID       string
+	Title    string
+	Tables   []*experiment.Table
+	Heatmaps []Heatmap
+	Notes    []string
+}
+
+// AddNote appends a formatted annotation to the figure.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Options tunes figure reproduction.
+type Options struct {
+	// Quick trims parameter sweeps and repetition counts so the full
+	// registry runs in seconds; full runs match the paper's settings.
+	Quick bool
+	// Seed is the master random seed; 0 selects 1.
+	Seed uint64
+	// AdultPath optionally points at a real UCI `adult.data` file for the
+	// Figure 10 experiment; empty selects the calibrated synthetic
+	// generator documented in DESIGN.md.
+	AdultPath string
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Builder constructs one figure.
+type Builder func(Options) (*Figure, error)
+
+type entry struct {
+	id      string
+	title   string
+	builder Builder
+}
+
+var registry []entry
+
+func register(id, title string, b Builder) {
+	registry = append(registry, entry{id: id, title: title, builder: b})
+}
+
+// IDs lists registered figure identifiers in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Titles maps figure IDs to their one-line descriptions.
+func Titles() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, e := range registry {
+		out[e.id] = e.title
+	}
+	return out
+}
+
+// Build reproduces the identified figure.
+func Build(id string, o Options) (*Figure, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.builder(o)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("figures: unknown figure %q (known: %s)", id, strings.Join(known, ", "))
+}
+
+// BuildAll reproduces every registered figure in order.
+func BuildAll(o Options) ([]*Figure, error) {
+	out := make([]*Figure, 0, len(registry))
+	for _, e := range registry {
+		f, err := e.builder(o)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", e.id, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

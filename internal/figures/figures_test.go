@@ -1,0 +1,225 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickOpts trims sweeps so the whole registry builds in test time.
+var quickOpts = Options{Quick: true, Seed: 1}
+
+func TestBuildUnknownFigure(t *testing.T) {
+	if _, err := Build("nope", quickOpts); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestIDsAndTitlesConsistent(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d figures registered", len(ids))
+	}
+	titles := Titles()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate figure id %s", id)
+		}
+		seen[id] = true
+		if titles[id] == "" {
+			t.Errorf("figure %s has no title", id)
+		}
+	}
+}
+
+func TestEveryFigureBuildsInQuickMode(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			f, err := Build(id, quickOpts)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if f.ID != id {
+				t.Errorf("figure reports ID %q", f.ID)
+			}
+			if len(f.Tables) == 0 && len(f.Heatmaps) == 0 && len(f.Notes) == 0 {
+				t.Error("figure produced no content")
+			}
+		})
+	}
+}
+
+func TestFigure1ReportsPathologies(t *testing.T) {
+	f, err := Build("fig1", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(f.Notes, "\n")
+	if !strings.Contains(notes, "gaps") {
+		t.Errorf("fig1 notes missing gap report:\n%s", notes)
+	}
+	if len(f.Heatmaps) != 5 {
+		t.Errorf("fig1 has %d heatmaps, want 5", len(f.Heatmaps))
+	}
+	// The paper's three headline spike claims must reproduce at the
+	// documented settings.
+	checks := []string{
+		"Pr[report 2 or 5] >= 0.7",
+		"always reports 2",
+		"Pr[report 1 or 4] >= 0.900",
+	}
+	for _, want := range checks {
+		found := false
+		for _, n := range f.Notes {
+			if strings.Contains(n, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fig1 notes missing %q:\n%s", want, notes)
+		}
+	}
+}
+
+func TestFigure2RemovesGaps(t *testing.T) {
+	f, err := Build("fig2", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range f.Notes {
+		if strings.Contains(note, "UNEXPECTED") {
+			t.Errorf("constrained design still has gaps: %s", note)
+		}
+	}
+}
+
+func TestFigure7TruthProbabilities(t *testing.T) {
+	f, err := Build("fig7", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's numbers: GM 0.238, EM 0.224 (we match within 0.01).
+	var gmPr, emPr float64
+	for _, note := range f.Notes {
+		var v float64
+		if n, _ := fmtSscanf(note, "GM: uniform-prior truth probability %f", &v); n == 1 {
+			gmPr = v
+		}
+		if n, _ := fmtSscanf(note, "EM: uniform-prior truth probability %f", &v); n == 1 {
+			emPr = v
+		}
+	}
+	if math.Abs(gmPr-0.238) > 0.01 {
+		t.Errorf("GM truth probability %v, paper 0.238", gmPr)
+	}
+	if math.Abs(emPr-0.224) > 0.01 {
+		t.Errorf("EM truth probability %v, paper 0.224", emPr)
+	}
+	if gmPr <= emPr {
+		t.Error("GM should maximise truth probability over EM")
+	}
+}
+
+func TestFigure9SandwichHolds(t *testing.T) {
+	f, err := Build("fig9", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range f.Tables {
+		gm := tab.SeriesByLabel("GM")
+		wh := tab.SeriesByLabel("WH-LP")
+		wm := tab.SeriesByLabel("WM")
+		em := tab.SeriesByLabel("EM")
+		um := tab.SeriesByLabel("UM")
+		if gm == nil || wh == nil || wm == nil || em == nil || um == nil {
+			t.Fatalf("%s: missing series", tab.Title)
+		}
+		for i := range gm.X {
+			ordered := gm.Y[i] <= wh.Y[i]+1e-7 && wh.Y[i] <= wm.Y[i]+1e-7 &&
+				wm.Y[i] <= em.Y[i]+1e-7 && em.Y[i] <= um.Y[i]+1e-7
+			if !ordered {
+				t.Errorf("%s: sandwich violated at n=%v: GM=%v WH=%v WM=%v EM=%v UM=%v",
+					tab.Title, gm.X[i], gm.Y[i], wh.Y[i], wm.Y[i], em.Y[i], um.Y[i])
+			}
+		}
+	}
+}
+
+func TestExample1RatioNearEighteen(t *testing.T) {
+	f, err := Build("ex1", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, note := range f.Notes {
+		var ratio float64
+		if n, _ := fmtSscanf(note, "truth at input 1 is %fx less likely", &ratio); n == 1 {
+			found = true
+			if math.Abs(ratio-18) > 1 {
+				t.Errorf("ratio %v, paper says eighteen", ratio)
+			}
+		}
+	}
+	if !found {
+		t.Error("ex1 did not report the 18x ratio")
+	}
+}
+
+func TestSubsetsCollapse(t *testing.T) {
+	f, err := Build("subsets", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range f.Notes {
+		if strings.Contains(note, "collapse to") && !strings.Contains(note, "collapse to 1 ") {
+			// the builder itself errors if classes > 4; presence of the
+			// note means the check ran.
+			return
+		}
+	}
+	t.Error("subsets figure missing collapse note")
+}
+
+func TestFigure10SeriesComplete(t *testing.T) {
+	f, err := Build("fig10", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Tables) != 3 {
+		t.Fatalf("fig10 has %d tables, want 3 targets", len(f.Tables))
+	}
+	for _, tab := range f.Tables {
+		if len(tab.Series) != 4 {
+			t.Errorf("%s: %d series, want 4 mechanisms", tab.Title, len(tab.Series))
+		}
+		for _, s := range tab.Series {
+			if len(s.X) == 0 {
+				t.Errorf("%s/%s: empty series", tab.Title, s.Label)
+			}
+			for _, y := range s.Y {
+				if y < 0 || y > 1 {
+					t.Errorf("%s/%s: rate %v outside [0,1]", tab.Title, s.Label, y)
+				}
+			}
+		}
+	}
+}
+
+// fmtSscanf adapts fmt.Sscanf to tolerate prefixed labels in notes.
+func fmtSscanf(s, format string, args ...any) (int, error) {
+	// Find the start of the format's fixed prefix within s so notes can
+	// carry different prefixes.
+	prefix := format
+	if i := strings.IndexByte(format, '%'); i >= 0 {
+		prefix = format[:i]
+	}
+	j := strings.Index(s, prefix)
+	if j < 0 {
+		return 0, nil
+	}
+	return fmt.Sscanf(s[j:], format, args...)
+}

@@ -1,0 +1,326 @@
+package figures
+
+import (
+	"privcount/internal/core"
+	"privcount/internal/design"
+)
+
+// This file reproduces the heatmap figures: Figure 1 (pathologies of
+// unconstrained optima), Figure 2 (the same panels with all structural
+// properties enforced), Figure 7 (GM vs EM vs WM at n=4), plus the
+// worked Example 1 and the closed-form structure checks of Figures 3/4.
+
+func init() {
+	register("fig1", "Heatmaps of unconstrained mechanisms for alpha = 0.62 (gaps and spikes)", figure1)
+	register("fig2", "Heatmaps of constrained mechanisms for alpha = 0.62 (pathologies removed)", figure2)
+	register("fig3", "Structure of GM: matrix equals the x/y powers-of-alpha closed form", figure3)
+	register("fig4", "Explicit fair mechanism for n = 7 matches the published exponent pattern", figure4)
+	register("fig7", "Heatmaps for GM, EM, WM with n = 4, alpha = 0.9", figure7)
+	register("ex1", "Example 1: GM at n = 2, alpha = 0.9 favours extreme outputs", example1)
+}
+
+// fig12Alpha is the privacy parameter in the caption of Figures 1 and 2.
+// L_p optima are massively non-unique and the degenerate vertex the
+// paper displays for each panel emerges at somewhat higher α (the caption
+// parameters yield a different co-optimal vertex with the same gap
+// pathology); figure1 therefore reproduces both settings and the notes
+// record exactly which phenomenon appears where.
+const (
+	fig12Alpha = 0.62
+	// fig1SpikeAlphaL1 is where the paper's "reports 2 or 5 with >= 0.7"
+	// L1 vertex appears; fig1SpikeAlphaL2 where L2 collapses to a
+	// constant output; fig1SpikeAlphaL0D where the d=1 loss concentrates
+	// over 90% on {1,4}.
+	fig1SpikeAlphaL1  = 0.85
+	fig1SpikeAlphaL2  = 0.8
+	fig1SpikeAlphaL0D = 0.9
+)
+
+// figure1 solves the unconstrained LPs of Figure 1 and reports the
+// gap/spike pathologies the paper describes.
+func figure1(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig1", Title: "Unconstrained optima (gaps and spikes)"}
+
+	type panel struct {
+		label string
+		build func() (*core.Mechanism, error)
+	}
+	panels := []panel{
+		{"L1 n=7 a=0.62", func() (*core.Mechanism, error) { return design.Unconstrained(7, fig12Alpha, 1) }},
+		{"L1 n=7 a=0.85", func() (*core.Mechanism, error) { return design.Unconstrained(7, fig1SpikeAlphaL1, 1) }},
+		{"L2 n=4 a=0.80", func() (*core.Mechanism, error) { return design.Unconstrained(4, fig1SpikeAlphaL2, 2) }},
+		{"L0 d=1 n=5 a=0.90", func() (*core.Mechanism, error) { return design.UnconstrainedL0D(5, fig1SpikeAlphaL0D, 1) }},
+		{"L0 n=5 a=0.62", func() (*core.Mechanism, error) { return design.Unconstrained(5, fig12Alpha, 0) }},
+	}
+	for _, p := range panels {
+		m, err := p.build()
+		if err != nil {
+			return nil, err
+		}
+		f.Heatmaps = append(f.Heatmaps, Heatmap{Label: p.label, M: m.Matrix()})
+		gaps := m.Gaps(1e-9)
+		f.AddNote("%s: outputs never reported (gaps): %v", p.label, gaps)
+	}
+
+	// The paper's headline observations, verified numerically at the
+	// settings where each degenerate vertex is optimal.
+	l1, err := design.Unconstrained(7, fig1SpikeAlphaL1, 1)
+	if err != nil {
+		return nil, err
+	}
+	min25 := 1.0
+	for j := 0; j <= 7; j++ {
+		if v := l1.Prob(2, j) + l1.Prob(5, j); v < min25 {
+			min25 = v
+		}
+	}
+	f.AddNote("L1 n=7 a=0.85: Pr[report 2 or 5] >= %.3f for every input (paper: at least 0.7)", min25)
+
+	l2, err := design.Unconstrained(4, fig1SpikeAlphaL2, 2)
+	if err != nil {
+		return nil, err
+	}
+	colVar := 0.0
+	for i := 0; i <= 4; i++ {
+		lo, hi := 1.0, 0.0
+		for j := 0; j <= 4; j++ {
+			v := l2.Prob(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if d := hi - lo; d > colVar {
+			colVar = d
+		}
+	}
+	f.AddNote("L2 n=4 a=0.80: optimum ignores its input entirely (max column variation %.1e) and always reports 2 (paper: 'always report 2')", colVar)
+	f.AddNote("L2 n=4 a=0.80: Pr[2|j] = %.3f for every j; outputs %v never occur", l2.Prob(2, 0), l2.Gaps(1e-9))
+
+	l0d, err := design.UnconstrainedL0D(5, fig1SpikeAlphaL0D, 1)
+	if err != nil {
+		return nil, err
+	}
+	min14 := 1.0
+	for j := 0; j <= 5; j++ {
+		if v := l0d.Prob(1, j) + l0d.Prob(4, j); v < min14 {
+			min14 = v
+		}
+	}
+	f.AddNote("L0 d=1 n=5 a=0.90: Pr[report 1 or 4] >= %.3f for every input (paper: over 90%%)", min14)
+	f.AddNote("at the caption's alpha=0.62 the optima are different co-optimal vertices with the same gap pathology (extremes never reported); L_p optima are non-unique")
+	return f, nil
+}
+
+// figure2 re-solves the same panels with all seven structural properties.
+func figure2(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig2", Title: "Constrained optima (all properties)"}
+
+	solve := func(n int, alpha, p float64) (*core.Mechanism, error) {
+		r, err := design.Solve(design.Problem{
+			N: n, Alpha: alpha, Props: core.AllProperties,
+			Objective: design.Objective{P: p}, ReduceSymmetry: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Mechanism, nil
+	}
+	type panel struct {
+		label string
+		build func() (*core.Mechanism, error)
+	}
+	panels := []panel{
+		{"L1 n=7 a=0.62 (all props)", func() (*core.Mechanism, error) { return solve(7, fig12Alpha, 1) }},
+		{"L1 n=7 a=0.85 (all props)", func() (*core.Mechanism, error) { return solve(7, fig1SpikeAlphaL1, 1) }},
+		{"L2 n=4 a=0.62 (all props)", func() (*core.Mechanism, error) { return solve(4, fig12Alpha, 2) }},
+		{"L0 d=1 n=5 a=0.90 (all props)", func() (*core.Mechanism, error) {
+			return design.ConstrainedL0D(5, fig1SpikeAlphaL0D, 1, core.AllProperties|core.Symmetry)
+		}},
+		{"L0 n=5 a=0.62 (all props)", func() (*core.Mechanism, error) { return solve(5, fig12Alpha, 0) }},
+	}
+	for _, p := range panels {
+		m, err := p.build()
+		if err != nil {
+			return nil, err
+		}
+		f.Heatmaps = append(f.Heatmaps, Heatmap{Label: p.label, M: m.Matrix()})
+		if gaps := m.Gaps(1e-9); len(gaps) != 0 {
+			f.AddNote("%s: UNEXPECTED gaps remain: %v", p.label, gaps)
+		} else {
+			f.AddNote("%s: no gaps; properties satisfied: %s", p.label,
+				core.PropertySetString(m.SatisfiedProperties(1e-7)))
+		}
+	}
+
+	// Paper: in the constrained L2 case (whose unconstrained optimum
+	// ignored its input), every input is now reported within one step
+	// with probability at least 2/3.
+	l2, err := solve(4, fig12Alpha, 2)
+	if err != nil {
+		return nil, err
+	}
+	minNear := 1.0
+	for j := 0; j <= 4; j++ {
+		var near float64
+		for i := 0; i <= 4; i++ {
+			if d := i - j; d >= -1 && d <= 1 {
+				near += l2.Prob(i, j)
+			}
+		}
+		if near < minNear {
+			minNear = near
+		}
+	}
+	f.AddNote("L2 n=4 a=0.62 (all props): Pr[|output−input| <= 1] >= %.3f for every input (paper: at least 2/3)", minNear)
+	return f, nil
+}
+
+// figure3 confirms GM's closed-form structure (Fig 3) across a grid.
+func figure3(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig3", Title: "GM structure check"}
+	worst := 0.0
+	for _, alpha := range []float64{0.25, 0.5, fig12Alpha, 0.9, 0.99} {
+		for n := 1; n <= 16; n++ {
+			m, err := core.Geometric(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			x := 1 / (1 + alpha)
+			y := (1 - alpha) / (1 + alpha)
+			for j := 0; j <= n; j++ {
+				for i := 0; i <= n; i++ {
+					var want float64
+					switch i {
+					case 0:
+						want = x * pow(alpha, j)
+					case n:
+						want = x * pow(alpha, n-j)
+					default:
+						want = y * pow(alpha, absInt(i-j))
+					}
+					if d := abs(m.Prob(i, j) - want); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+	}
+	gm, err := core.Geometric(7, fig12Alpha)
+	if err != nil {
+		return nil, err
+	}
+	f.Heatmaps = append(f.Heatmaps, Heatmap{Label: "GM n=7 alpha=0.62", M: gm.Matrix()})
+	f.AddNote("max |GM − closed form| over n=1..16, alpha in {0.25,0.5,0.62,0.9,0.99}: %.2e", worst)
+	f.AddNote("GM L0 closed form 2a/(1+a) at a=0.62: %.6f; measured: %.6f",
+		core.GeometricL0(fig12Alpha), gm.L0())
+	return f, nil
+}
+
+// figure4 confirms the published EM matrix for n = 7 (Fig 4).
+func figure4(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig4", Title: "Explicit fair mechanism for n=7"}
+	const alpha = 0.9
+	em, err := core.ExplicitFair(7, alpha)
+	if err != nil {
+		return nil, err
+	}
+	f.Heatmaps = append(f.Heatmaps, Heatmap{Label: "EM n=7 alpha=0.9", M: em.Matrix()})
+
+	// The published exponent pattern, row by row (Fig 4).
+	want := [8][8]int{
+		{0, 1, 2, 3, 4, 4, 4, 4},
+		{1, 0, 1, 2, 3, 3, 3, 3},
+		{1, 1, 0, 1, 2, 3, 3, 3},
+		{2, 2, 1, 0, 1, 2, 2, 2},
+		{2, 2, 2, 1, 0, 1, 2, 2},
+		{3, 3, 3, 2, 1, 0, 1, 1},
+		{3, 3, 3, 3, 2, 1, 0, 1},
+		{4, 4, 4, 4, 3, 2, 1, 0},
+	}
+	y := core.ExplicitFairY(7, alpha)
+	worst := 0.0
+	for i := 0; i <= 7; i++ {
+		for j := 0; j <= 7; j++ {
+			expect := y * pow(alpha, want[i][j])
+			if d := abs(em.Prob(i, j) - expect); d > worst {
+				worst = d
+			}
+		}
+	}
+	f.AddNote("max |EM − published Fig 4 pattern| at n=7: %.2e (y=%.6f)", worst, y)
+	f.AddNote("EM satisfies: %s", core.PropertySetString(em.SatisfiedProperties(1e-9)))
+	return f, nil
+}
+
+// figure7 reproduces the three-panel comparison at n=4, alpha=0.9.
+func figure7(o Options) (*Figure, error) {
+	f := &Figure{ID: "fig7", Title: "GM vs EM vs WM at n=4, alpha=0.9"}
+	const n, alpha = 4, 0.9
+	gm, err := core.Geometric(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	em, err := core.ExplicitFair(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := design.WM(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []*core.Mechanism{gm, em, wm} {
+		f.Heatmaps = append(f.Heatmaps, Heatmap{Label: m.Name(), M: m.Matrix()})
+		tp, err := m.TruthProb(nil)
+		if err != nil {
+			return nil, err
+		}
+		f.AddNote("%s: uniform-prior truth probability %.3f", m.Name(), tp)
+	}
+	f.AddNote("paper reports EM 0.224 and GM 0.238 for this setting")
+	f.AddNote("GM mass on extreme outputs (0 and n) for input 2: %.3f; EM: %.3f; WM: %.3f",
+		gm.Prob(0, 2)+gm.Prob(n, 2), em.Prob(0, 2)+em.Prob(n, 2), wm.Prob(0, 2)+wm.Prob(n, 2))
+	return f, nil
+}
+
+// example1 reproduces the worked numbers of Example 1.
+func example1(o Options) (*Figure, error) {
+	f := &Figure{ID: "ex1", Title: "Example 1: GM at n=2, alpha=0.9"}
+	gm, err := core.Geometric(2, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	f.Heatmaps = append(f.Heatmaps, Heatmap{Label: "GM n=2 alpha=0.9", M: gm.Matrix()})
+	f.AddNote("Pr[0|1] = %.3f (paper ~0.47); Pr[2|1] = %.3f (paper ~0.47); Pr[1|1] = %.3f (paper ~0.05)",
+		gm.Prob(0, 1), gm.Prob(2, 1), gm.Prob(1, 1))
+	f.AddNote("Pr[0|0] = %.3f (paper ~0.53): truth is far likelier at the extremes", gm.Prob(0, 0))
+	f.AddNote("truth at input 1 is %.1fx less likely than an incorrect answer (paper: eighteen times)",
+		(gm.Prob(0, 1)+gm.Prob(2, 1))/gm.Prob(1, 1))
+	f.AddNote("GM weak honesty threshold 2a/(1-a) = %.1f > n = 2, so GM is not weakly honest here",
+		core.GeometricWeakHonestyThreshold(0.9))
+	return f, nil
+}
+
+func pow(a float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= a
+	}
+	return out
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"privcount/internal/core"
+)
+
+func TestFigure8aTwoBehaviours(t *testing.T) {
+	f, err := Build("fig8a", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := f.Tables[0]
+	// At each n, WH-only and WH+row-property curves must agree; any
+	// column-property curve must agree with every other column curve.
+	rowLabels := []string{"WH", "WH+RH", "WH+RM"}
+	colLabels := []string{"WH+CH", "WH+CM", "WH+RH+CH", "WH+RH+CM", "WH+RM+CH", "WH+RM+CM"}
+	ref := tab.SeriesByLabel("WH")
+	colRef := tab.SeriesByLabel("WH+CM")
+	if ref == nil || colRef == nil {
+		t.Fatal("missing reference series")
+	}
+	for i := range ref.X {
+		for _, l := range rowLabels {
+			s := tab.SeriesByLabel(l)
+			if s == nil {
+				t.Fatalf("missing series %s", l)
+			}
+			if math.Abs(s.Y[i]-ref.Y[i]) > 1e-6 {
+				t.Errorf("n=%v: %s = %v departs from WH curve %v", ref.X[i], l, s.Y[i], ref.Y[i])
+			}
+		}
+		for _, l := range colLabels {
+			s := tab.SeriesByLabel(l)
+			if s == nil {
+				t.Fatalf("missing series %s", l)
+			}
+			if math.Abs(s.Y[i]-colRef.Y[i]) > 1e-6 {
+				t.Errorf("n=%v: %s = %v departs from column curve %v", ref.X[i], l, s.Y[i], colRef.Y[i])
+			}
+		}
+		// The column curve never beats the row curve.
+		if colRef.Y[i] < ref.Y[i]-1e-9 {
+			t.Errorf("n=%v: column curve %v below WH curve %v", ref.X[i], colRef.Y[i], ref.Y[i])
+		}
+	}
+	// Beyond the Lemma 2 threshold (6.33 at alpha=0.76), the WH curve
+	// equals GM's closed-form cost exactly.
+	const alpha = 0.76
+	gmCost := core.GeometricL0(alpha)
+	thr := core.GeometricWeakHonestyThreshold(alpha)
+	for i, n := range ref.X {
+		if n >= thr && math.Abs(ref.Y[i]-gmCost) > 1e-7 {
+			t.Errorf("n=%v >= threshold %.2f: WH cost %v != GM %v", n, thr, ref.Y[i], gmCost)
+		}
+		if n < thr-1 && ref.Y[i] <= gmCost+1e-9 {
+			t.Errorf("n=%v below threshold: WH cost %v should exceed GM %v", n, ref.Y[i], gmCost)
+		}
+	}
+}
+
+func TestFigure8bConvergesAtLowAlpha(t *testing.T) {
+	f, err := Build("fig8b", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := f.Tables[0]
+	// At alpha = 0.5 every combination collapses onto GM (Lemma 3 grants
+	// column monotonicity for free and Lemma 2 grants weak honesty since
+	// n=8 >= 2).
+	gmCost := core.GeometricL0(0.5)
+	for _, s := range tab.Series {
+		if len(s.X) == 0 || s.X[0] != 0.5 {
+			t.Fatalf("series %s does not start at alpha=0.5", s.Label)
+		}
+		if math.Abs(s.Y[0]-gmCost) > 1e-6 {
+			t.Errorf("%s at alpha=0.5: %v, want GM %v", s.Label, s.Y[0], gmCost)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package heatmap renders mechanism matrices as terminal heatmaps and
+// portable graymap (PGM) images, reproducing the visual language of the
+// paper's Figures 1, 2 and 7: columns are inputs, rows are outputs, and
+// brighter cells carry more probability.
+package heatmap
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"privcount/internal/mat"
+)
+
+// shades orders glyphs from empty to full for ASCII rendering.
+var shades = []rune(" .:-=+*#%@")
+
+// ASCII renders the matrix as a text heatmap with one glyph per cell,
+// row 0 at the top, normalised to the matrix maximum. Input (column)
+// indices head the output; output (row) indices prefix each line.
+func ASCII(m *mat.Dense) string {
+	var b strings.Builder
+	max := m.Max()
+	if max <= 0 {
+		max = 1
+	}
+	b.WriteString("     j=")
+	for j := 0; j < m.Cols(); j++ {
+		fmt.Fprintf(&b, "%2d", j%100)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < m.Rows(); i++ {
+		fmt.Fprintf(&b, "i=%3d  ", i)
+		for j := 0; j < m.Cols(); j++ {
+			v := m.At(i, j) / max
+			idx := int(v * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM writes the matrix as a binary-free plain PGM (P2) image with
+// `scale`×`scale` pixels per cell, normalised to the matrix maximum.
+// PGM is chosen because it needs no external dependencies and every
+// image viewer opens it.
+func WritePGM(w io.Writer, m *mat.Dense, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	max := m.Max()
+	if max <= 0 {
+		max = 1
+	}
+	width := m.Cols() * scale
+	height := m.Rows() * scale
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	for py := 0; py < height; py++ {
+		i := py / scale
+		cells := make([]string, width)
+		for px := 0; px < width; px++ {
+			j := px / scale
+			v := int(m.At(i, j) / max * 255)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			cells[px] = fmt.Sprintf("%d", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SideBySide joins several ASCII heatmaps horizontally under their
+// labels, for multi-panel figures.
+func SideBySide(labels []string, ms []*mat.Dense) string {
+	if len(labels) != len(ms) {
+		panic("heatmap: SideBySide label/matrix count mismatch")
+	}
+	blocks := make([][]string, len(ms))
+	widths := make([]int, len(ms))
+	height := 0
+	for k, m := range ms {
+		lines := strings.Split(strings.TrimRight(ASCII(m), "\n"), "\n")
+		blocks[k] = append([]string{labels[k]}, lines...)
+		for _, l := range blocks[k] {
+			if len(l) > widths[k] {
+				widths[k] = len(l)
+			}
+		}
+		if len(blocks[k]) > height {
+			height = len(blocks[k])
+		}
+	}
+	var b strings.Builder
+	for row := 0; row < height; row++ {
+		for k := range blocks {
+			var cell string
+			if row < len(blocks[k]) {
+				cell = blocks[k][row]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[k]+4, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+
+	"privcount/internal/mat"
+)
+
+func testMatrix(t *testing.T) *mat.Dense {
+	t.Helper()
+	m, err := mat.FromRows([][]float64{
+		{1.0, 0.0},
+		{0.0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestASCIIShape(t *testing.T) {
+	out := ASCII(testMatrix(t))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "j=") {
+		t.Errorf("missing column header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "i=") {
+		t.Errorf("missing row label: %q", lines[1])
+	}
+	// Max value renders with the densest glyph, zero with a space.
+	if !strings.Contains(lines[1], "@@") {
+		t.Errorf("max cell not dense: %q", lines[1])
+	}
+}
+
+func TestASCIIZeroMatrix(t *testing.T) {
+	m := mat.NewDense(2, 2)
+	out := ASCII(m) // must not divide by zero
+	if !strings.Contains(out, "i=") {
+		t.Fatal("zero matrix render broken")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var b strings.Builder
+	if err := WritePGM(&b, testMatrix(t), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "P2\n6 6\n255\n") {
+		t.Fatalf("bad PGM header: %q", out[:20])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 3 header lines + 6 pixel rows.
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if fields := strings.Fields(lines[3]); len(fields) != 6 {
+		t.Fatalf("pixel row has %d values", len(fields))
+	}
+	// Top-left block is the max → 255.
+	if !strings.HasPrefix(lines[3], "255 255 255 0") {
+		t.Fatalf("unexpected first pixel row: %q", lines[3])
+	}
+}
+
+func TestWritePGMMinScale(t *testing.T) {
+	var b strings.Builder
+	if err := WritePGM(&b, testMatrix(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "P2\n2 2\n") {
+		t.Fatal("scale < 1 should clamp to 1")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	m := testMatrix(t)
+	out := SideBySide([]string{"left", "right"}, []*mat.Dense{m, m})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "left") || !strings.Contains(lines[0], "right") {
+		t.Fatalf("labels missing: %q", lines[0])
+	}
+	// Label line + header + 2 rows.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSideBySidePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched labels did not panic")
+		}
+	}()
+	SideBySide([]string{"only"}, nil)
+}

@@ -1,0 +1,138 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Random-instance duality tests: for max{cᵀx : Ax ≤ b, x ≥ 0} the duals
+// must satisfy y ≥ 0, Aᵀy ≥ c, and strong duality bᵀy = cᵀx. Together
+// these certify both the optimum and the dual-extraction code on
+// instances nobody hand-picked.
+
+func TestRandomDualFeasibilityAndStrongDuality(t *testing.T) {
+	f := func(raw [12]int8) bool {
+		const nv, nc = 3, 3
+		m := NewModel("dual", Maximize)
+		vars := make([]int, nv)
+		c := make([]float64, nv)
+		for i := range vars {
+			vars[i] = m.AddVariable("")
+			c[i] = float64(raw[i]%5) + 0.5 // positive costs keep it bounded via the box
+			m.SetObjective(vars[i], c[i])
+		}
+		// Box plus random extra LE rows with non-negative coefficients and
+		// positive RHS (origin feasible, region bounded).
+		a := make([][]float64, 0, nc+nv)
+		b := make([]float64, 0, nc+nv)
+		rowIdx := make([]int, 0, nc+nv)
+		for i := range vars {
+			row := make([]float64, nv)
+			row[i] = 1
+			idx, _ := m.AddConstraint("", []Term{{vars[i], 1}}, LE, 10)
+			a = append(a, row)
+			b = append(b, 10)
+			rowIdx = append(rowIdx, idx)
+		}
+		for k := 0; k < nc; k++ {
+			row := make([]float64, nv)
+			terms := make([]Term, 0, nv)
+			for i := range vars {
+				coef := float64((int(raw[3+k*3+i%3]) + 128) % 4) // 0..3
+				row[i] = coef
+				if coef != 0 {
+					terms = append(terms, Term{vars[i], coef})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			rhs := float64((int(raw[(k+5)%12])+128)%20) + 1
+			idx, _ := m.AddConstraint("", terms, LE, rhs)
+			a = append(a, row)
+			b = append(b, rhs)
+			rowIdx = append(rowIdx, idx)
+		}
+
+		sol, err := m.Solve()
+		if err != nil {
+			return false
+		}
+		// Dual feasibility: y >= 0 and Aᵀy >= c.
+		for k, idx := range rowIdx {
+			if sol.Duals[idx] < -1e-8 {
+				return false
+			}
+			_ = k
+		}
+		for i := 0; i < nv; i++ {
+			var aty float64
+			for k, idx := range rowIdx {
+				aty += a[k][i] * sol.Duals[idx]
+			}
+			if aty < c[i]-1e-7 {
+				return false
+			}
+		}
+		// Strong duality.
+		var by float64
+		for k, idx := range rowIdx {
+			by += b[k] * sol.Duals[idx]
+		}
+		return math.Abs(by-sol.Objective) < 1e-7*(1+math.Abs(sol.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualsOnDesignShapedLP(t *testing.T) {
+	// A miniature mechanism-design LP (n = 2, alpha = 0.5, L0): verify
+	// strong duality against the known optimum 2a/(1+a) scaled by the
+	// uniform weights.
+	const alpha = 0.5
+	m := NewModel("design2", Minimize)
+	var v [3][3]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = m.AddVariable("")
+			if i != j {
+				m.SetObjective(v[i][j], 1.0/3.0)
+			}
+		}
+	}
+	type rowRef struct {
+		idx int
+		rhs float64
+	}
+	var rows []rowRef
+	for j := 0; j < 3; j++ {
+		idx, _ := m.AddConstraint("", []Term{{v[0][j], 1}, {v[1][j], 1}, {v[2][j], 1}}, EQ, 1)
+		rows = append(rows, rowRef{idx, 1})
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			idx, _ := m.AddConstraint("", []Term{{v[i][j+1], alpha}, {v[i][j], -1}}, LE, 0)
+			rows = append(rows, rowRef{idx, 0})
+			idx, _ = m.AddConstraint("", []Term{{v[i][j], alpha}, {v[i][j+1], -1}}, LE, 0)
+			rows = append(rows, rowRef{idx, 0})
+		}
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known optimum: mean wrong-answer probability of GM = 2a/(1+a)·(n/(n+1)).
+	want := 2 * alpha / (1 + alpha) * 2 / 3
+	if math.Abs(sol.Objective-want) > 1e-9 {
+		t.Fatalf("objective %v, want %v", sol.Objective, want)
+	}
+	var by float64
+	for _, r := range rows {
+		by += r.rhs * sol.Duals[r.idx]
+	}
+	if math.Abs(by-sol.Objective) > 1e-7 {
+		t.Fatalf("strong duality gap: bᵀy = %v, obj = %v", by, sol.Objective)
+	}
+}

@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLPBasic(t *testing.T) {
+	m, err := ParseLP(`
+		/* a classic */
+		max: 3x + 2y;
+		c1: x + y <= 4;
+		c2: x + 3y <= 6;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sense() != Maximize {
+		t.Error("sense should be max")
+	}
+	if m.NumVariables() != 2 || m.NumConstraints() != 2 {
+		t.Fatalf("parsed %d vars, %d constraints", m.NumVariables(), m.NumConstraints())
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-12) > 1e-9 {
+		t.Fatalf("objective %v, want 12", sol.Objective)
+	}
+}
+
+func TestParseLPMinKeywords(t *testing.T) {
+	for _, kw := range []string{"min", "minimize", "minimise", "MIN"} {
+		m, err := ParseLP(kw + ": x; c: x >= 2;")
+		if err != nil {
+			t.Fatalf("%s: %v", kw, err)
+		}
+		if m.Sense() != Minimize {
+			t.Errorf("%s parsed as %v", kw, m.Sense())
+		}
+	}
+}
+
+func TestParseLPCoefficientForms(t *testing.T) {
+	m, err := ParseLP(`min: 2x + 3*y - z + 0.5 w;
+		c: x + y + z + w >= 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coefs := map[string]float64{}
+	for v := 0; v < m.NumVariables(); v++ {
+		coefs[m.VariableName(v)] = m.ObjectiveCoeff(v)
+	}
+	want := map[string]float64{"x": 2, "y": 3, "z": -1, "w": 0.5}
+	for name, c := range want {
+		if coefs[name] != c {
+			t.Errorf("coef %s = %v, want %v", name, coefs[name], c)
+		}
+	}
+}
+
+func TestParseLPMovesConstants(t *testing.T) {
+	// x + 1 <= y + 4  ≡  x − y <= 3.
+	m, err := ParseLP("min: x; c: x + 1 <= y + 4;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Constraint(0)
+	if c.RHS != 3 {
+		t.Fatalf("RHS = %v, want 3", c.RHS)
+	}
+	coeffs := map[string]float64{}
+	for _, term := range c.Terms {
+		coeffs[m.VariableName(term.Var)] = term.Coeff
+	}
+	if coeffs["x"] != 1 || coeffs["y"] != -1 {
+		t.Fatalf("terms = %v", coeffs)
+	}
+}
+
+func TestParseLPComments(t *testing.T) {
+	m, err := ParseLP(`
+		// line comment
+		min: x; /* inline */ c: x >= 1; // trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumConstraints() != 1 {
+		t.Fatalf("constraints = %d", m.NumConstraints())
+	}
+}
+
+func TestParseLPScientificNumbers(t *testing.T) {
+	m, err := ParseLP("min: 1e-3 x; c: x >= 2.5e2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ObjectiveCoeff(0) != 1e-3 {
+		t.Fatalf("coef = %v", m.ObjectiveCoeff(0))
+	}
+	if m.Constraint(0).RHS != 250 {
+		t.Fatalf("rhs = %v", m.Constraint(0).RHS)
+	}
+}
+
+func TestParseLPErrors(t *testing.T) {
+	cases := map[string]string{
+		"no objective":          "c: x >= 1;",
+		"duplicate objective":   "min: x; max: x; c: x >= 1;",
+		"unterminated comment":  "min: x; /* oops",
+		"bad char":              "min: x; c: x >= $1;",
+		"missing semicolon":     "min: x",
+		"missing comparison":    "min: x; c: x 4;",
+		"constraint no semi":    "min: x; c: x >= 1",
+		"equality double const": "min: x; c: >= ;",
+	}
+	for name, src := range cases {
+		if _, err := ParseLP(src); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestWriteLPRoundTrip(t *testing.T) {
+	src := `min: 2a + 3b - c;
+		r1: a + b >= 2;
+		r2: b - 4c <= 10;
+		r3: a + c = 3;`
+	m1, err := ParseLP(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseLP(m1.WriteLP())
+	if err != nil {
+		t.Fatalf("re-parse of WriteLP output failed: %v\n%s", err, m1.WriteLP())
+	}
+	s1, err := m1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.Objective-s2.Objective) > 1e-9 {
+		t.Fatalf("round trip changed objective: %v vs %v", s1.Objective, s2.Objective)
+	}
+}
+
+func TestWriteLPMentionsConstraintNames(t *testing.T) {
+	m, err := ParseLP("min: x; budget: x >= 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.WriteLP()
+	if !strings.Contains(out, "budget:") {
+		t.Fatalf("WriteLP output missing constraint name:\n%s", out)
+	}
+}
+
+func TestParseLPBracketIdentifiers(t *testing.T) {
+	// Matrix-style names like r[0][1] used by generated models.
+	m, err := ParseLP("min: r[0][1]; c: r[0][1] >= 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VariableName(0) != "r[0][1]" {
+		t.Fatalf("name = %q", m.VariableName(0))
+	}
+}

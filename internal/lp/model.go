@@ -1,0 +1,258 @@
+// Package lp is a self-contained linear-programming substrate: a model
+// builder, a two-phase dense primal simplex solver with Bland anti-cycling,
+// dual-value extraction, and a reader/writer for an lp_solve-style text
+// format.
+//
+// The paper solves its constrained mechanism-design problems with
+// PyLPSolve (a wrapper over lp_solve); this package plays that role here.
+// The LPs it must handle are small and dense by modern standards — a few
+// hundred to a few thousand rows — so a carefully written dense tableau
+// simplex is both sufficient and easy to validate. Solutions are checked
+// in tests against brute-force vertex enumeration, strong duality, and the
+// paper's closed forms.
+//
+// All variables are non-negative; upper bounds and free variables are
+// expressed through constraints or variable splitting by the caller. This
+// matches the mechanism-design LPs exactly (probabilities are ≥ 0 and the
+// column-sum equalities imply ≤ 1).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sense selects minimisation or maximisation of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+func (s Sense) String() string {
+	if s == Maximize {
+		return "max"
+	}
+	return "min"
+}
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is one coefficient–variable pair in a linear expression.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a single linear constraint Σ Coeff·x Op RHS.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Model is a linear program under construction. The zero value is not
+// usable; create models with NewModel.
+type Model struct {
+	name     string
+	sense    Sense
+	varNames []string
+	obj      []float64
+	cons     []Constraint
+}
+
+// Errors returned by model construction and solving.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+	ErrBadModel   = errors.New("lp: malformed model")
+)
+
+// NewModel returns an empty model with the given name and objective sense.
+func NewModel(name string, sense Sense) *Model {
+	return &Model{name: name, sense: sense}
+}
+
+// Name returns the model name.
+func (m *Model) Name() string { return m.name }
+
+// Sense returns the objective sense.
+func (m *Model) Sense() Sense { return m.sense }
+
+// NumVariables returns the number of variables added so far.
+func (m *Model) NumVariables() int { return len(m.varNames) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVariable adds a non-negative variable and returns its index. An empty
+// name is replaced by a generated one.
+func (m *Model) AddVariable(name string) int {
+	if name == "" {
+		name = fmt.Sprintf("x%d", len(m.varNames))
+	}
+	m.varNames = append(m.varNames, name)
+	m.obj = append(m.obj, 0)
+	return len(m.varNames) - 1
+}
+
+// VariableName returns the name of variable v.
+func (m *Model) VariableName(v int) string {
+	if v < 0 || v >= len(m.varNames) {
+		return fmt.Sprintf("x?%d", v)
+	}
+	return m.varNames[v]
+}
+
+// SetObjective sets the objective coefficient of variable v.
+func (m *Model) SetObjective(v int, coeff float64) error {
+	if v < 0 || v >= len(m.varNames) {
+		return fmt.Errorf("lp: SetObjective: variable %d out of range [0,%d): %w", v, len(m.varNames), ErrBadModel)
+	}
+	m.obj[v] = coeff
+	return nil
+}
+
+// ObjectiveCoeff returns the objective coefficient of variable v.
+func (m *Model) ObjectiveCoeff(v int) float64 {
+	if v < 0 || v >= len(m.obj) {
+		return 0
+	}
+	return m.obj[v]
+}
+
+// AddConstraint appends the constraint Σ terms Op rhs and returns its row
+// index. Terms referring to the same variable are summed. An empty name is
+// replaced by a generated one.
+func (m *Model) AddConstraint(name string, terms []Term, op Op, rhs float64) (int, error) {
+	if name == "" {
+		name = fmt.Sprintf("c%d", len(m.cons))
+	}
+	merged := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(m.varNames) {
+			return 0, fmt.Errorf("lp: AddConstraint %q: variable %d out of range [0,%d): %w",
+				name, t.Var, len(m.varNames), ErrBadModel)
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return 0, fmt.Errorf("lp: AddConstraint %q: coefficient for variable %d is %v: %w",
+				name, t.Var, t.Coeff, ErrBadModel)
+		}
+		merged[t.Var] += t.Coeff
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return 0, fmt.Errorf("lp: AddConstraint %q: right-hand side is %v: %w", name, rhs, ErrBadModel)
+	}
+	compact := make([]Term, 0, len(merged))
+	for v, c := range merged {
+		if c != 0 {
+			compact = append(compact, Term{Var: v, Coeff: c})
+		}
+	}
+	m.cons = append(m.cons, Constraint{Name: name, Terms: compact, Op: op, RHS: rhs})
+	return len(m.cons) - 1, nil
+}
+
+// Constraint returns the i-th constraint. The returned value shares its
+// term slice with the model; callers must not modify it.
+func (m *Model) Constraint(i int) Constraint { return m.cons[i] }
+
+// DedupeConstraints removes constraints that are exact duplicates of an
+// earlier one (same variables, coefficients, operator, and right-hand
+// side) and returns how many were dropped. Symmetry-folded design LPs
+// emit every constraint twice; dropping the copies halves the simplex
+// work without changing the feasible region.
+func (m *Model) DedupeConstraints() int {
+	seen := make(map[string]bool, len(m.cons))
+	kept := m.cons[:0]
+	dropped := 0
+	for _, c := range m.cons {
+		terms := append([]Term(nil), c.Terms...)
+		sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d|%g|", c.Op, c.RHS)
+		for _, t := range terms {
+			fmt.Fprintf(&b, "%d:%g;", t.Var, t.Coeff)
+		}
+		key := b.String()
+		if seen[key] {
+			dropped++
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, c)
+	}
+	m.cons = kept
+	return dropped
+}
+
+// EvalObjective evaluates the objective at x.
+func (m *Model) EvalObjective(x []float64) float64 {
+	var z float64
+	for v, c := range m.obj {
+		if v < len(x) {
+			z += c * x[v]
+		}
+	}
+	return z
+}
+
+// CheckFeasible verifies that x satisfies every constraint and variable
+// bound within tol, returning a descriptive error for the first violation.
+func (m *Model) CheckFeasible(x []float64, tol float64) error {
+	if len(x) < len(m.varNames) {
+		return fmt.Errorf("lp: CheckFeasible: %d values for %d variables: %w", len(x), len(m.varNames), ErrBadModel)
+	}
+	for v := range m.varNames {
+		if x[v] < -tol {
+			return fmt.Errorf("lp: variable %s = %g violates non-negativity", m.varNames[v], x[v])
+		}
+	}
+	for _, c := range m.cons {
+		var lhs float64
+		for _, t := range c.Terms {
+			lhs += t.Coeff * x[t.Var]
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+tol {
+				return fmt.Errorf("lp: constraint %s: %g <= %g violated by %g", c.Name, lhs, c.RHS, lhs-c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return fmt.Errorf("lp: constraint %s: %g >= %g violated by %g", c.Name, lhs, c.RHS, c.RHS-lhs)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return fmt.Errorf("lp: constraint %s: %g = %g violated by %g", c.Name, lhs, c.RHS, math.Abs(lhs-c.RHS))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAddVariableNames(t *testing.T) {
+	m := NewModel("t", Minimize)
+	v0 := m.AddVariable("alpha")
+	v1 := m.AddVariable("")
+	if m.VariableName(v0) != "alpha" {
+		t.Errorf("name = %q", m.VariableName(v0))
+	}
+	if m.VariableName(v1) != "x1" {
+		t.Errorf("generated name = %q", m.VariableName(v1))
+	}
+	if m.VariableName(99) == "" {
+		t.Error("out-of-range name should still render something")
+	}
+	if m.NumVariables() != 2 {
+		t.Errorf("NumVariables = %d", m.NumVariables())
+	}
+}
+
+func TestSetObjectiveErrors(t *testing.T) {
+	m := NewModel("t", Minimize)
+	if err := m.SetObjective(0, 1); err == nil {
+		t.Error("SetObjective on missing variable should error")
+	}
+	v := m.AddVariable("x")
+	if err := m.SetObjective(v, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.ObjectiveCoeff(v) != 2.5 {
+		t.Errorf("ObjectiveCoeff = %v", m.ObjectiveCoeff(v))
+	}
+	if m.ObjectiveCoeff(42) != 0 {
+		t.Error("out-of-range ObjectiveCoeff should be 0")
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	m := NewModel("t", Minimize)
+	v := m.AddVariable("x")
+	if _, err := m.AddConstraint("", []Term{{Var: 7, Coeff: 1}}, LE, 1); err == nil {
+		t.Error("unknown variable should error")
+	}
+	if _, err := m.AddConstraint("", []Term{{Var: v, Coeff: math.NaN()}}, LE, 1); err == nil {
+		t.Error("NaN coefficient should error")
+	}
+	if _, err := m.AddConstraint("", []Term{{Var: v, Coeff: 1}}, LE, math.Inf(1)); err == nil {
+		t.Error("infinite RHS should error")
+	}
+}
+
+func TestAddConstraintMergesTerms(t *testing.T) {
+	m := NewModel("t", Minimize)
+	v := m.AddVariable("x")
+	idx, err := m.AddConstraint("c", []Term{{Var: v, Coeff: 1}, {Var: v, Coeff: 2}}, LE, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Constraint(idx)
+	if len(c.Terms) != 1 || c.Terms[0].Coeff != 3 {
+		t.Fatalf("merged terms = %+v", c.Terms)
+	}
+}
+
+func TestAddConstraintDropsZeroTerms(t *testing.T) {
+	m := NewModel("t", Minimize)
+	v := m.AddVariable("x")
+	w := m.AddVariable("y")
+	idx, err := m.AddConstraint("c", []Term{{Var: v, Coeff: 1}, {Var: w, Coeff: 1}, {Var: w, Coeff: -1}}, EQ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Constraint(idx).Terms); got != 1 {
+		t.Fatalf("kept %d terms, want 1", got)
+	}
+}
+
+func TestEvalObjective(t *testing.T) {
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 2)
+	m.SetObjective(y, -1)
+	if got := m.EvalObjective([]float64{3, 4}); got != 2 {
+		t.Fatalf("EvalObjective = %v, want 2", got)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.AddConstraint("le", []Term{{x, 1}, {y, 1}}, LE, 4)
+	m.AddConstraint("ge", []Term{{x, 1}}, GE, 1)
+	m.AddConstraint("eq", []Term{{y, 2}}, EQ, 2)
+
+	if err := m.CheckFeasible([]float64{2, 1}, 1e-9); err != nil {
+		t.Errorf("feasible point rejected: %v", err)
+	}
+	if err := m.CheckFeasible([]float64{4, 1}, 1e-9); err == nil {
+		t.Error("LE violation accepted")
+	}
+	if err := m.CheckFeasible([]float64{0, 1}, 1e-9); err == nil {
+		t.Error("GE violation accepted")
+	}
+	if err := m.CheckFeasible([]float64{2, 2}, 1e-9); err == nil {
+		t.Error("EQ violation accepted")
+	}
+	if err := m.CheckFeasible([]float64{-1, 1}, 1e-9); err == nil {
+		t.Error("negative variable accepted")
+	}
+	if err := m.CheckFeasible([]float64{1}, 1e-9); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestDedupeConstraints(t *testing.T) {
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.AddConstraint("a", []Term{{x, 1}, {y, 2}}, LE, 3)
+	m.AddConstraint("b", []Term{{y, 2}, {x, 1}}, LE, 3) // same, different order
+	m.AddConstraint("c", []Term{{x, 1}, {y, 2}}, GE, 3) // different op
+	m.AddConstraint("d", []Term{{x, 1}, {y, 2}}, LE, 4) // different rhs
+
+	dropped := m.DedupeConstraints()
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	if m.NumConstraints() != 3 {
+		t.Fatalf("kept %d constraints, want 3", m.NumConstraints())
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if Minimize.String() != "min" || Maximize.String() != "max" {
+		t.Error("Sense.String mismatch")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op.String mismatch")
+	}
+}
+
+func TestErrorsAreClassified(t *testing.T) {
+	m := NewModel("inf", Minimize)
+	a := m.AddVariable("a")
+	m.SetObjective(a, 1)
+	m.AddConstraint("c1", []Term{{a, 1}}, LE, 1)
+	m.AddConstraint("c2", []Term{{a, 1}}, GE, 2)
+	_, err := m.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+
+	m2 := NewModel("unb", Maximize)
+	b := m2.AddVariable("b")
+	m2.SetObjective(b, 1)
+	m2.AddConstraint("c1", []Term{{b, 1}}, GE, 1)
+	_, err = m2.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("want ErrUnbounded, got %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests in this file pin down the numerical-robustness behaviour that
+// the mechanism-design LPs depend on: long degenerate runs must not
+// corrupt the returned solution, and the perturbation retry must repair
+// the rare instance where they do.
+
+// buildDegenerateLP constructs a heavily degenerate problem of the same
+// shape as the design LPs: many homogeneous difference constraints tied
+// together by a handful of equalities.
+func buildDegenerateLP(k int) *Model {
+	m := NewModel("degenerate", Minimize)
+	vars := make([]int, k)
+	for i := range vars {
+		vars[i] = m.AddVariable("")
+		m.SetObjective(vars[i], float64(i%3))
+	}
+	// One normalisation per block of 4, mirroring the column sums.
+	for b := 0; b+3 < k; b += 4 {
+		m.AddConstraint("", []Term{
+			{vars[b], 1}, {vars[b+1], 1}, {vars[b+2], 1}, {vars[b+3], 1},
+		}, EQ, 1)
+	}
+	// Dense web of homogeneous ratio rows (all RHS zero → maximal
+	// degeneracy at every vertex).
+	const alpha = 2.0 / 3.0
+	for i := 0; i+1 < k; i++ {
+		m.AddConstraint("", []Term{{vars[i+1], alpha}, {vars[i], -1}}, LE, 0)
+		m.AddConstraint("", []Term{{vars[i], alpha}, {vars[i+1], -1}}, LE, 0)
+	}
+	// Weak-honesty-style lower bounds keep phase 1 non-trivial.
+	for i := 0; i < k; i += 5 {
+		m.AddConstraint("", []Term{{vars[i], 1}}, GE, 1.0/float64(k))
+	}
+	return m
+}
+
+func TestDegenerateLPSolvesFeasibly(t *testing.T) {
+	for _, k := range []int{8, 24, 64, 120} {
+		m := buildDegenerateLP(k)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := m.CheckFeasible(sol.X, 1e-7); err != nil {
+			t.Fatalf("k=%d: returned infeasible point: %v", k, err)
+		}
+	}
+}
+
+func TestPerturbRestoreRoundTrip(t *testing.T) {
+	m := buildDegenerateLP(16)
+	tab := newTableau(m)
+	before := append([]float64(nil), tab.origRHS...)
+	tab.perturbRHS(1e-9)
+	changed := false
+	for i := range before {
+		if tab.origRHS[i] != before[i] {
+			changed = true
+		}
+		if d := tab.origRHS[i] - before[i]; d < 0 || d > 3e-9 {
+			t.Fatalf("row %d perturbed by %v, want (0, 3e-9)", i, d)
+		}
+	}
+	if !changed {
+		t.Fatal("perturbRHS changed nothing")
+	}
+	tab.restoreRHS()
+	for i := range before {
+		if tab.origRHS[i] != before[i] {
+			t.Fatalf("restoreRHS did not restore row %d", i)
+		}
+	}
+}
+
+func TestRefineRHSImprovesDriftedSolution(t *testing.T) {
+	// Solve a simple system, then inject artificial drift into the
+	// tableau RHS and confirm refinement pulls it back.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 2)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 3)
+	m.AddConstraint("e2", []Term{{x, 1}, {y, -1}}, EQ, 1)
+
+	tab := newTableau(m)
+	opts := Options{}.withDefaults(tab.m, tab.totalCols)
+	iters := 0
+	cost := make([]float64, tab.totalCols)
+	cost[x], cost[y] = 1, 2
+	// Phase 1 then phase 2 by hand.
+	cost1 := make([]float64, tab.totalCols)
+	for i := 0; i < tab.m; i++ {
+		cost1[tab.basis[i]] = 1
+	}
+	if _, st := tab.iterate(cost1, func(int) bool { return true }, opts, &iters); st != StatusOptimal {
+		t.Fatalf("phase1 status %v", st)
+	}
+	tab.evictArtificials(opts)
+	if _, st := tab.iterate(cost, func(j int) bool { return !tab.isArtificial(j) }, opts, &iters); st != StatusOptimal {
+		t.Fatalf("phase2 status %v", st)
+	}
+
+	// Inject drift.
+	for i := 0; i < tab.m; i++ {
+		tab.rows[i][tab.totalCols] += 3e-4
+	}
+	tab.refineRHS(opts)
+	got := make([]float64, 2)
+	for i := 0; i < tab.m; i++ {
+		if b := tab.basis[i]; b < 2 {
+			got[b] = tab.rows[i][tab.totalCols]
+		}
+	}
+	// True solution: x = 2, y = 1.
+	if math.Abs(got[x]-2) > 1e-9 || math.Abs(got[y]-1) > 1e-9 {
+		t.Fatalf("refined solution (%v, %v), want (2, 1)", got[x], got[y])
+	}
+}
+
+func TestSolveWithTinyTolerance(t *testing.T) {
+	// An explicit non-default tolerance still produces a correct result.
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	m.SetObjective(x, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, LE, 7)
+	sol, err := m.SolveWith(Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-7) > 1e-9 {
+		t.Fatalf("objective %v", sol.Objective)
+	}
+}
+
+func TestRepeatedSolvesAreDeterministic(t *testing.T) {
+	m := buildDegenerateLP(40)
+	a, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Objective-b.Objective) > 1e-12 {
+		t.Fatalf("objectives differ: %v vs %v", a.Objective, b.Objective)
+	}
+	for i := range a.X {
+		if math.Abs(a.X[i]-b.X[i]) > 1e-9 {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, a.X[i], b.X[i])
+		}
+	}
+}

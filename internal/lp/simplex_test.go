@@ -1,0 +1,390 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// solveOK solves and fails the test on any error.
+func solveOK(t *testing.T, m *Model) *Solution {
+	t.Helper()
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := m.CheckFeasible(sol.X, 1e-6); err != nil {
+		t.Fatalf("solution infeasible: %v", err)
+	}
+	return sol
+}
+
+func TestSimplexTextbookMax(t *testing.T) {
+	// max 3x + 2y st x + y <= 4, x + 3y <= 6 → x=4, y=0, obj 12.
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 3)
+	m.SetObjective(y, 2)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Objective-12) > 1e-9 {
+		t.Fatalf("objective %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.Value(x)-4) > 1e-9 || math.Abs(sol.Value(y)) > 1e-9 {
+		t.Fatalf("x=%v y=%v, want 4, 0", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSimplexTextbookMin(t *testing.T) {
+	// min 2x + 3y st x + y >= 4, x >= 1 → interior of cost: y=0? check:
+	// candidates: (4,0) obj 8; (1,3) obj 11. Optimal (4,0).
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 2)
+	m.SetObjective(y, 3)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, GE, 4)
+	m.AddConstraint("c2", []Term{{x, 1}}, GE, 1)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Objective-8) > 1e-9 {
+		t.Fatalf("objective %v, want 8", sol.Objective)
+	}
+}
+
+func TestSimplexEqualityOnly(t *testing.T) {
+	// min x + y st x + 2y = 4, x - y = 1 → x=2, y=1, obj 3.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 1)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 2}}, EQ, 4)
+	m.AddConstraint("e2", []Term{{x, 1}, {y, -1}}, EQ, 1)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Value(x)-2) > 1e-9 || math.Abs(sol.Value(y)-1) > 1e-9 {
+		t.Fatalf("x=%v y=%v", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// Constraint with negative RHS exercises row flipping:
+	// min x st -x <= -3 (i.e. x >= 3).
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	m.SetObjective(x, 1)
+	m.AddConstraint("c", []Term{{x, -1}}, LE, -3)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Value(x)-3) > 1e-9 {
+		t.Fatalf("x = %v, want 3", sol.Value(x))
+	}
+}
+
+func TestSimplexRedundantConstraints(t *testing.T) {
+	// Duplicate equalities create a redundant row that phase 1 must
+	// neutralise.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 1)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 2)
+	m.AddConstraint("e2", []Term{{x, 2}, {y, 2}}, EQ, 4)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: three constraints through one point.
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 1)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 1)
+	m.AddConstraint("c2", []Term{{y, 1}}, LE, 1)
+	m.AddConstraint("c3", []Term{{x, 1}, {y, 1}}, LE, 2)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestSimplexZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 5)
+	sol := solveOK(t, m)
+	if sol.Value(x) < 5-1e-9 {
+		t.Fatalf("x = %v, want >= 5", sol.Value(x))
+	}
+}
+
+func TestSimplexUnusedVariable(t *testing.T) {
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	u := m.AddVariable("unused")
+	m.SetObjective(x, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 2)
+	sol := solveOK(t, m)
+	if sol.Value(u) != 0 {
+		t.Fatalf("unused variable = %v, want 0", sol.Value(u))
+	}
+}
+
+func TestSimplexKleeMintyStyle(t *testing.T) {
+	// A small Klee–Minty cube stresses pivoting; the optimum of
+	// max Σ 2^{d-i} x_i with the nested constraints is 5^d at
+	// x = (0, …, 0, 5^d). d = 5 here.
+	const d = 5
+	m := NewModel("km", Maximize)
+	vars := make([]int, d)
+	for i := 0; i < d; i++ {
+		vars[i] = m.AddVariable("")
+		m.SetObjective(vars[i], math.Pow(2, float64(d-i-1)))
+	}
+	for i := 0; i < d; i++ {
+		terms := []Term{{Var: vars[i], Coeff: 1}}
+		for j := 0; j < i; j++ {
+			terms = append(terms, Term{Var: vars[j], Coeff: math.Pow(2, float64(i-j+1))})
+		}
+		m.AddConstraint("", terms, LE, math.Pow(5, float64(i+1)))
+	}
+	sol := solveOK(t, m)
+	if math.Abs(sol.Objective-math.Pow(5, d)) > 1e-6 {
+		t.Fatalf("objective %v, want %v", sol.Objective, math.Pow(5, d))
+	}
+}
+
+func TestSimplexIterationLimit(t *testing.T) {
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 3)
+	m.SetObjective(y, 2)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 4)
+	_, err := m.SolveWith(Options{MaxIterations: -1})
+	// A negative budget is treated as already exhausted.
+	if err == nil {
+		t.Skip("solver finished before hitting the limit")
+	}
+}
+
+func TestDualsLEProblem(t *testing.T) {
+	// max 3x + 2y st x + y <= 4, x + 3y <= 6.
+	// Optimal basis has only c1 active (x=4): y1 = 3, y2 = 0.
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 3)
+	m.SetObjective(y, 2)
+	c1, _ := m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 4)
+	c2, _ := m.AddConstraint("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Duals[c1]-3) > 1e-9 {
+		t.Errorf("dual c1 = %v, want 3", sol.Duals[c1])
+	}
+	if math.Abs(sol.Duals[c2]) > 1e-9 {
+		t.Errorf("dual c2 = %v, want 0", sol.Duals[c2])
+	}
+	// Strong duality: obj = yᵀb.
+	if got := sol.Duals[c1]*4 + sol.Duals[c2]*6; math.Abs(got-sol.Objective) > 1e-9 {
+		t.Errorf("duality gap: yᵀb = %v, obj = %v", got, sol.Objective)
+	}
+}
+
+func TestDualsMinProblem(t *testing.T) {
+	// min 2x + 3y st x + y >= 4 (active), x >= 1 (slack at optimum (4,0)?
+	// x=4 > 1 so inactive → dual 0; active c1 dual = 2.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 2)
+	m.SetObjective(y, 3)
+	c1, _ := m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, GE, 4)
+	c2, _ := m.AddConstraint("c2", []Term{{x, 1}}, GE, 1)
+	sol := solveOK(t, m)
+	if math.Abs(sol.Duals[c1]-2) > 1e-9 {
+		t.Errorf("dual c1 = %v, want 2", sol.Duals[c1])
+	}
+	if math.Abs(sol.Duals[c2]) > 1e-9 {
+		t.Errorf("dual c2 = %v, want 0", sol.Duals[c2])
+	}
+	if got := sol.Duals[c1]*4 + sol.Duals[c2]*1; math.Abs(got-sol.Objective) > 1e-9 {
+		t.Errorf("duality gap: yᵀb = %v, obj = %v", got, sol.Objective)
+	}
+}
+
+func TestDualsEqualityProblem(t *testing.T) {
+	// min x + y st x + 2y = 4, x − y = 1. Strong duality must hold.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 1)
+	e1, _ := m.AddConstraint("e1", []Term{{x, 1}, {y, 2}}, EQ, 4)
+	e2, _ := m.AddConstraint("e2", []Term{{x, 1}, {y, -1}}, EQ, 1)
+	sol := solveOK(t, m)
+	if got := sol.Duals[e1]*4 + sol.Duals[e2]*1; math.Abs(got-sol.Objective) > 1e-8 {
+		t.Errorf("duality gap: yᵀb = %v, obj = %v", got, sol.Objective)
+	}
+}
+
+func TestComplementarySlackness(t *testing.T) {
+	m := NewModel("t", Maximize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	z := m.AddVariable("z")
+	m.SetObjective(x, 5)
+	m.SetObjective(y, 4)
+	m.SetObjective(z, 3)
+	rows := make([]int, 3)
+	rows[0], _ = m.AddConstraint("", []Term{{x, 2}, {y, 3}, {z, 1}}, LE, 5)
+	rows[1], _ = m.AddConstraint("", []Term{{x, 4}, {y, 1}, {z, 2}}, LE, 11)
+	rows[2], _ = m.AddConstraint("", []Term{{x, 3}, {y, 4}, {z, 2}}, LE, 8)
+	sol := solveOK(t, m)
+	// Known optimum of this classic problem: x=2, z=1, obj 13.
+	if math.Abs(sol.Objective-13) > 1e-9 {
+		t.Fatalf("objective %v, want 13", sol.Objective)
+	}
+	// Complementary slackness: y_i · (b_i − a_i x) = 0.
+	b := []float64{5, 11, 8}
+	for k, row := range rows {
+		c := m.Constraint(row)
+		var lhs float64
+		for _, term := range c.Terms {
+			lhs += term.Coeff * sol.X[term.Var]
+		}
+		if s := sol.Duals[row] * (b[k] - lhs); math.Abs(s) > 1e-8 {
+			t.Errorf("complementary slackness violated at row %d: %v", k, s)
+		}
+	}
+}
+
+// TestRandomLPsAgainstVertexEnumeration cross-checks the simplex against
+// brute force on random 2-variable LPs whose feasible region is bounded
+// by a box.
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	f := func(raw [8]int8) bool {
+		// Build: max c·x subject to box 0 <= x,y <= 10 plus two random
+		// halfplanes with RHS chosen to keep the origin feasible.
+		c := []float64{float64(raw[0]%5) + 0.5, float64(raw[1]%5) + 0.5}
+		a1 := []float64{float64(raw[2] % 4), float64(raw[3] % 4)}
+		a2 := []float64{float64(raw[4] % 4), float64(raw[5] % 4)}
+		b1 := math.Abs(float64(raw[6]%16)) + 1
+		b2 := math.Abs(float64(raw[7]%16)) + 1
+
+		m := NewModel("rand", Maximize)
+		x := m.AddVariable("x")
+		y := m.AddVariable("y")
+		m.SetObjective(x, c[0])
+		m.SetObjective(y, c[1])
+		m.AddConstraint("bx", []Term{{x, 1}}, LE, 10)
+		m.AddConstraint("by", []Term{{y, 1}}, LE, 10)
+		m.AddConstraint("h1", []Term{{x, a1[0]}, {y, a1[1]}}, LE, b1)
+		m.AddConstraint("h2", []Term{{x, a2[0]}, {y, a2[1]}}, LE, b2)
+		sol, err := m.Solve()
+		if err != nil {
+			return false
+		}
+		if m.CheckFeasible(sol.X, 1e-6) != nil {
+			return false
+		}
+
+		// Brute force on a fine grid plus all constraint intersections.
+		best := bruteForceMax2D(c, [][3]float64{
+			{1, 0, 10}, {0, 1, 10}, {a1[0], a1[1], b1}, {a2[0], a2[1], b2},
+		})
+		return math.Abs(best-sol.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceMax2D maximises c·x over {x ≥ 0 : a·x ≤ b rows} by
+// enumerating all vertices (pairwise constraint intersections plus axis
+// intersections).
+func bruteForceMax2D(c []float64, rows [][3]float64) float64 {
+	// Add the axes x = 0 and y = 0 as constraints for vertex generation.
+	lines := append([][3]float64{{1, 0, 0}, {0, 1, 0}}, rows...)
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, r := range rows {
+			if r[0]*x+r[1]*y > r[2]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	consider := func(x, y float64) {
+		if feasible(x, y) {
+			if v := c[0]*x + c[1]*y; v > best {
+				best = v
+			}
+		}
+	}
+	consider(0, 0)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			consider(x, y)
+		}
+	}
+	return best
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOptimal:    "optimal",
+		StatusInfeasible: "infeasible",
+		StatusUnbounded:  "unbounded",
+		StatusIterLimit:  "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	s := &Solution{X: []float64{1}}
+	if !math.IsNaN(s.Value(5)) {
+		t.Error("out-of-range Value should be NaN")
+	}
+	if !math.IsNaN(s.Value(-1)) {
+		t.Error("negative Value index should be NaN")
+	}
+}
+
+func TestTinyNegativesClamped(t *testing.T) {
+	// The design LPs rely on tiny negative values being rounded to zero.
+	m := NewModel("t", Minimize)
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(x, 1)
+	m.AddConstraint("e", []Term{{x, 1}, {y, 1}}, EQ, 1)
+	sol := solveOK(t, m)
+	for _, v := range sol.X {
+		if v < 0 {
+			t.Fatalf("negative value %v in solution", v)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package mat
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Dense {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("entry (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDense(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewDense(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("wrong entries: %v", m)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("empty row should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	want := mustFromRows(t, [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	if !m.EqualWithin(want, 0) {
+		t.Fatalf("Identity(3) = %v", m)
+	}
+}
+
+func TestAtSetPanicOutOfRange(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[0] = 77
+	if m.At(1, 0) != 4 {
+		t.Fatal("Row returned shared storage")
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+	c[0] = 77
+	if m.At(0, 2) != 3 {
+		t.Fatal("Col returned shared storage")
+	}
+}
+
+func TestRowColPanics(t *testing.T) {
+	m := NewDense(2, 2)
+	func() {
+		defer func() { _ = recover() }()
+		m.Row(5)
+		t.Error("Row(5) did not panic")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		m.Col(-1)
+		t.Error("Col(-1) did not panic")
+	}()
+}
+
+func TestTrace(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	if got := m.Trace(); got != 5 {
+		t.Fatalf("Trace = %v, want 5", got)
+	}
+}
+
+func TestTracePanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Trace on non-square did not panic")
+		}
+	}()
+	NewDense(2, 3).Trace()
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose is %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("bad transpose: %v", tr)
+	}
+}
+
+func TestCentroTranspose(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	s := m.CentroTranspose()
+	want := mustFromRows(t, [][]float64{{4, 3}, {2, 1}})
+	if !s.EqualWithin(want, 0) {
+		t.Fatalf("CentroTranspose = %v", s)
+	}
+}
+
+func TestCentroTransposeInvolution(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		m := mustFromRowsQuick(vals[:], 2, 3)
+		return m.CentroTranspose().CentroTranspose().EqualWithin(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustFromRowsQuick(vals []float64, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, tameFloat(vals[i*c+j]))
+		}
+	}
+	return m
+}
+
+// tameFloat maps arbitrary generated floats into [-100, 100] so property
+// tests exercise arithmetic rather than overflow.
+func tameFloat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+func TestAdd(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{10, 20}, {30, 40}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{11, 22}, {33, 44}})
+	if !sum.EqualWithin(want, 0) {
+		t.Fatalf("Add = %v", sum)
+	}
+}
+
+func TestAddShapeError(t *testing.T) {
+	if _, err := NewDense(2, 2).Add(NewDense(3, 2)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, -2}})
+	s := m.Scale(-3)
+	if s.At(0, 0) != -3 || s.At(0, 1) != 6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatal("Scale mutated receiver")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if !p.EqualWithin(want, 1e-12) {
+		t.Fatalf("Mul = %v", p)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	if _, err := NewDense(2, 3).Mul(NewDense(2, 3)); err == nil {
+		t.Error("inner dimension mismatch should error")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	f := func(vals [9]float64) bool {
+		m := mustFromRowsQuick(vals[:], 3, 3)
+		p, err := m.Mul(Identity(3))
+		return err == nil && p.EqualWithin(m, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	v, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestColRowSums(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	cs := m.ColSums()
+	if cs[0] != 4 || cs[1] != 6 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 7 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}})
+	b := mustFromRows(t, [][]float64{{1.5, 1}})
+	d, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("MaxAbsDiff = %v, want 1", d)
+	}
+	if _, err := a.MaxAbsDiff(NewDense(2, 2)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1}})
+	b := mustFromRows(t, [][]float64{{1 + 1e-10}})
+	if !a.EqualWithin(b, 1e-9) {
+		t.Error("should be equal within 1e-9")
+	}
+	if a.EqualWithin(b, 1e-11) {
+		t.Error("should not be equal within 1e-11")
+	}
+	if a.EqualWithin(NewDense(2, 1), 1) {
+		t.Error("different shapes should compare unequal")
+	}
+}
+
+func TestIsColumnStochastic(t *testing.T) {
+	good := mustFromRows(t, [][]float64{{0.3, 0.6}, {0.7, 0.4}})
+	if !good.IsColumnStochastic(1e-9) {
+		t.Error("valid stochastic matrix rejected")
+	}
+	badSum := mustFromRows(t, [][]float64{{0.3, 0.6}, {0.6, 0.4}})
+	if badSum.IsColumnStochastic(1e-9) {
+		t.Error("column sum 0.9 accepted")
+	}
+	negative := mustFromRows(t, [][]float64{{-0.1, 0.6}, {1.1, 0.4}})
+	if negative.IsColumnStochastic(1e-9) {
+		t.Error("negative entry accepted")
+	}
+	nan := mustFromRows(t, [][]float64{{math.NaN(), 0.6}, {1, 0.4}})
+	if nan.IsColumnStochastic(1e-9) {
+		t.Error("NaN entry accepted")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{-3, 7}, {0, 2}})
+	if m.Max() != 7 || m.Min() != -3 {
+		t.Fatalf("Max=%v Min=%v", m.Max(), m.Min())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := mustFromRows(t, [][]float64{{1, 0.5}}).String()
+	if !strings.Contains(s, "1.0000") || !strings.Contains(s, "0.5000") {
+		t.Fatalf("String() = %q", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("want one line, got %q", s)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("SolveLinear = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := mustFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("SolveLinear = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system should error")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(NewDense(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, err := SolveLinear(NewDense(2, 2), []float64{1}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 3}})
+	before := a.Clone()
+	if _, err := SolveLinear(a, []float64{5, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualWithin(before, 0) {
+		t.Error("SolveLinear mutated its input")
+	}
+}
+
+func TestSolveLinearRoundTrip(t *testing.T) {
+	f := func(vals [9]float64, rhs [3]float64) bool {
+		a := mustFromRowsQuick(vals[:], 3, 3)
+		// Diagonally dominate to guarantee invertibility.
+		for i := 0; i < 3; i++ {
+			a.Set(i, i, a.At(i, i)+10)
+		}
+		b := rhs[:]
+		for i, v := range b {
+			b[i] = tameFloat(v)
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			scale := math.Abs(b[i]) + 1
+			if math.Abs(ax[i]-b[i]) > 1e-8*scale {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular matrix in SolveLinear.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting. A must be square and is not modified. It is used to derive
+// unbiased (debiasing) estimators from mechanism matrices, which are small
+// and well conditioned for the α ranges of interest.
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("mat: SolveLinear with %d×%d matrix: %w", a.Rows(), a.Cols(), ErrShape)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: SolveLinear with rhs of length %d, want %d: %w", len(b), n, ErrShape)
+	}
+
+	// Working copies.
+	work := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(work.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("mat: pivot %g at column %d: %w", best, col, ErrSingular)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				vc, vp := work.At(col, j), work.At(pivot, j)
+				work.Set(col, j, vp)
+				work.Set(pivot, j, vc)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / work.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := work.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				work.Set(r, j, work.At(r, j)-f*work.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for j := r + 1; j < n; j++ {
+			s -= work.At(r, j) * x[j]
+		}
+		x[r] = s / work.At(r, r)
+	}
+	return x, nil
+}

@@ -1,0 +1,85 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias samples from a fixed discrete distribution in O(1) per draw using
+// Vose's alias method. Mechanisms use one Alias table per input column so
+// that running an experiment over millions of groups stays cheap.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given weights. Weights must be
+// non-negative, finite, and have a positive sum; they need not be
+// normalised.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: NewAlias: empty weight vector")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: NewAlias: weight %d is %v", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("rng: NewAlias: weights sum to %v, want > 0", sum)
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	// Whatever remains is 1 up to rounding.
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one outcome index using src.
+func (a *Alias) Sample(src Source) int {
+	i := src.IntN(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

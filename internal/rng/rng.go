@@ -1,0 +1,190 @@
+// Package rng supplies the randomness substrate for privcount: seeded,
+// reproducible pseudo-random sources for experiments and a crypto-quality
+// source for production use of differentially private mechanisms, together
+// with the distribution samplers the paper's mechanisms and workloads need
+// (Bernoulli, Binomial, two-sided geometric, categorical via alias tables).
+//
+// Experiments in the paper are repeated 30–50 times with error bars; every
+// sampler here is deterministic given a Source seed so that experiment
+// output is reproducible run-to-run.
+package rng
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mathrand "math/rand/v2"
+)
+
+// Source produces uniform random values. It is satisfied by *Rand below
+// and by CryptoSource.
+type Source interface {
+	// Float64 returns a uniform value in [0, 1).
+	Float64() float64
+	// Uint64 returns a uniform 64-bit value.
+	Uint64() uint64
+	// IntN returns a uniform value in [0, n). It panics if n <= 0.
+	IntN(n int) int
+}
+
+// Rand is a seeded, reproducible source backed by math/rand/v2's PCG
+// generator. It is not safe for concurrent use; create one per goroutine
+// (Split derives independent streams).
+type Rand struct {
+	r *mathrand.Rand
+}
+
+// New returns a reproducible source seeded from seed.
+func New(seed uint64) *Rand {
+	return &Rand{r: mathrand.New(mathrand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent stream from r, keyed by id. Two Splits of
+// the same source with different ids produce uncorrelated streams, which
+// lets parallel experiment repetitions share one master seed.
+func (r *Rand) Split(id uint64) *Rand {
+	hi := r.r.Uint64()
+	return &Rand{r: mathrand.New(mathrand.NewPCG(hi^id, id*0xbf58476d1ce4e5b9+1))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.r.Uint64() }
+
+// IntN returns a uniform value in [0, n).
+func (r *Rand) IntN(n int) int { return r.r.IntN(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }
+
+// Shuffle randomises the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.r.Shuffle(n, swap) }
+
+// CryptoSource is a Source backed by crypto/rand. It is safe for
+// concurrent use and suitable for releasing real data under differential
+// privacy, where a predictable PRNG would undermine the guarantee.
+type CryptoSource struct{}
+
+// Uint64 returns a uniform 64-bit value from the operating system CSPRNG.
+// It panics if the system source fails, as no meaningful recovery exists.
+func (CryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("rng: crypto source failed: %v", err))
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (c CryptoSource) Float64() float64 {
+	return float64(c.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform value in [0, n) by rejection sampling.
+func (c CryptoSource) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with non-positive n")
+	}
+	max := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := c.Uint64()
+		if v < max {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// Bernoulli returns true with probability p using src.
+func Bernoulli(src Source, p float64) bool {
+	return src.Float64() < p
+}
+
+// Binomial draws from Binomial(n, p) by inversion on the CDF, which is
+// exact and fast for the group sizes used in the paper (n up to a few
+// hundred). It panics if n < 0 or p is outside [0, 1].
+func Binomial(src Source, n int, p float64) int {
+	if n < 0 {
+		panic("rng: Binomial with negative n")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("rng: Binomial with p=%v outside [0,1]", p))
+	}
+	if n == 0 || p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return n
+	}
+	// Inversion: walk the pmf ratio Pr[k+1]/Pr[k] = (n-k)/(k+1) · p/(1-p).
+	u := src.Float64()
+	q := 1 - p
+	ratio := p / q
+	// Pr[0] = q^n; accumulate until the CDF passes u.
+	pk := 1.0
+	for i := 0; i < n; i++ {
+		pk *= q
+	}
+	cdf := pk
+	k := 0
+	for cdf < u && k < n {
+		pk *= ratio * float64(n-k) / float64(k+1)
+		cdf += pk
+		k++
+	}
+	return k
+}
+
+// TwoSidedGeometric draws δ with Pr[δ] = (1−α)·α^|δ| / (1+α) for δ ∈ ℤ,
+// the noise distribution of the truncated Geometric mechanism (Def 4 of
+// the paper). It panics unless 0 < alpha < 1.
+func TwoSidedGeometric(src Source, alpha float64) int {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("rng: TwoSidedGeometric with alpha=%v outside (0,1)", alpha))
+	}
+	// Magnitude |δ| has Pr[0] = (1−α)/(1+α) and Pr[m] = 2α^m(1−α)/(1+α)
+	// for m ≥ 1. Sample by inversion on the geometric tail, then a sign.
+	u := src.Float64()
+	p0 := (1 - alpha) / (1 + alpha)
+	if u < p0 {
+		return 0
+	}
+	// Conditioned on δ ≠ 0, |δ| is Geometric(1−α) on {1, 2, ...} and the
+	// sign is uniform.
+	m := 1
+	rem := (u - p0) / (1 - p0) // uniform in [0,1)
+	// Split the sign first to keep inversion one-dimensional.
+	neg := rem < 0.5
+	if neg {
+		rem *= 2
+	} else {
+		rem = (rem - 0.5) * 2
+	}
+	cdf := 1 - alpha
+	pk := 1 - alpha
+	for cdf < rem && m < 1<<20 {
+		pk *= alpha
+		cdf += pk
+		m++
+	}
+	if neg {
+		return -m
+	}
+	return m
+}
+
+// GeometricNoise applies two-sided geometric noise to value and clamps to
+// [0, n] — exactly the paper's truncated Geometric mechanism applied to a
+// true count. It is provided so callers can sample GM without
+// materialising its matrix.
+func GeometricNoise(src Source, value, n int, alpha float64) int {
+	out := value + TwoSidedGeometric(src, alpha)
+	if out < 0 {
+		return 0
+	}
+	if out > n {
+		return n
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := New(7)
+	s1 := base.Split(1)
+	s2 := base.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 collisions between split streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	r := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("IntN(7) produced only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestPermValid(t *testing.T) {
+	r := New(11)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(13)
+	vals := []int{0, 1, 2, 3, 4, 5}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 6)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost in shuffle: %v", i, vals)
+		}
+	}
+}
+
+func TestCryptoSource(t *testing.T) {
+	var c CryptoSource
+	for i := 0; i < 100; i++ {
+		if v := c.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("crypto Float64 = %v", v)
+		}
+		if v := c.IntN(10); v < 0 || v >= 10 {
+			t.Fatalf("crypto IntN(10) = %v", v)
+		}
+	}
+}
+
+func TestCryptoIntNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntN(0) did not panic")
+		}
+	}()
+	CryptoSource{}.IntN(0)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", rate)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(23)
+	if Binomial(r, 0, 0.5) != 0 {
+		t.Error("Binomial(0, ·) != 0")
+	}
+	if Binomial(r, 10, 0) != 0 {
+		t.Error("Binomial(·, 0) != 0")
+	}
+	if Binomial(r, 10, 1) != 10 {
+		t.Error("Binomial(10, 1) != 10")
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	r := New(29)
+	for _, bad := range []struct {
+		n int
+		p float64
+	}{{-1, 0.5}, {3, -0.1}, {3, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Binomial(%d, %v) did not panic", bad.n, bad.p)
+				}
+			}()
+			Binomial(r, bad.n, bad.p)
+		}()
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(31)
+	const n, p, trials = 12, 0.3, 50000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := Binomial(r, n, p)
+		if v < 0 || v > n {
+			t.Fatalf("Binomial out of range: %d", v)
+		}
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean-n*p) > 0.05 {
+		t.Errorf("mean %v, want %v", mean, n*p)
+	}
+	if math.Abs(variance-n*p*(1-p)) > 0.15 {
+		t.Errorf("variance %v, want %v", variance, n*p*(1-p))
+	}
+}
+
+func TestTwoSidedGeometricPanics(t *testing.T) {
+	r := New(37)
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TwoSidedGeometric(alpha=%v) did not panic", a)
+				}
+			}()
+			TwoSidedGeometric(r, a)
+		}()
+	}
+}
+
+func TestTwoSidedGeometricDistribution(t *testing.T) {
+	r := New(41)
+	const alpha = 0.6
+	const trials = 200000
+	counts := map[int]int{}
+	for i := 0; i < trials; i++ {
+		counts[TwoSidedGeometric(r, alpha)]++
+	}
+	// Check pmf Pr[delta] = (1-alpha)/(1+alpha) * alpha^|delta| for small
+	// |delta| within a few standard errors.
+	for delta := -3; delta <= 3; delta++ {
+		want := (1 - alpha) / (1 + alpha) * math.Pow(alpha, math.Abs(float64(delta)))
+		got := float64(counts[delta]) / trials
+		se := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 6*se+0.002 {
+			t.Errorf("Pr[%d] = %v, want %v", delta, got, want)
+		}
+	}
+	// Symmetry of positive and negative tails.
+	var pos, neg int
+	for d, c := range counts {
+		if d > 0 {
+			pos += c
+		}
+		if d < 0 {
+			neg += c
+		}
+	}
+	if math.Abs(float64(pos-neg))/trials > 0.01 {
+		t.Errorf("tails unbalanced: +%d vs -%d", pos, neg)
+	}
+}
+
+func TestGeometricNoiseClamps(t *testing.T) {
+	r := New(43)
+	const n = 4
+	for i := 0; i < 10000; i++ {
+		out := GeometricNoise(r, i%(n+1), n, 0.9)
+		if out < 0 || out > n {
+			t.Fatalf("GeometricNoise out of range: %d", out)
+		}
+	}
+}
+
+func TestGeometricNoiseMatchesMechanism(t *testing.T) {
+	// Empirical Pr[output|input] from GeometricNoise must match the
+	// truncated geometric closed form x·alpha^j on the boundary row.
+	r := New(47)
+	const n, alpha, trials = 3, 0.5, 200000
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[GeometricNoise(r, 1, n, alpha)]++
+	}
+	x := 1 / (1 + alpha)
+	y := (1 - alpha) / (1 + alpha)
+	want := []float64{x * alpha, y, y * alpha, x * alpha * alpha}
+	for i, w := range want {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("Pr[%d|1] = %v, want %v", i, got, w)
+		}
+	}
+}
