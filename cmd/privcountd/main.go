@@ -1,0 +1,225 @@
+// Command privcountd serves differentially private count releases over
+// HTTP/JSON, backed by the internal/service mechanism cache: each
+// requested scenario (mechanism kind, group size n, privacy level alpha,
+// §IV-A property set, objective) is constructed on first touch and every
+// later request is served from precomputed tables.
+//
+// Usage:
+//
+//	privcountd -addr :8080 -capacity 256 -shards 8
+//
+// Endpoints (all request bodies are JSON):
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/stats      cache statistics (entries, hits, misses, evictions)
+//	POST /v1/mechanism  describe the mechanism a spec resolves to
+//	POST /v1/sample     one noisy release for one true count
+//	POST /v1/batch      noisy releases for a batch of true counts
+//	POST /v1/estimate   MLE decode + debiased aggregate for observed outputs
+//
+// A spec is the JSON object embedded in every request:
+//
+//	{"mechanism": "choose", "n": 64, "alpha": 0.5, "properties": "WH+CM"}
+//
+// mechanism is one of choose (default; the paper's Figure 5 procedure),
+// gm, em, um, lp, lp-minimax; properties uses the core property codes
+// (RH, RM, CH, CM, F, WH, S, ODP); objective_p selects the O_{p,Σ}
+// exponent for the LP kinds. Batch requests may carry a "seed" for
+// reproducible draws; omitting it uses the server's pooled randomness.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"privcount/internal/core"
+	"privcount/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		capacity = flag.Int("capacity", 256, "total cached mechanisms across shards")
+		shards   = flag.Int("shards", 8, "cache shard count (rounded up to a power of two)")
+		seed     = flag.Uint64("seed", 0, "RNG pool seed; 0 seeds from the OS CSPRNG")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{Capacity: *capacity, Shards: *shards, Seed: *seed})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", *addr, *capacity, *shards)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// specRequest is the wire form of a service.Spec, embedded in every
+// request body.
+type specRequest struct {
+	Mechanism  string  `json:"mechanism"`
+	N          int     `json:"n"`
+	Alpha      float64 `json:"alpha"`
+	Properties string  `json:"properties"`
+	ObjectiveP float64 `json:"objective_p"`
+}
+
+// spec parses the wire form into a service.Spec.
+func (r specRequest) spec() (service.Spec, error) {
+	kind, err := service.ParseKind(r.Mechanism)
+	if err != nil {
+		return service.Spec{}, err
+	}
+	props, err := core.ParseProperties(r.Properties)
+	if err != nil {
+		return service.Spec{}, err
+	}
+	return service.Spec{Kind: kind, N: r.N, Alpha: r.Alpha, Props: props, ObjectiveP: r.ObjectiveP}, nil
+}
+
+// newMux wires the HTTP routes to svc; split from main for testing.
+func newMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := svc.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"entries": st.Entries, "hits": st.Hits,
+			"misses": st.Misses, "evictions": st.Evictions,
+		})
+	})
+	mux.HandleFunc("POST /v1/mechanism", func(w http.ResponseWriter, r *http.Request) {
+		var req specRequest
+		spec, ok := decodeSpec(w, r, &req)
+		if !ok {
+			return
+		}
+		e, err := svc.Get(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m := e.Mechanism()
+		_, debiasErr := e.Debias()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name":       m.Name(),
+			"n":          m.N(),
+			"alpha":      m.Alpha(),
+			"rule":       e.Rule(),
+			"properties": core.PropertySetString(e.Props()),
+			"l0":         m.L0(),
+			"debiasable": debiasErr == nil,
+		})
+	})
+	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			specRequest
+			Count int `json:"count"`
+		}
+		spec, ok := decodeSpec(w, r, &req)
+		if !ok {
+			return
+		}
+		out, err := svc.Sample(spec, req.Count)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"output": out})
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			specRequest
+			Counts []int   `json:"counts"`
+			Seed   *uint64 `json:"seed"`
+		}
+		spec, ok := decodeSpec(w, r, &req)
+		if !ok {
+			return
+		}
+		if len(req.Counts) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
+			return
+		}
+		var outs []int
+		var err error
+		if req.Seed != nil {
+			outs, err = svc.SampleBatchSeeded(spec, *req.Seed, req.Counts, nil)
+		} else {
+			outs, err = svc.SampleBatch(spec, req.Counts, nil)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
+	})
+	mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			specRequest
+			Outputs []int `json:"outputs"`
+		}
+		spec, ok := decodeSpec(w, r, &req)
+		if !ok {
+			return
+		}
+		if len(req.Outputs) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
+			return
+		}
+		est, err := svc.Estimate(spec, req.Outputs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mle": est.MLE, "sum": est.Sum, "mean": est.Mean, "unbiased": est.Unbiased,
+		})
+	})
+	return mux
+}
+
+// specCarrier lets decodeSpec extract the embedded specRequest from each
+// request shape.
+type specCarrier interface{ carriedSpec() specRequest }
+
+func (r specRequest) carriedSpec() specRequest { return r }
+
+// decodeSpec decodes the JSON body into dst (which embeds specRequest)
+// and parses the spec, writing an HTTP error and returning ok=false on
+// failure.
+func decodeSpec(w http.ResponseWriter, r *http.Request, dst specCarrier) (service.Spec, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return service.Spec{}, false
+	}
+	spec, err := dst.carriedSpec().spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return service.Spec{}, false
+	}
+	return spec, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("privcountd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

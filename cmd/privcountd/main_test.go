@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"privcount/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newMux(service.New(service.Config{Capacity: 32, Seed: 7})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (int, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	code, stats := post(t, ts, "/v1/sample", map[string]any{
+		"mechanism": "em", "n": 8, "alpha": 0.8, "count": 3,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("sample status %d: %v", code, stats)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["entries"].(float64) != 1 {
+		t.Errorf("stats entries = %v, want 1", st["entries"])
+	}
+}
+
+func TestMechanismEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, out := post(t, ts, "/v1/mechanism", map[string]any{
+		"mechanism": "choose", "n": 16, "alpha": 0.9, "properties": "F",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["name"] != "EM" {
+		t.Errorf("fairness request resolved to %v, want EM", out["name"])
+	}
+	if out["rule"] != "fairness => EM" {
+		t.Errorf("rule = %v", out["rule"])
+	}
+	if out["debiasable"] != true {
+		t.Errorf("EM should be debiasable")
+	}
+}
+
+func TestSampleAndBatch(t *testing.T) {
+	ts := testServer(t)
+	spec := map[string]any{"mechanism": "gm", "n": 10, "alpha": 0.6}
+
+	code, out := post(t, ts, "/v1/sample", merge(spec, map[string]any{"count": 4}))
+	if code != http.StatusOK {
+		t.Fatalf("sample status %d: %v", code, out)
+	}
+	v := out["output"].(float64)
+	if v < 0 || v > 10 {
+		t.Errorf("sample output %v out of range", v)
+	}
+
+	// A seeded batch must be reproducible call-to-call.
+	req := merge(spec, map[string]any{"counts": []int{0, 5, 10, 3}, "seed": 99})
+	code, first := post(t, ts, "/v1/batch", req)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %v", code, first)
+	}
+	_, second := post(t, ts, "/v1/batch", req)
+	a, b := first["outputs"].([]any), second["outputs"].([]any)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("batch lengths %d, %d; want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("seeded batch not reproducible at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Unseeded batch works too.
+	code, out = post(t, ts, "/v1/batch", merge(spec, map[string]any{"counts": []int{1, 2}}))
+	if code != http.StatusOK {
+		t.Fatalf("unseeded batch status %d: %v", code, out)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, out := post(t, ts, "/v1/estimate", map[string]any{
+		"mechanism": "gm", "n": 10, "alpha": 0.6, "outputs": []int{4, 4, 4},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["unbiased"] != true {
+		t.Error("GM estimate not unbiased")
+	}
+	if len(out["mle"].([]any)) != 3 {
+		t.Errorf("mle = %v", out["mle"])
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/sample", map[string]any{"mechanism": "nope", "n": 8, "alpha": 0.5, "count": 1}},
+		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 1.5, "count": 1}},
+		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "count": 11}},
+		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "bogus": 1}},
+		{"/v1/batch", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5}},
+		{"/v1/estimate", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "outputs": []int{}}},
+		{"/v1/mechanism", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "properties": "XX"}},
+	}
+	for _, c := range cases {
+		code, out := post(t, ts, c.path, c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s %v: status %d (%v), want 400", c.path, c.body, code, out)
+		}
+		if out["error"] == nil {
+			t.Errorf("POST %s %v: missing error field", c.path, c.body)
+		}
+	}
+}
+
+func merge(a, b map[string]any) map[string]any {
+	out := map[string]any{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

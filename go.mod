@@ -1,0 +1,3 @@
+module privcount
+
+go 1.24

@@ -2,29 +2,51 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"privcount/internal/rng"
 )
 
-// Sampler draws outputs from a mechanism in O(1) per draw using one alias
-// table per input column. Build one Sampler per mechanism and reuse it
-// across experiment repetitions; it is safe for concurrent use as long as
-// each goroutine supplies its own rng.Source.
+// Sampler draws outputs from a mechanism using tables precomputed once at
+// construction: one alias table per input column for O(1) draws, plus one
+// CDF per column for inverse-transform sampling and quantile queries.
+//
+// After NewSampler returns, a Sampler is strictly read-only: no method
+// mutates its tables, so a single Sampler is safe for any number of
+// concurrent goroutines as long as each goroutine supplies its own
+// rng.Source (or a concurrency-safe one such as rng.CryptoSource). The
+// serving layer (internal/service) relies on this: it builds one Sampler
+// per cached mechanism and serves all traffic from it.
 type Sampler struct {
-	m     *Mechanism
-	cols  []*rng.Alias
-	exact bool
+	m    *Mechanism
+	cols []*rng.Alias
+	// cdf[j][i] = Pr[output <= i | input = j]; the last entry is forced to
+	// exactly 1 so Quantile never runs off the end.
+	cdf [][]float64
 }
 
-// NewSampler prepares alias tables for every input column of m.
+// NewSampler precomputes alias and CDF tables for every input column of m.
 func NewSampler(m *Mechanism) (*Sampler, error) {
-	s := &Sampler{m: m, cols: make([]*rng.Alias, m.n+1)}
+	s := &Sampler{
+		m:    m,
+		cols: make([]*rng.Alias, m.n+1),
+		cdf:  make([][]float64, m.n+1),
+	}
 	for j := 0; j <= m.n; j++ {
-		a, err := rng.NewAlias(m.Column(j))
+		col := m.Column(j)
+		a, err := rng.NewAlias(col)
 		if err != nil {
 			return nil, fmt.Errorf("core: NewSampler column %d: %w", j, err)
 		}
 		s.cols[j] = a
+		cdf := make([]float64, m.n+1)
+		var acc float64
+		for i, p := range col {
+			acc += p
+			cdf[i] = acc
+		}
+		cdf[m.n] = 1
+		s.cdf[j] = cdf
 	}
 	return s, nil
 }
@@ -32,14 +54,17 @@ func NewSampler(m *Mechanism) (*Sampler, error) {
 // Mechanism returns the mechanism the sampler draws from.
 func (s *Sampler) Mechanism() *Mechanism { return s.m }
 
-// Sample draws one output for true count j. It panics if j is out of
-// range, mirroring slice indexing semantics.
+// Sample draws one output for true count j in O(1) via the alias table.
+// It panics if j is out of range, mirroring slice indexing semantics.
 func (s *Sampler) Sample(src rng.Source, j int) int {
 	return s.cols[j].Sample(src)
 }
 
 // SampleMany draws one output for each true count in js, appending to dst
-// (pass nil to allocate).
+// (pass nil to allocate). Draws consume src in the same order as calling
+// Sample once per element, so a seeded batch reproduces single-shot draws
+// exactly — the determinism contract the serving layer's batch endpoints
+// are tested against.
 func (s *Sampler) SampleMany(src rng.Source, js []int, dst []int) []int {
 	if dst == nil {
 		dst = make([]int, 0, len(js))
@@ -48,4 +73,42 @@ func (s *Sampler) SampleMany(src rng.Source, js []int, dst []int) []int {
 		dst = append(dst, s.cols[j].Sample(src))
 	}
 	return dst
+}
+
+// SampleBatch draws k independent outputs for the single true count j,
+// appending to dst (pass nil to allocate). It is the hot path for
+// serving repeated queries against one group.
+func (s *Sampler) SampleBatch(src rng.Source, j, k int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, 0, k)
+	}
+	a := s.cols[j]
+	for range k {
+		dst = append(dst, a.Sample(src))
+	}
+	return dst
+}
+
+// Quantile returns the smallest output i with Pr[output <= i | input=j]
+// >= u, the inverse-CDF transform of u in [0, 1). Unlike alias draws,
+// quantile sampling consumes exactly one uniform per output and is
+// monotone in u, which makes it the right primitive for common-random-
+// number comparisons between mechanisms.
+func (s *Sampler) Quantile(j int, u float64) int {
+	cdf := s.cdf[j]
+	return sort.SearchFloat64s(cdf, u)
+}
+
+// SampleInverse draws one output for true count j by inversion on the
+// precomputed CDF: one uniform consumed per draw, O(log n) per draw.
+func (s *Sampler) SampleInverse(src rng.Source, j int) int {
+	return s.Quantile(j, src.Float64())
+}
+
+// CDF returns a copy of the cumulative distribution of outputs for input
+// j: CDF(j)[i] = Pr[output <= i | input = j].
+func (s *Sampler) CDF(j int) []float64 {
+	out := make([]float64, len(s.cdf[j]))
+	copy(out, s.cdf[j])
+	return out
 }

@@ -138,3 +138,84 @@ func TestSamplerEmpiricalMeanTracksBias(t *testing.T) {
 		t.Errorf("empirical mean %v, analytic %v", got, want)
 	}
 }
+
+func TestSamplerQuantileMatchesCDF(t *testing.T) {
+	m, err := ExplicitFair(9, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= m.N(); j++ {
+		cdf := s.CDF(j)
+		if math.Abs(cdf[m.N()]-1) > 1e-12 {
+			t.Fatalf("column %d CDF does not end at 1: %v", j, cdf[m.N()])
+		}
+		// Quantile must return the smallest i with cdf[i] >= u.
+		for _, u := range []float64{0, 1e-9, 0.25, 0.5, 0.75, 0.999999} {
+			i := s.Quantile(j, u)
+			if cdf[i] < u {
+				t.Fatalf("Quantile(%d, %v) = %d but cdf[%d] = %v < u", j, u, i, i, cdf[i])
+			}
+			if i > 0 && cdf[i-1] >= u {
+				t.Fatalf("Quantile(%d, %v) = %d not minimal: cdf[%d] = %v", j, u, i, i-1, cdf[i-1])
+			}
+		}
+	}
+}
+
+func TestSamplerInverseDistribution(t *testing.T) {
+	m, err := Geometric(5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	const trials = 200000
+	counts := make([]float64, m.N()+1)
+	for k := 0; k < trials; k++ {
+		counts[s.SampleInverse(src, 2)]++
+	}
+	for i := 0; i <= m.N(); i++ {
+		got := counts[i] / trials
+		want := m.Prob(i, 2)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("output %d: empirical %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleBatchMatchesSingleShot(t *testing.T) {
+	m, err := Geometric(8, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.SampleBatch(rng.New(42), 3, 50, nil)
+	single := make([]int, 0, 50)
+	src := rng.New(42)
+	for k := 0; k < 50; k++ {
+		single = append(single, s.Sample(src, 3))
+	}
+	for k := range batch {
+		if batch[k] != single[k] {
+			t.Fatalf("draw %d: batch %d != single %d", k, batch[k], single[k])
+		}
+	}
+	js := []int{0, 8, 4, 1, 7}
+	many := s.SampleMany(rng.New(9), js, nil)
+	src = rng.New(9)
+	for k, j := range js {
+		if got := s.Sample(src, j); got != many[k] {
+			t.Fatalf("SampleMany draw %d: %d != %d", k, many[k], got)
+		}
+	}
+}

@@ -157,6 +157,27 @@ type Choice struct {
 	Mechanism *core.Mechanism
 	// Rule is the flowchart path taken, e.g. "fairness => EM".
 	Rule string
+	// Props is the full (closed) set of §IV-A properties the selected
+	// mechanism guarantees — possibly a strict superset of the request.
+	// Serving responses report it so clients know what they actually got.
+	Props core.PropertySet
+}
+
+// GeometricProps returns the closed property set GM guarantees at
+// (n, alpha): row properties and symmetry always, weak honesty once n
+// clears the Lemma 2 threshold, and the column properties below the
+// Lemma 3 cutoff. It is the single source of truth for GM's guarantees;
+// every branch of Choose that answers with GM reports it, as does the
+// serving layer for forced-GM specs.
+func GeometricProps(n int, alpha float64) core.PropertySet {
+	ps := core.RowMonotone | core.Symmetry
+	if float64(n) >= core.GeometricWeakHonestyThreshold(alpha) {
+		ps |= core.WeakHonesty
+	}
+	if alpha <= 0.5 {
+		ps |= core.ColumnMonotone
+	}
+	return core.Closure(ps)
 }
 
 // Choose implements the Figure 5 decision procedure for the L0 objective:
@@ -174,7 +195,7 @@ func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Choice{Mechanism: m, Rule: "fairness => EM"}, nil
+		return &Choice{Mechanism: m, Rule: "fairness => EM", Props: core.AllProperties}, nil
 
 	case closed&(core.ColumnHonesty|core.ColumnMonotone) != 0:
 		if alpha <= 0.5 {
@@ -182,13 +203,15 @@ func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &Choice{Mechanism: m, Rule: "column property, alpha <= 1/2 => GM (Lemma 3)"}, nil
+			return &Choice{Mechanism: m, Rule: "column property, alpha <= 1/2 => GM (Lemma 3)",
+				Props: GeometricProps(n, alpha)}, nil
 		}
 		m, err := WM(n, alpha)
 		if err != nil {
 			return nil, err
 		}
-		return &Choice{Mechanism: m, Rule: "column property, alpha > 1/2 => WH+CM LP (WM)"}, nil
+		return &Choice{Mechanism: m, Rule: "column property, alpha > 1/2 => WH+CM LP (WM)",
+			Props: core.Closure(WMProps)}, nil
 
 	case closed&core.WeakHonesty != 0:
 		if float64(n) >= core.GeometricWeakHonestyThreshold(alpha) {
@@ -196,19 +219,25 @@ func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &Choice{Mechanism: m, Rule: "weak honesty, n >= 2a/(1-a) => GM (Lemma 2)"}, nil
+			return &Choice{Mechanism: m, Rule: "weak honesty, n >= 2a/(1-a) => GM (Lemma 2)",
+				Props: GeometricProps(n, alpha)}, nil
 		}
-		m, err := WHOnly(n, alpha)
+		// Below the threshold the LP must carry any requested row
+		// properties too, not just WH, or the serving layer would hand
+		// back a mechanism weaker than asked for.
+		r, err := solveCached(n, alpha, closed|core.Symmetry, L0Objective)
 		if err != nil {
 			return nil, err
 		}
-		return &Choice{Mechanism: m, Rule: "weak honesty, n < 2a/(1-a) => WH LP"}, nil
+		return &Choice{Mechanism: r.Mechanism.Rename("WH-LP"), Rule: "weak honesty, n < 2a/(1-a) => WH LP",
+			Props: closed | core.Symmetry}, nil
 
 	default:
 		m, err := core.Geometric(n, alpha)
 		if err != nil {
 			return nil, err
 		}
-		return &Choice{Mechanism: m, Rule: "subset of {S, RH, RM} => GM (Theorem 3)"}, nil
+		return &Choice{Mechanism: m, Rule: "subset of {S, RH, RM} => GM (Theorem 3)",
+			Props: GeometricProps(n, alpha)}, nil
 	}
 }

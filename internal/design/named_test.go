@@ -185,3 +185,37 @@ func TestUnconstrainedNaming(t *testing.T) {
 		t.Errorf("name %q should mention the objective", m.Name())
 	}
 }
+
+func TestChooseReportsGuaranteedProps(t *testing.T) {
+	cases := []struct {
+		n     int
+		alpha float64
+		props core.PropertySet
+	}{
+		{8, 0.9, core.Fairness},
+		{8, 0.4, core.ColumnMonotone},
+		{8, 0.9, core.ColumnHonesty},
+		{4, 0.9, core.WeakHonesty},
+		{30, 0.9, core.WeakHonesty},
+		{8, 0.9, 0},
+		{8, 0.9, core.RowMonotone | core.Symmetry},
+	}
+	for _, c := range cases {
+		ch, err := Choose(c.n, c.alpha, c.props)
+		if err != nil {
+			t.Fatalf("Choose(%d, %g, %s): %v", c.n, c.alpha, core.PropertySetString(c.props), err)
+		}
+		// The reported guarantee must cover the request (minus free S).
+		want := core.Closure(c.props &^ core.Symmetry)
+		if ch.Props&want != want {
+			t.Errorf("Choose(%d, %g, %s): guaranteed %s does not cover request",
+				c.n, c.alpha, core.PropertySetString(c.props), core.PropertySetString(ch.Props))
+		}
+		// And the mechanism must actually satisfy every reported property.
+		if !ch.Mechanism.Check(ch.Props, 1e-7) {
+			t.Errorf("Choose(%d, %g, %s) => %s claims %s but fails the check",
+				c.n, c.alpha, core.PropertySetString(c.props), ch.Mechanism.Name(),
+				core.PropertySetString(ch.Props))
+		}
+	}
+}

@@ -71,8 +71,8 @@ func figure8a(o Options) (*Figure, error) {
 		}
 		t.Series = append(t.Series, s)
 	}
-	t.AddNote(fmt.Sprintf("GM cost 2a/(1+a) = %.6f; GM gains WH at n >= 2a/(1-a) = %.2f",
-		core.GeometricL0(alpha), core.GeometricWeakHonestyThreshold(alpha)))
+	t.AddNote("GM cost 2a/(1+a) = %.6f; GM gains WH at n >= 2a/(1-a) = %.2f",
+		core.GeometricL0(alpha), core.GeometricWeakHonestyThreshold(alpha))
 	f.Tables = append(f.Tables, t)
 
 	// The paper's claim: beyond the threshold, WH alone (or with row
@@ -156,7 +156,7 @@ func figure9(o Options) (*Figure, error) {
 		}
 		t.Series = []experiment.Series{gm, wh, wm, em, um}
 		thr := core.GeometricWeakHonestyThreshold(av.a)
-		t.AddNote(fmt.Sprintf("the weak-honesty LP meets GM exactly once n >= 2a/(1-a) = %.1f (Lemma 2)", thr))
+		t.AddNote("the weak-honesty LP meets GM exactly once n >= 2a/(1-a) = %.1f (Lemma 2)", thr)
 		f.Tables = append(f.Tables, t)
 	}
 	f.AddNote("paper: at alpha=2/3 the WH curve sits on GM throughout; at 10/11 they meet at n=20; at 99/100 the constrained curves stay at EM's cost")

@@ -1,0 +1,54 @@
+package rng
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool hands out *Rand instances for concurrent use without a global lock:
+// goroutines Get a source, draw from it, and Put it back. Each source that
+// the pool mints receives its own statistically independent stream derived
+// from the pool seed and a mint counter, so two goroutines never share a
+// generator and a fixed pool seed keeps every stream reproducible (though
+// the assignment of streams to goroutines is scheduling-dependent — use an
+// explicit seeded Rand when draws must replay exactly).
+//
+// The serving layer keeps one Pool per cache shard so that sampling under
+// load never contends on a shared generator.
+type Pool struct {
+	seed uint64
+	ctr  atomic.Uint64
+	pool sync.Pool
+}
+
+// NewPool returns a pool whose minted sources derive from seed. Pass 0 to
+// seed from the operating system CSPRNG, the right choice when releases
+// must be unpredictable.
+func NewPool(seed uint64) *Pool {
+	if seed == 0 {
+		seed = CryptoSource{}.Uint64() | 1 // avoid the sentinel
+	}
+	p := &Pool{seed: seed}
+	p.pool.New = func() any {
+		id := p.ctr.Add(1)
+		// splitmix-style mixing keeps streams for nearby ids uncorrelated.
+		z := p.seed + id*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r := New(z ^ (z >> 31))
+		r.id = id
+		return r
+	}
+	return p
+}
+
+// Get returns a source for the calling goroutine's exclusive use until Put.
+func (p *Pool) Get() *Rand { return p.pool.Get().(*Rand) }
+
+// Put returns a source obtained from Get; the source must not be used
+// after Put.
+func (p *Pool) Put(r *Rand) { p.pool.Put(r) }
+
+// Minted returns how many distinct sources the pool has created so far;
+// it is a diagnostic, roughly tracking peak concurrency.
+func (p *Pool) Minted() uint64 { return p.ctr.Load() }

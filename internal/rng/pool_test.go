@@ -1,0 +1,58 @@
+package rng
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolStreamsIndependent(t *testing.T) {
+	p := NewPool(123)
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("pool handed out the same source twice without Put")
+	}
+	// The two streams must not be identical.
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two minted sources produced identical streams")
+	}
+	p.Put(a)
+	p.Put(b)
+}
+
+func TestPoolReproducibleStreams(t *testing.T) {
+	// Same pool seed => the k-th minted source has the same stream.
+	p1, p2 := NewPool(77), NewPool(77)
+	r1, r2 := p1.Get(), p2.Get()
+	for i := 0; i < 8; i++ {
+		if v1, v2 := r1.Uint64(), r2.Uint64(); v1 != v2 {
+			t.Fatalf("draw %d differs across identically seeded pools: %d vs %d", i, v1, v2)
+		}
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r := p.Get()
+				_ = r.Float64()
+				p.Put(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Minted() == 0 {
+		t.Fatal("pool minted no sources")
+	}
+}

@@ -31,13 +31,19 @@ type Source interface {
 // generator. It is not safe for concurrent use; create one per goroutine
 // (Split derives independent streams).
 type Rand struct {
-	r *mathrand.Rand
+	r  *mathrand.Rand
+	id uint64
 }
 
 // New returns a reproducible source seeded from seed.
 func New(seed uint64) *Rand {
-	return &Rand{r: mathrand.New(mathrand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	return &Rand{r: mathrand.New(mathrand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), id: seed}
 }
+
+// StreamID identifies the source's stream: the seed for New, the mint
+// number for Pool-minted sources. Concurrent consumers use it to stripe
+// per-stream state (e.g. statistics counters) without contention.
+func (r *Rand) StreamID() uint64 { return r.id }
 
 // Split derives an independent stream from r, keyed by id. Two Splits of
 // the same source with different ids produce uncorrelated streams, which

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"privcount/internal/core"
+	"privcount/internal/design"
+	"privcount/internal/rng"
+)
+
+// Entry is one admitted mechanism with everything precomputed for
+// serving: the mechanism matrix, per-column alias/CDF sampling tables,
+// the MLE decode table and the unbiased (debiasing) estimator. All of it
+// is built exactly once, on first touch, and read-only afterwards, so an
+// Entry may be shared by any number of goroutines.
+type Entry struct {
+	spec  Spec
+	once  sync.Once
+	clock atomic.Int64 // last-touch stamp for LRU eviction
+
+	// Populated by build; immutable afterwards.
+	mech      *core.Mechanism
+	sampler   *core.Sampler
+	mle       []int
+	debias    []float64
+	debiasErr error
+	rule      string
+	props     core.PropertySet
+	err       error
+}
+
+// build constructs the mechanism for e.spec and its serving tables. It
+// runs under e.once, so concurrent first touches block until one build
+// finishes and then share the result.
+func (e *Entry) build() {
+	s := e.spec
+	var m *core.Mechanism
+	var err error
+	switch s.Kind {
+	case KindGeometric:
+		m, err = core.Geometric(s.N, s.Alpha)
+		e.rule = "forced GM"
+		e.props = design.GeometricProps(s.N, s.Alpha)
+	case KindExplicitFair:
+		m, err = core.ExplicitFair(s.N, s.Alpha)
+		e.rule = "forced EM"
+		e.props = core.AllProperties
+	case KindUniform:
+		m, err = core.Uniform(s.N)
+		e.rule = "forced UM"
+		e.props = core.AllProperties
+	case KindChoose:
+		var ch *design.Choice
+		ch, err = design.Choose(s.N, s.Alpha, s.Props)
+		if err == nil {
+			m, e.rule, e.props = ch.Mechanism, ch.Rule, ch.Props
+		}
+	case KindLP, KindLPMinimax:
+		p := design.Problem{
+			N: s.N, Alpha: s.Alpha, Props: s.Props,
+			Objective:      design.Objective{P: s.ObjectiveP},
+			ReduceSymmetry: s.Props&core.Symmetry != 0,
+		}
+		var r *design.Result
+		if s.Kind == KindLPMinimax {
+			e.rule = "LP minimax design"
+			r, err = design.SolveMinimax(p)
+		} else {
+			e.rule = "LP design"
+			r, err = design.Solve(p)
+		}
+		if err == nil {
+			m = r.Mechanism
+			e.props = core.Closure(s.Props)
+		}
+	}
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.mech = m
+	if e.sampler, e.err = core.NewSampler(m); e.err != nil {
+		return
+	}
+	e.mle = m.MLETable()
+	e.debias, e.debiasErr = m.UnbiasedEstimator()
+}
+
+// Spec returns the canonical spec the entry was admitted under.
+func (e *Entry) Spec() Spec { return e.spec }
+
+// Mechanism returns the constructed mechanism.
+func (e *Entry) Mechanism() *core.Mechanism { return e.mech }
+
+// Sampler returns the read-only sampler over the precomputed tables; it
+// is safe for concurrent use with per-goroutine rng.Sources.
+func (e *Entry) Sampler() *core.Sampler { return e.sampler }
+
+// Rule describes how the mechanism was selected (for KindChoose, the
+// Figure 5 flowchart path).
+func (e *Entry) Rule() string { return e.rule }
+
+// Props is the closed set of §IV-A properties the served mechanism
+// guarantees — possibly a strict superset of the request.
+func (e *Entry) Props() core.PropertySet { return e.props }
+
+// MLE decodes an observed output to its maximum-likelihood input via the
+// precomputed table. It panics if i is out of range.
+func (e *Entry) MLE(i int) int { return e.mle[i] }
+
+// Debias returns the precomputed unbiased-estimator coefficients a with
+// E[a[output] | input=j] = j, or an error for mechanisms without one
+// (UM's matrix is singular).
+func (e *Entry) Debias() ([]float64, error) { return e.debias, e.debiasErr }
+
+// hitStripes is the number of independent hit counters per shard; hits
+// are striped by the caller's RNG stream so concurrent samplers do not
+// bounce one counter cache line between cores.
+const hitStripes = 16
+
+// stripedCounter is an atomic counter padded to its own cache line.
+type stripedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shard is one lock domain of the cache. Lookups are lock-free: the
+// entry map is an immutable snapshot behind an atomic pointer, replaced
+// copy-on-write under mu by the rare admission/eviction path. The shard
+// also owns the RNG pool feeding samples served from it.
+type shard struct {
+	entries atomic.Pointer[map[Spec]*Entry]
+	mu      sync.Mutex // guards snapshot replacement only
+	cap     int
+	clock   atomic.Int64
+	pool    *rng.Pool
+
+	hits              [hitStripes]stripedCounter
+	misses, evictions atomic.Int64
+}
+
+// get returns the entry for spec (already canonical), admitting and
+// building it on first touch. The hot path is one atomic load plus a map
+// read; the expensive build runs outside the shard lock under the
+// entry's once, so a slow LP solve never blocks other specs. stripe
+// picks the hit-counter stripe (any value works; pass the caller's RNG
+// stream id to avoid contention).
+func (sh *shard) get(spec Spec, stripe uint64) *Entry {
+	e := (*sh.entries.Load())[spec]
+	if e == nil {
+		sh.mu.Lock()
+		snap := *sh.entries.Load()
+		if e = snap[spec]; e == nil {
+			e = &Entry{spec: spec}
+			next := make(map[Spec]*Entry, len(snap)+1)
+			for s, old := range snap {
+				next[s] = old
+			}
+			next[spec] = e
+			sh.misses.Add(1)
+			e.clock.Store(sh.clock.Add(1))
+			if len(next) > sh.cap {
+				sh.evict(next, e)
+			}
+			sh.entries.Store(&next)
+			sh.mu.Unlock()
+			e.once.Do(e.build)
+			return e
+		}
+		sh.mu.Unlock()
+	}
+	sh.hits[stripe%hitStripes].v.Add(1)
+	// Freshen the LRU stamp only when it is behind the current tick, so
+	// steady-state traffic performs no contended writes. Ticks advance
+	// only on admission, which is exactly when eviction needs ordering.
+	if t := sh.clock.Load() + 1; e.clock.Load() < t {
+		e.clock.Store(t)
+	}
+	e.once.Do(e.build)
+	return e
+}
+
+// evict removes the least-recently-touched entry other than keep from
+// next (the snapshot under construction). Callers holding pointers to an
+// evicted entry can keep using it — entries are immutable once built —
+// it just leaves the map.
+func (sh *shard) evict(next map[Spec]*Entry, keep *Entry) {
+	var victimSpec Spec
+	var victim *Entry
+	oldest := int64(1<<63 - 1)
+	for s, e := range next {
+		if e == keep {
+			continue
+		}
+		if c := e.clock.Load(); c < oldest {
+			oldest, victim, victimSpec = c, e, s
+		}
+	}
+	if victim != nil {
+		delete(next, victimSpec)
+		sh.evictions.Add(1)
+	}
+}
+
+// len returns the number of admitted entries.
+func (sh *shard) len() int {
+	return len(*sh.entries.Load())
+}
+
+// hitCount sums the striped hit counters.
+func (sh *shard) hitCount() int64 {
+	var total int64
+	for i := range sh.hits {
+		total += sh.hits[i].v.Load()
+	}
+	return total
+}

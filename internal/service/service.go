@@ -1,0 +1,228 @@
+package service
+
+import (
+	"fmt"
+
+	"privcount/internal/rng"
+)
+
+// Config tunes a Service. The zero value is usable: 256 cached
+// mechanisms across 8 shards, crypto-seeded randomness.
+type Config struct {
+	// Capacity is the total number of cached mechanisms across all
+	// shards (default 256). When a shard exceeds its share, the
+	// least-recently-used entry in that shard is evicted.
+	Capacity int
+	// Shards is the number of lock domains (default 8, rounded up to a
+	// power of two). More shards means less contention under load.
+	Shards int
+	// Seed seeds the per-shard RNG pools deterministically; 0 (the
+	// default) draws the base seed from the OS CSPRNG, which is the
+	// right choice when releases must be unpredictable. Seeded sampling
+	// of specific requests is available regardless via SampleBatchSeeded.
+	Seed uint64
+}
+
+// Service serves differentially private count releases at scale: it
+// builds each requested mechanism once, caches it with its sampling and
+// estimation tables, and answers Sample/SampleBatch/Estimate from any
+// number of goroutines. See the package comment for the architecture.
+type Service struct {
+	shards []*shard
+	mask   uint64
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	perShard := (cfg.Capacity + nshards - 1) / nshards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &Service{shards: make([]*shard, nshards), mask: uint64(nshards - 1)}
+	for i := range s.shards {
+		seed := cfg.Seed
+		if seed != 0 {
+			seed += uint64(i)*0x9e3779b97f4a7c15 | 1
+		}
+		sh := &shard{cap: perShard, pool: rng.NewPool(seed)}
+		empty := make(map[Spec]*Entry, perShard)
+		sh.entries.Store(&empty)
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// lookup validates and canonicalises spec and returns its entry plus the
+// owning shard, building the mechanism on first touch. stripe selects
+// the hit-counter stripe; hot paths pass their RNG stream id.
+func (s *Service) lookup(spec Spec, stripe uint64) (*Entry, *shard, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	spec = spec.canonical()
+	sh := s.shards[spec.hash()&s.mask]
+	e := sh.get(spec, stripe)
+	if e.err != nil {
+		return nil, nil, fmt.Errorf("service: building %s: %w", spec, e.err)
+	}
+	return e, sh, nil
+}
+
+// Get returns the cache entry for spec, admitting and building the
+// mechanism on first touch. Use it to inspect the mechanism, its rule
+// and guaranteed properties, or to drive the sampler with a caller-owned
+// randomness source.
+func (s *Service) Get(spec Spec) (*Entry, error) {
+	e, _, err := s.lookup(spec, 0)
+	return e, err
+}
+
+// Sample draws one noisy release for true count j under spec. Randomness
+// comes from the owning shard's pool, so concurrent callers do not
+// contend on a shared generator.
+func (s *Service) Sample(spec Spec, j int) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	spec = spec.canonical()
+	sh := s.shards[spec.hash()&s.mask]
+	r := sh.pool.Get()
+	e := sh.get(spec, r.StreamID())
+	if e.err != nil {
+		sh.pool.Put(r)
+		return 0, fmt.Errorf("service: building %s: %w", spec, e.err)
+	}
+	if j < 0 || j > e.spec.N {
+		sh.pool.Put(r)
+		return 0, fmt.Errorf("service: count %d out of range [0, %d]", j, e.spec.N)
+	}
+	out := e.sampler.Sample(r, j)
+	sh.pool.Put(r)
+	return out, nil
+}
+
+// SampleBatch draws one noisy release for each true count in js,
+// appending to dst (pass nil to allocate). The mechanism is looked up
+// once and the batch shares one pooled generator, which is what makes
+// batched serving cheap.
+func (s *Service) SampleBatch(spec Spec, js []int, dst []int) ([]int, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.canonical()
+	sh := s.shards[spec.hash()&s.mask]
+	r := sh.pool.Get()
+	e := sh.get(spec, r.StreamID())
+	if e.err != nil {
+		sh.pool.Put(r)
+		return nil, fmt.Errorf("service: building %s: %w", spec, e.err)
+	}
+	if err := checkCounts(js, e.spec.N); err != nil {
+		sh.pool.Put(r)
+		return nil, err
+	}
+	dst = e.sampler.SampleMany(r, js, dst)
+	sh.pool.Put(r)
+	return dst, nil
+}
+
+// SampleBatchSeeded is SampleBatch with reproducible randomness: the
+// draws are exactly those of a fresh rng.New(seed) consumed one count at
+// a time, so a seeded batch matches seeded single-shot sampling — useful
+// for replayable experiments and for tests.
+func (s *Service) SampleBatchSeeded(spec Spec, seed uint64, js []int, dst []int) ([]int, error) {
+	e, _, err := s.lookup(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCounts(js, e.spec.N); err != nil {
+		return nil, err
+	}
+	return e.sampler.SampleMany(rng.New(seed), js, dst), nil
+}
+
+// Estimate is the result of decoding a batch of observed noisy releases.
+type Estimate struct {
+	// MLE holds the maximum-likelihood input for each observed output.
+	MLE []int
+	// Sum estimates the total of the true counts across the batch; when
+	// Unbiased it is the debiasing estimator's sum, with
+	// E[Sum] = Σ true counts exactly.
+	Sum float64
+	// Mean is Sum divided by the batch size.
+	Mean float64
+	// Unbiased reports whether the debiasing estimator existed; for
+	// mechanisms with singular matrices (UM) the Sum falls back to the
+	// MLE decode and is biased.
+	Unbiased bool
+}
+
+// Estimate decodes observed outputs (one per released group) under spec
+// using the precomputed MLE and debiasing tables.
+func (s *Service) Estimate(spec Spec, outputs []int) (*Estimate, error) {
+	e, _, err := s.lookup(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCounts(outputs, e.spec.N); err != nil {
+		return nil, err
+	}
+	est := &Estimate{MLE: make([]int, len(outputs))}
+	debias, debiasErr := e.Debias()
+	est.Unbiased = debiasErr == nil
+	for k, o := range outputs {
+		est.MLE[k] = e.MLE(o)
+		if est.Unbiased {
+			est.Sum += debias[o]
+		} else {
+			est.Sum += float64(est.MLE[k])
+		}
+	}
+	if len(outputs) > 0 {
+		est.Mean = est.Sum / float64(len(outputs))
+	}
+	return est, nil
+}
+
+// checkCounts validates that every value lies in [0, n].
+func checkCounts(js []int, n int) error {
+	for k, j := range js {
+		if j < 0 || j > n {
+			return fmt.Errorf("service: count %d at index %d out of range [0, %d]", j, k, n)
+		}
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of cache behaviour, summed over
+// shards.
+type Stats struct {
+	// Entries is the number of mechanisms currently cached.
+	Entries int
+	// Hits and Misses count cache lookups; a miss triggers a build.
+	Hits, Misses int64
+	// Evictions counts LRU evictions forced by capacity.
+	Evictions int64
+}
+
+// Stats returns current cache statistics.
+func (s *Service) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		st.Entries += sh.len()
+		st.Hits += sh.hitCount()
+		st.Misses += sh.misses.Load()
+		st.Evictions += sh.evictions.Load()
+	}
+	return st
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"privcount/internal/core"
+	"privcount/internal/rng"
+)
+
+func TestAllKindsBuildAndSample(t *testing.T) {
+	svc := New(Config{})
+	specs := []Spec{
+		{Kind: KindChoose, N: 8, Alpha: 0.7, Props: core.Fairness},
+		{Kind: KindChoose, N: 8, Alpha: 0.7, Props: core.WeakHonesty},
+		{Kind: KindGeometric, N: 8, Alpha: 0.7},
+		{Kind: KindExplicitFair, N: 8, Alpha: 0.7},
+		{Kind: KindUniform, N: 8},
+		{Kind: KindLP, N: 6, Alpha: 0.8, Props: core.WeakHonesty | core.Symmetry},
+		{Kind: KindLPMinimax, N: 6, Alpha: 0.8, Props: core.Symmetry},
+		{Kind: KindLP, N: 6, Alpha: 0.8, Props: core.RowMonotone | core.Symmetry, ObjectiveP: 1},
+	}
+	for _, spec := range specs {
+		e, err := svc.Get(spec)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", spec, err)
+		}
+		if e.Mechanism() == nil || e.Sampler() == nil {
+			t.Fatalf("Get(%s): entry missing mechanism or sampler", spec)
+		}
+		for j := 0; j <= spec.N; j += spec.N {
+			out, err := svc.Sample(spec, j)
+			if err != nil {
+				t.Fatalf("Sample(%s, %d): %v", spec, j, err)
+			}
+			if out < 0 || out > spec.N {
+				t.Fatalf("Sample(%s, %d) = %d out of range", spec, j, out)
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Entries != len(specs) {
+		t.Errorf("Stats.Entries = %d, want %d", st.Entries, len(specs))
+	}
+	if st.Misses != int64(len(specs)) {
+		t.Errorf("Stats.Misses = %d, want %d", st.Misses, len(specs))
+	}
+	if st.Hits == 0 {
+		t.Error("Stats.Hits = 0 after repeated lookups")
+	}
+}
+
+// TestForcedGMReportsProps pins the Props contract for forced GM: the
+// entry must report GM's actual guarantees (via design.GeometricProps),
+// matching what the Choose path reports when it answers with GM.
+func TestForcedGMReportsProps(t *testing.T) {
+	svc := New(Config{})
+	forced, err := svc.Get(Spec{Kind: KindGeometric, N: 8, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Props() == 0 {
+		t.Error("forced GM reports an empty property set")
+	}
+	chosen, err := svc.Get(Spec{Kind: KindChoose, N: 8, Alpha: 0.4, Props: core.WeakHonesty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Mechanism().Name() == forced.Mechanism().Name() && chosen.Props() != forced.Props() {
+		t.Errorf("same GM mechanism, props %v via choose vs %v forced",
+			chosen.Props(), forced.Props())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	svc := New(Config{})
+	bad := []Spec{
+		{Kind: KindGeometric, N: 0, Alpha: 0.5},
+		{Kind: KindGeometric, N: MaxN + 1, Alpha: 0.5},
+		{Kind: KindGeometric, N: 8, Alpha: 0},
+		{Kind: KindGeometric, N: 8, Alpha: 1},
+		{Kind: KindGeometric, N: 8, Alpha: math.NaN()},
+		{Kind: Kind(99), N: 8, Alpha: 0.5},
+		{Kind: KindChoose, N: 8, Alpha: 0.5, Props: core.OutputDP},
+		{Kind: KindLP, N: 6, Alpha: 0.5, ObjectiveP: -1},
+	}
+	for _, spec := range bad {
+		if _, err := svc.Get(spec); err == nil {
+			t.Errorf("Get(%+v) succeeded, want validation error", spec)
+		}
+	}
+	if _, err := svc.Sample(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}, 9); err == nil {
+		t.Error("Sample with out-of-range count succeeded")
+	}
+	if _, err := svc.Estimate(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}, []int{-1}); err == nil {
+		t.Error("Estimate with out-of-range output succeeded")
+	}
+}
+
+// TestSeededBatchMatchesSingleShot is the determinism contract: a seeded
+// batch must reproduce, draw for draw, seeded single-shot sampling
+// against the same cached tables.
+func TestSeededBatchMatchesSingleShot(t *testing.T) {
+	svc := New(Config{})
+	spec := Spec{Kind: KindChoose, N: 16, Alpha: 0.8, Props: core.Fairness}
+	js := make([]int, 500)
+	for k := range js {
+		js[k] = k % (spec.N + 1)
+	}
+	const seed = 987654321
+	batch, err := svc.SampleBatchSeeded(spec, seed, js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := svc.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(seed)
+	for k, j := range js {
+		if got := e.Sampler().Sample(src, j); got != batch[k] {
+			t.Fatalf("draw %d: batch %d != single-shot %d", k, batch[k], got)
+		}
+	}
+	// And the batch must be reproducible across calls.
+	again, err := svc.SampleBatchSeeded(spec, seed, js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range batch {
+		if batch[k] != again[k] {
+			t.Fatalf("draw %d not reproducible: %d then %d", k, batch[k], again[k])
+		}
+	}
+}
+
+func TestEstimateDebiases(t *testing.T) {
+	svc := New(Config{})
+	spec := Spec{Kind: KindGeometric, N: 10, Alpha: 0.6}
+	// Many groups all holding true count 7: the debiased mean must land
+	// near 7 even though GM is biased toward the interior near the edges.
+	const groups = 60000
+	js := make([]int, groups)
+	for k := range js {
+		js[k] = 7
+	}
+	outs, err := svc.SampleBatchSeeded(spec, 5, js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := svc.Estimate(spec, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Unbiased {
+		t.Fatal("GM estimate reported biased")
+	}
+	if math.Abs(est.Mean-7) > 0.05 {
+		t.Errorf("debiased mean %v, want ≈ 7", est.Mean)
+	}
+	if len(est.MLE) != groups {
+		t.Fatalf("MLE decode length %d, want %d", len(est.MLE), groups)
+	}
+
+	// UM has no unbiased estimator; Estimate must fall back to MLE.
+	um := Spec{Kind: KindUniform, N: 10}
+	est, err = svc.Estimate(um, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Unbiased {
+		t.Error("UM estimate reported unbiased")
+	}
+}
+
+func TestCanonicalisationSharesEntries(t *testing.T) {
+	svc := New(Config{})
+	// CM implies CH implies WH; with Symmetry stripped by Choose, all of
+	// these are one Figure 5 scenario and must share one cache entry.
+	a := Spec{Kind: KindChoose, N: 8, Alpha: 0.7, Props: core.ColumnMonotone}
+	b := Spec{Kind: KindChoose, N: 8, Alpha: 0.7,
+		Props: core.ColumnMonotone | core.ColumnHonesty | core.WeakHonesty | core.Symmetry}
+	ea, err := svc.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := svc.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb {
+		t.Error("closure-equivalent specs landed in different cache entries")
+	}
+	st := svc.Stats()
+	if st.Entries != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 entry, 1 miss, 1 hit", st)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindChoose, KindGeometric, KindExplicitFair, KindUniform, KindLP, KindLPMinimax} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != KindChoose {
+		t.Errorf("ParseKind(\"\") = %v, %v; want KindChoose", k, err)
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind(\"nope\") succeeded")
+	}
+}

@@ -1,0 +1,181 @@
+// Package service is privcount's serving layer: it caches constructed
+// mechanisms — which are expensive to build (LP solves, closed-form
+// matrices, estimator tables) relative to drawing one noisy count — and
+// serves sampling and estimation traffic from many goroutines.
+//
+// A Service holds a sharded LRU cache keyed by Spec (mechanism kind,
+// group size n, privacy level α, property set, objective). On first
+// touch of a spec the mechanism is constructed once, together with its
+// per-column alias/CDF sampling tables, MLE decode table and unbiased
+// (debiasing) estimator; every later request for the same spec is served
+// from the cache. The hot path — Sample, SampleBatch, Estimate — takes
+// only a per-shard read lock for the map lookup and draws randomness
+// from per-shard rng.Pools, so throughput scales with GOMAXPROCS.
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"privcount/internal/core"
+)
+
+// Kind selects how a Spec's mechanism is constructed.
+type Kind uint8
+
+const (
+	// KindChoose runs the paper's Figure 5 decision procedure over the
+	// requested property set, returning GM, EM or an LP mechanism. It is
+	// the zero value and the recommended default.
+	KindChoose Kind = iota
+	// KindGeometric forces the truncated Geometric mechanism GM.
+	KindGeometric
+	// KindExplicitFair forces the paper's explicit fair mechanism EM.
+	KindExplicitFair
+	// KindUniform forces the uniform mechanism UM (ignores Alpha).
+	KindUniform
+	// KindLP solves the constrained-design LP for the requested property
+	// set under the O_{p,Σ} objective with exponent ObjectiveP.
+	KindLP
+	// KindLPMinimax solves the same LP under the worst-input objective
+	// O_{p,max} of Definition 3.
+	KindLPMinimax
+)
+
+var kindNames = map[Kind]string{
+	KindChoose:       "choose",
+	KindGeometric:    "gm",
+	KindExplicitFair: "em",
+	KindUniform:      "um",
+	KindLP:           "lp",
+	KindLPMinimax:    "lp-minimax",
+}
+
+// String renders the kind as its wire name ("choose", "gm", "em", "um",
+// "lp", "lp-minimax").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind parses a wire name as produced by Kind.String. The empty
+// string parses as KindChoose.
+func ParseKind(s string) (Kind, error) {
+	if s == "" {
+		return KindChoose, nil
+	}
+	for k, name := range kindNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown mechanism kind %q (want choose, gm, em, um, lp, or lp-minimax)", s)
+}
+
+// Spec identifies one servable mechanism scenario; it is the cache key.
+// The zero Props and ObjectiveP are meaningful (no constraints, the L0
+// objective), so the only required fields are N and — except for
+// KindUniform — Alpha.
+type Spec struct {
+	// Kind selects the construction; the zero value is KindChoose.
+	Kind Kind
+	// N is the group size; inputs and outputs range over {0, …, N}.
+	N int
+	// Alpha is the paper's privacy level α = e^−ε in (0, 1). Ignored by
+	// KindUniform.
+	Alpha float64
+	// Props is the requested §IV-A property set. Ignored by KindGeometric,
+	// KindExplicitFair and KindUniform.
+	Props core.PropertySet
+	// ObjectiveP is the O_{p,Σ} exponent for the LP kinds (0 = the
+	// paper's L0 wrong-answer probability). Ignored by other kinds.
+	ObjectiveP float64
+}
+
+// MaxN bounds the group size a Service will build. A mechanism and its
+// serving tables are dense over (N+1)² cells — roughly 40(N+1)² bytes —
+// so without a ceiling a single request for a huge N could exhaust the
+// process's memory before the cache ever gets to evict it.
+const MaxN = 4096
+
+// Validate reports whether the spec describes a servable scenario.
+func (s Spec) Validate() error {
+	if _, ok := kindNames[s.Kind]; !ok {
+		return fmt.Errorf("service: invalid kind %d", s.Kind)
+	}
+	if s.N < 1 || s.N > MaxN {
+		return fmt.Errorf("service: group size n=%d, want in [1, %d]", s.N, MaxN)
+	}
+	if s.Kind != KindUniform {
+		if !(s.Alpha > 0 && s.Alpha < 1) || math.IsNaN(s.Alpha) {
+			return fmt.Errorf("service: alpha=%v, want in (0, 1)", s.Alpha)
+		}
+	}
+	if s.Props&^(core.AllProperties|core.OutputDP) != 0 {
+		return fmt.Errorf("service: unknown property bits in %#x", uint(s.Props))
+	}
+	if s.Kind == KindChoose && s.Props&core.OutputDP != 0 {
+		return fmt.Errorf("service: the Figure 5 procedure does not cover OutputDP; use kind lp")
+	}
+	if s.ObjectiveP < 0 || math.IsNaN(s.ObjectiveP) {
+		return fmt.Errorf("service: objective exponent p=%v, want >= 0", s.ObjectiveP)
+	}
+	return nil
+}
+
+// canonical folds equivalent specs onto one cache key: fields a kind
+// ignores are zeroed, and property sets are closed under the §IV-A
+// implications (for KindChoose additionally dropping Symmetry, which
+// Theorem 1 grants for free), so e.g. requesting CM and requesting CM+CH
+// hit the same cache entry.
+func (s Spec) canonical() Spec {
+	switch s.Kind {
+	case KindUniform:
+		s.Alpha, s.Props, s.ObjectiveP = 0, 0, 0
+	case KindGeometric, KindExplicitFair:
+		s.Props, s.ObjectiveP = 0, 0
+	case KindChoose:
+		s.Props = core.Closure(s.Props &^ core.Symmetry)
+		s.ObjectiveP = 0
+	case KindLP, KindLPMinimax:
+		s.Props = core.Closure(s.Props)
+	}
+	return s
+}
+
+// String renders the spec compactly, e.g. "choose(n=64, a=0.5, WH+CM)".
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindUniform:
+		return fmt.Sprintf("um(n=%d)", s.N)
+	case KindGeometric, KindExplicitFair:
+		return fmt.Sprintf("%s(n=%d, a=%g)", s.Kind, s.N, s.Alpha)
+	case KindLP, KindLPMinimax:
+		return fmt.Sprintf("%s(n=%d, a=%g, %s, p=%g)", s.Kind, s.N, s.Alpha,
+			core.PropertySetString(s.Props), s.ObjectiveP)
+	default:
+		return fmt.Sprintf("%s(n=%d, a=%g, %s)", s.Kind, s.N, s.Alpha,
+			core.PropertySetString(s.Props))
+	}
+}
+
+// hash returns a 64-bit digest of the canonical spec, used only to pick a
+// cache shard (entry equality is on the full Spec, so hash collisions
+// merely co-locate two specs in one shard). It is a short xor-multiply
+// mix — cheap enough for the per-draw hot path.
+func (s Spec) hash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	mix(uint64(s.Kind))
+	mix(uint64(s.N))
+	mix(math.Float64bits(s.Alpha))
+	mix(uint64(s.Props))
+	mix(math.Float64bits(s.ObjectiveP))
+	return h
+}

@@ -29,7 +29,12 @@
 //
 //   - sampling (NewSampler), estimation (MLE tables, unbiased
 //     debiasing), workload generators (Binomial populations, an
-//     Adult-census workload), and an experiment harness with error bars.
+//     Adult-census workload), and an experiment harness with error bars;
+//
+//   - a concurrent serving layer (NewService) that caches constructed
+//     mechanisms with precomputed sampling and estimation tables and
+//     serves Sample/SampleBatch/Estimate traffic from many goroutines —
+//     cmd/privcountd exposes it over HTTP/JSON.
 //
 // # Quick start
 //
@@ -47,6 +52,7 @@ import (
 	"privcount/internal/design"
 	"privcount/internal/mat"
 	"privcount/internal/rng"
+	"privcount/internal/service"
 )
 
 // Mechanism is a randomized mechanism for count queries over {0..n}: a
@@ -260,3 +266,48 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 // CryptoSource is a cryptographically secure Source, appropriate when a
 // differentially private release must not be predictable.
 type CryptoSource = rng.CryptoSource
+
+// Service is the serving layer: a sharded cache of constructed
+// mechanisms, each admitted with precomputed sampling and estimation
+// tables, serving Sample/SampleBatch/Estimate concurrently. See
+// internal/service for the architecture and cmd/privcountd for the HTTP
+// front end.
+type Service = service.Service
+
+// ServiceConfig tunes a Service; the zero value is usable.
+type ServiceConfig = service.Config
+
+// ServiceStats is a snapshot of the mechanism cache's behaviour.
+type ServiceStats = service.Stats
+
+// Spec identifies one servable mechanism scenario — the cache key of the
+// serving layer.
+type Spec = service.Spec
+
+// SpecKind selects how a Spec's mechanism is constructed.
+type SpecKind = service.Kind
+
+// The supported Spec kinds.
+const (
+	// SpecChoose runs the Figure 5 decision procedure (the default).
+	SpecChoose = service.KindChoose
+	// SpecGeometric forces the truncated Geometric mechanism GM.
+	SpecGeometric = service.KindGeometric
+	// SpecExplicitFair forces the explicit fair mechanism EM.
+	SpecExplicitFair = service.KindExplicitFair
+	// SpecUniform forces the uniform mechanism UM.
+	SpecUniform = service.KindUniform
+	// SpecLP solves the constrained-design LP for the requested
+	// properties and objective.
+	SpecLP = service.KindLP
+	// SpecLPMinimax solves the LP under the worst-input objective.
+	SpecLPMinimax = service.KindLPMinimax
+)
+
+// ServiceEstimate is the decoded result of a batch of observed releases.
+type ServiceEstimate = service.Estimate
+
+// NewService returns a serving layer with the given configuration.
+func NewService(cfg ServiceConfig) *Service {
+	return service.New(cfg)
+}

@@ -270,3 +270,29 @@ func TestFacadePrivacyConversions(t *testing.T) {
 		t.Error("SplitAlpha not inverse of ComposedAlpha")
 	}
 }
+
+func TestServiceRootAPI(t *testing.T) {
+	svc := NewService(ServiceConfig{Capacity: 16, Seed: 3})
+	spec := Spec{Kind: SpecChoose, N: 32, Alpha: 0.8, Props: Fairness}
+	out, err := svc.Sample(spec, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out < 0 || out > 32 {
+		t.Fatalf("Sample = %d out of range [0, 32]", out)
+	}
+	outs, err := svc.SampleBatchSeeded(spec, 11, []int{0, 16, 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := svc.Estimate(spec, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Unbiased || len(est.MLE) != 3 {
+		t.Errorf("estimate = %+v", est)
+	}
+	if st := svc.Stats(); st.Entries != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want one cached mechanism", st)
+	}
+}
