@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"privcount/internal/lp"
 )
@@ -23,6 +24,7 @@ func main() {
 		showDuals = flag.Bool("duals", false, "print dual values per constraint")
 		echo      = flag.Bool("echo", false, "echo the parsed model before solving")
 		maxIter   = flag.Int("maxiter", 0, "simplex iteration limit (0 = automatic)")
+		stats     = flag.Bool("stats", false, "print solver statistics (iterations, refactorizations, nonzeros, wall time)")
 	)
 	flag.Parse()
 
@@ -43,13 +45,23 @@ func main() {
 		fmt.Println()
 	}
 
+	start := time.Now()
 	sol, err := model.SolveWith(lp.Options{MaxIterations: *maxIter})
+	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("status:     %s\n", sol.Status)
 	fmt.Printf("objective:  %.10g\n", sol.Objective)
 	fmt.Printf("iterations: %d\n", sol.Iterations)
+	if *stats {
+		fmt.Printf("stats:\n")
+		fmt.Printf("  rows             %d\n", model.NumConstraints())
+		fmt.Printf("  cols             %d\n", model.NumVariables())
+		fmt.Printf("  nnz              %d\n", model.NumNonzeros())
+		fmt.Printf("  refactorizations %d\n", sol.Refactorizations)
+		fmt.Printf("  solve_seconds    %.6f\n", elapsed.Seconds())
+	}
 	fmt.Println("variables:")
 	for v := 0; v < model.NumVariables(); v++ {
 		fmt.Printf("  %-16s %.10g\n", model.VariableName(v), sol.Value(v))

@@ -55,7 +55,11 @@ func main() {
 		Handler:           newMux(svc),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
+		// The write deadline must outlast the slowest admissible cold
+		// build: an LP-backed spec at service.MaxLPN takes about a
+		// minute, and the handler blocks for the whole build (duplicate
+		// requests queue behind it via singleflight).
+		WriteTimeout: 150 * time.Second,
 	}
 	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", *addr, *capacity, *shards)
 	log.Fatal(srv.ListenAndServe())

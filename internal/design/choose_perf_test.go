@@ -1,0 +1,93 @@
+package design
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"privcount/internal/core"
+)
+
+// TestIsLPBackedMatchesChoose pins the admission predicate to the
+// flowchart it mirrors: over the full property-set lattice and alphas on
+// both sides of the Lemma 2/3 thresholds, IsLPBacked must agree with
+// whether Choose actually solved an LP (its Rule names the LP branch).
+// If a Choose branch changes without the mirror edit, this fails.
+func TestIsLPBackedMatchesChoose(t *testing.T) {
+	bits := []core.PropertySet{
+		core.RowHonesty, core.RowMonotone, core.ColumnHonesty,
+		core.ColumnMonotone, core.Fairness, core.WeakHonesty, core.Symmetry,
+	}
+	for _, n := range []int{2, 5, 9} {
+		for _, alpha := range []float64{0.3, 0.5, 0.76, 0.9} {
+			for mask := 0; mask < 1<<len(bits); mask++ {
+				var props core.PropertySet
+				for b, p := range bits {
+					if mask&(1<<b) != 0 {
+						props |= p
+					}
+				}
+				ch, err := Choose(n, alpha, props)
+				if err != nil {
+					t.Fatalf("Choose(%d, %g, %s): %v", n, alpha, core.PropertySetString(props), err)
+				}
+				usedLP := strings.Contains(ch.Rule, "LP")
+				if got := IsLPBacked(n, alpha, props); got != usedLP {
+					t.Fatalf("IsLPBacked(%d, %g, %s) = %v, but Choose took rule %q",
+						n, alpha, core.PropertySetString(props), got, ch.Rule)
+				}
+			}
+		}
+	}
+}
+
+// TestChooseN64UnderBudget is the performance guard for the sparse
+// revised simplex: the Figure 5 decision procedure must build its LP
+// mechanism at n=64 (the WM LP — the hardest path the flowchart can
+// take) within the CI budget. The dense tableau needed minutes already
+// at n=24; the sparse engine with the dual route does n=64 in a few
+// seconds, so a 10-second ceiling leaves headroom for slow CI hardware
+// while still catching an order-of-magnitude regression.
+func TestChooseN64UnderBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock guard is meaningless under the race detector (~15x slowdown)")
+	}
+	ClearCache()
+	start := time.Now()
+	ch, err := Choose(64, 0.9, core.ColumnMonotone)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Rule != "column property, alpha > 1/2 => WH+CM LP (WM)" {
+		t.Fatalf("expected the WM LP path, got rule %q", ch.Rule)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("Choose(64, 0.9, CM) took %v, budget 10s", elapsed)
+	}
+	if !ch.Mechanism.Matrix().IsColumnStochastic(1e-7) {
+		t.Fatal("LP mechanism is not column stochastic")
+	}
+}
+
+// TestWMCostN24WithinPaperBounds checks the full design pipeline at
+// n=24 (beyond the old dense-solver limit) against the paper's sandwich:
+// GM's L0 ≤ WM's LP cost ≤ EM's L0 (Figure 6), scaled by the
+// uniform-weight convention. Solver-level sparse-vs-dense agreement is
+// covered by internal/lp's cross-validation suite.
+func TestWMCostN24WithinPaperBounds(t *testing.T) {
+	r, err := Solve(Problem{N: 24, Alpha: 0.8, Props: WMProps, ReduceSymmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, alpha := 24.0, 0.8
+	gm := 2 * alpha / (1 + alpha) * n / (n + 1)
+	em := 2 * alpha / (1 + alpha)
+	if r.Cost < gm-1e-9 || r.Cost > em+1e-9 {
+		t.Fatalf("WM cost %v outside [GM=%v, EM=%v]", r.Cost, gm, em)
+	}
+	if math.IsNaN(r.Cost) {
+		t.Fatal("NaN cost")
+	}
+}

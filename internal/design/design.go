@@ -130,7 +130,7 @@ func Solve(p Problem) (*Result, error) {
 	if reduce {
 		b.model.DedupeConstraints()
 	}
-	sol, err := b.model.Solve()
+	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, reduce: reduce})
 	if err != nil {
 		return nil, fmt.Errorf("design: n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)

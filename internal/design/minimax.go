@@ -63,7 +63,7 @@ func SolveMinimax(p Problem) (*Result, error) {
 	if reduce {
 		b.model.DedupeConstraints()
 	}
-	sol, err := b.model.Solve()
+	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, minimax: true, reduce: reduce})
 	if err != nil {
 		return nil, fmt.Errorf("design: minimax n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"privcount/internal/core"
+	"privcount/internal/lp"
 )
 
 // This file provides the paper's named LP mechanisms and the Figure 5
@@ -30,6 +31,69 @@ var (
 	cache   = map[cacheKey]*Result{}
 )
 
+// warmKey identifies a family of structurally identical design LPs: the
+// constraint pattern depends on (n, props, reduce, objective kind) but
+// not on α, so the optimal basis of one solve warm-starts the next one
+// across an α-sweep (internal/figures) or repeated service admissions.
+type warmKey struct {
+	n       int
+	props   core.PropertySet
+	p       float64
+	d       int // L0D distance; -1 for the plain objectives
+	minimax bool
+	reduce  bool
+}
+
+var (
+	warmMu    sync.Mutex
+	warmBases = map[warmKey][]int{}
+)
+
+// maxWarmBases caps the warm-basis cache. A basis is ~one int per LP
+// row (tens of KB at serving sizes) and the key includes the
+// request-controlled objective exponent, so without a bound a stream of
+// distinct LP specs would grow the map forever. Sweeps hit one key
+// repeatedly, so a small cap loses nothing.
+const maxWarmBases = 64
+
+// warmBasis returns the last optimal basis seen for the key, or nil.
+func warmBasis(k warmKey) []int {
+	warmMu.Lock()
+	defer warmMu.Unlock()
+	return warmBases[k]
+}
+
+// storeWarmBasis records the optimal basis of a finished solve. The LP
+// layer validates shape compatibility on reuse, so a stale or mismatched
+// basis can cost at most a cold start. At capacity an arbitrary entry is
+// evicted — the cache is a best-effort accelerator, not a correctness
+// structure.
+func storeWarmBasis(k warmKey, basis []int) {
+	if basis == nil {
+		return
+	}
+	warmMu.Lock()
+	if _, exists := warmBases[k]; !exists && len(warmBases) >= maxWarmBases {
+		for victim := range warmBases {
+			delete(warmBases, victim)
+			break
+		}
+	}
+	warmBases[k] = basis
+	warmMu.Unlock()
+}
+
+// solveWarm solves the builder's model, reusing and refreshing the
+// warm-basis cache for the key.
+func solveWarm(m *lp.Model, k warmKey) (*lp.Solution, error) {
+	sol, err := m.SolveWith(lp.Options{Basis: warmBasis(k)})
+	if err != nil {
+		return nil, err
+	}
+	storeWarmBasis(k, sol.Basis)
+	return sol, nil
+}
+
 // solveCached solves with symmetry reduction enabled and memoises on
 // (n, alpha, props, objective-p) for uniform-weight problems.
 func solveCached(n int, alpha float64, props core.PropertySet, obj Objective) (*Result, error) {
@@ -53,12 +117,15 @@ func solveCached(n int, alpha float64, props core.PropertySet, obj Objective) (*
 	return r, nil
 }
 
-// ClearCache drops all memoised LP results (used by benchmarks that want
-// to measure cold solves).
+// ClearCache drops all memoised LP results and warm-start bases (used by
+// benchmarks that want to measure cold solves).
 func ClearCache() {
 	cacheMu.Lock()
 	cache = map[cacheKey]*Result{}
 	cacheMu.Unlock()
+	warmMu.Lock()
+	warmBases = map[warmKey][]int{}
+	warmMu.Unlock()
 }
 
 // WM returns the paper's weakly-honest mechanism for L0: the LP optimum
@@ -138,7 +205,7 @@ func buildL0D(n int, alpha float64, d int, weights []float64, props core.Propert
 	if reduce {
 		b.model.DedupeConstraints()
 	}
-	sol, err := b.model.Solve()
+	sol, err := solveWarm(b.model, warmKey{n: n, props: props, d: d, reduce: reduce})
 	if err != nil {
 		return nil, fmt.Errorf("design: L0D n=%d alpha=%g d=%d: %w", n, alpha, d, err)
 	}
@@ -178,6 +245,23 @@ func GeometricProps(n int, alpha float64) core.PropertySet {
 		ps |= core.ColumnMonotone
 	}
 	return core.Closure(ps)
+}
+
+// IsLPBacked reports whether Choose(n, alpha, props) would resolve to an
+// LP-designed mechanism rather than a closed form. It mirrors Choose's
+// branch structure exactly (keep the two in lockstep); the serving layer
+// uses it to bound admission of LP-backed specs without building them.
+func IsLPBacked(n int, alpha float64, props core.PropertySet) bool {
+	closed := core.Closure(props &^ core.Symmetry)
+	switch {
+	case closed&core.Fairness != 0:
+		return false
+	case closed&(core.ColumnHonesty|core.ColumnMonotone) != 0:
+		return alpha > 0.5
+	case closed&core.WeakHonesty != 0:
+		return float64(n) < core.GeometricWeakHonestyThreshold(alpha)
+	}
+	return false
 }
 
 // Choose implements the Figure 5 decision procedure for the L0 objective:

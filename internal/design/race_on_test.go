@@ -1,0 +1,8 @@
+//go:build race
+
+package design
+
+// raceEnabled reports that this test binary runs under the race
+// detector, which slows the LP kernels by an order of magnitude and
+// makes wall-clock performance guards meaningless.
+const raceEnabled = true

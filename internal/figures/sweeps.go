@@ -39,6 +39,10 @@ var whCombos = []struct {
 	{"WH+RM+CM", core.RowMonotone | core.ColumnMonotone},
 }
 
+// solveCombo solves one (n, α, props) design LP. Sweeps call it with a
+// fixed property set while only α (or n) varies; the design layer keys
+// its warm-basis cache on the constraint pattern, so each α step after
+// the first re-solves from the previous optimal basis instead of cold.
 func solveCombo(n int, alpha float64, extra core.PropertySet) (float64, error) {
 	props := core.WeakHonesty | core.Symmetry | extra
 	r, err := design.Solve(design.Problem{

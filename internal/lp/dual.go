@@ -1,0 +1,119 @@
+package lp
+
+// This file gives the auto solver a dualization route for tall models.
+// The mechanism-design LPs have ~4 constraint rows per variable (column
+// sums, two DP ratio rows per adjacent cell pair, and the property
+// rows), and every revised-simplex cost — basis factorization, FTRAN,
+// BTRAN, eta updates — scales with the basis dimension, which is the row
+// count. Solving max{bᵀy : Aᵀy ≤ c} instead swaps rows for columns: the
+// basis shrinks from m to n, and by strong duality the primal optimum is
+// read off the dual solve's duals while the primal duals are the dual
+// solve's variable values. On the n=64 design LPs this is the difference
+// between an ~8000-row basis and an ~2000-row one.
+
+// dualVarRef locates the dual variable(s) carrying a primal row's dual
+// value: y_i = value(pos) − value(neg), with -1 for an absent side.
+// GE rows have only pos (y_i ≥ 0), LE rows only neg (y_i ≤ 0), EQ rows
+// both (y_i free).
+type dualVarRef struct {
+	pos, neg int
+}
+
+// dualize builds the explicit dual of m as a Maximize model over
+// non-negative variables, along with the per-row variable references
+// needed to map a dual solution back. The primal is treated as a
+// minimisation (a Maximize model contributes its negated objective).
+// It errors when a dual constraint is rejected (e.g. a NaN objective
+// coefficient becoming a NaN right-hand side) — the mapping back to the
+// primal depends on one dual constraint per primal variable, in order.
+func dualize(m *Model) (*Model, []dualVarRef, error) {
+	d := NewModel(m.name+"-dual", Maximize)
+	refs := make([]dualVarRef, len(m.cons))
+	for i, c := range m.cons {
+		refs[i] = dualVarRef{pos: -1, neg: -1}
+		if c.Op != LE {
+			refs[i].pos = d.AddVariable("")
+			d.SetObjective(refs[i].pos, c.RHS)
+		}
+		if c.Op != GE {
+			refs[i].neg = d.AddVariable("")
+			d.SetObjective(refs[i].neg, -c.RHS)
+		}
+	}
+
+	// One dual constraint per primal variable: Σ_i A_ij·y_i ≤ c_j.
+	colTerms := make([][]Term, len(m.varNames))
+	for i, c := range m.cons {
+		for _, t := range c.Terms {
+			r := refs[i]
+			if r.pos >= 0 {
+				colTerms[t.Var] = append(colTerms[t.Var], Term{Var: r.pos, Coeff: t.Coeff})
+			}
+			if r.neg >= 0 {
+				colTerms[t.Var] = append(colTerms[t.Var], Term{Var: r.neg, Coeff: -t.Coeff})
+			}
+		}
+	}
+	for j := range m.varNames {
+		cj := m.obj[j]
+		if m.sense == Maximize {
+			cj = -cj
+		}
+		if _, err := d.AddConstraint("", colTerms[j], LE, cj); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, refs, nil
+}
+
+// wantDual reports whether the canonical shape favours the dual route:
+// enough rows for the basis size to matter, and distinctly more rows
+// than structural variables.
+func wantDual(cf *canonForm) bool {
+	return cf.m >= 256 && cf.m >= 3*cf.nStruct
+}
+
+// solveViaDual solves m by solving its explicit dual with the sparse
+// revised simplex and mapping the solution back. Any failure — including
+// dual verdicts that are ambiguous for the primal (an infeasible dual
+// means the primal is infeasible or unbounded) — is reported to the
+// caller, which falls back to a primal-side solve.
+func (m *Model) solveViaDual(opts Options) (*Solution, error) {
+	d, refs, err := dualize(m)
+	if err != nil {
+		return nil, errSparseFallback
+	}
+	cf := canonicalize(d)
+	dsol, err := d.solveSparse(cf, opts)
+	if err != nil {
+		return nil, errSparseFallback
+	}
+
+	sol := &Solution{
+		Status:           StatusOptimal,
+		X:                make([]float64, len(m.varNames)),
+		Iterations:       dsol.Iterations,
+		Refactorizations: dsol.Refactorizations,
+		Basis:            dsol.Basis,
+	}
+	// Strong duality: the primal optimum sits in the dual solve's duals
+	// (one dual constraint per primal variable, in order).
+	for j := range sol.X {
+		sol.X[j] = dsol.Duals[j]
+	}
+	sol.Duals = make([]float64, len(m.cons))
+	for i, r := range refs {
+		var y float64
+		if r.pos >= 0 {
+			y += dsol.X[r.pos]
+		}
+		if r.neg >= 0 {
+			y -= dsol.X[r.neg]
+		}
+		if m.sense == Maximize {
+			y = -y
+		}
+		sol.Duals[i] = y
+	}
+	return sol, nil
+}

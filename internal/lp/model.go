@@ -1,15 +1,18 @@
 // Package lp is a self-contained linear-programming substrate: a model
-// builder, a two-phase dense primal simplex solver with Bland anti-cycling,
-// dual-value extraction, and a reader/writer for an lp_solve-style text
-// format.
+// builder, a sparse revised simplex (LU-factorized basis with eta-file
+// updates, devex pricing, warm starts, and automatic dualization of tall
+// models), a two-phase dense tableau simplex kept as an independent
+// oracle and fallback, dual-value extraction, and a reader/writer for an
+// lp_solve-style text format.
 //
 // The paper solves its constrained mechanism-design problems with
 // PyLPSolve (a wrapper over lp_solve); this package plays that role here.
-// The LPs it must handle are small and dense by modern standards — a few
-// hundred to a few thousand rows — so a carefully written dense tableau
-// simplex is both sufficient and easy to validate. Solutions are checked
-// in tests against brute-force vertex enumeration, strong duality, and the
-// paper's closed forms.
+// The design LPs have O(n²) variables, ~4 rows per variable, and 1–3
+// nonzeros per row, so the revised simplex works on the sparse canonical
+// form directly (see canonical.go, revised.go, dual.go) while the dense
+// tableau cross-checks it. Solutions are checked in tests against
+// brute-force vertex enumeration, strong duality, sparse-vs-dense
+// cross-validation, and the paper's closed forms.
 //
 // All variables are non-negative; upper bounds and free variables are
 // expressed through constraints or variable splitting by the caller. This

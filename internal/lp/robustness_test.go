@@ -90,7 +90,7 @@ func TestRefineRHSImprovesDriftedSolution(t *testing.T) {
 	m.AddConstraint("e2", []Term{{x, 1}, {y, -1}}, EQ, 1)
 
 	tab := newTableau(m)
-	opts := Options{}.withDefaults(tab.m, tab.totalCols)
+	opts := Options{}.withDefaults(tab.m, tab.totalCols, tab.model.NumNonzeros())
 	iters := 0
 	cost := make([]float64, tab.totalCols)
 	cost[x], cost[y] = 1, 2

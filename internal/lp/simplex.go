@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -36,9 +37,22 @@ type Solution struct {
 	Objective  float64   // objective value in the model's original sense
 	Duals      []float64 // one dual per constraint, in the model's original sense
 	Iterations int
+	// Refactorizations counts basis refactorizations performed by the
+	// sparse revised simplex (zero on the dense path).
+	Refactorizations int
+	// Basis is an opaque warm-start token: the final basis of whichever
+	// solver route produced this solution (for the automatic dual route
+	// it indexes the dual's canonical columns, not this model's). Feed
+	// it to Options.Basis of a solve with the identical constraint shape
+	// and the same Method — e.g. the same design LP at a neighbouring α
+	// — where route selection repeats deterministically; a basis that
+	// does not fit the shape is ignored and the solve cold-starts.
+	Basis []int
 }
 
-// Value returns the solved value of variable v.
+// Value returns the solved value of variable v. A v outside [0, len(X))
+// yields NaN, not an error — callers that cannot guarantee the index is
+// in range should use ValueChecked instead.
 func (s *Solution) Value(v int) float64 {
 	if v < 0 || v >= len(s.X) {
 		return math.NaN()
@@ -46,22 +60,61 @@ func (s *Solution) Value(v int) float64 {
 	return s.X[v]
 }
 
+// ValueChecked returns the solved value of variable v, or an error
+// (wrapping ErrBadModel) when v is out of range.
+func (s *Solution) ValueChecked(v int) (float64, error) {
+	if v < 0 || v >= len(s.X) {
+		return 0, fmt.Errorf("lp: Solution.Value: variable %d out of range [0,%d): %w", v, len(s.X), ErrBadModel)
+	}
+	return s.X[v], nil
+}
+
+// Method selects the solver back end.
+type Method int
+
+// Solver back ends.
+const (
+	// MethodAuto (the zero value) runs the sparse revised simplex and
+	// falls back to the dense tableau if the sparse path declines the
+	// model or returns an infeasible-looking point.
+	MethodAuto Method = iota
+	// MethodSparse forces the sparse revised simplex.
+	MethodSparse
+	// MethodDense forces the dense tableau simplex.
+	MethodDense
+)
+
 // Options tunes the simplex solver. The zero value selects defaults.
 type Options struct {
-	// MaxIterations bounds total pivots across both phases.
-	// 0 means 200·(rows+cols), with a floor of 20000.
+	// MaxIterations bounds total pivots across both phases. 0 scales the
+	// budget with the model: max(20000, 200·(rows+cols), 25·nonzeros),
+	// where nonzeros counts the canonical matrix including slack columns
+	// — so large sparse models get headroom proportional to their actual
+	// size rather than tripping a fixed floor.
 	MaxIterations int
 	// Tol is the numeric tolerance for feasibility, pivoting, and reduced
 	// costs. 0 means 1e-9.
 	Tol float64
+	// Method picks the solver back end; the zero value is MethodAuto.
+	Method Method
+	// Basis warm-starts the sparse solver from a previous Solution.Basis.
+	// It must come from a solve of a model with the identical canonical
+	// constraint shape (same rows, columns, and operators — coefficients
+	// may differ) under the same Method, so the token was produced by
+	// the same solver route; a basis that does not apply is ignored and
+	// the solve cold-starts.
+	Basis []int
 }
 
-func (o Options) withDefaults(rows, cols int) Options {
+func (o Options) withDefaults(rows, cols, nnz int) Options {
 	if o.Tol == 0 {
 		o.Tol = 1e-9
 	}
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 200 * (rows + cols)
+		if byNNZ := 25 * nnz; byNNZ > o.MaxIterations {
+			o.MaxIterations = byNNZ
+		}
 		if o.MaxIterations < 20000 {
 			o.MaxIterations = 20000
 		}
@@ -74,23 +127,102 @@ func (m *Model) Solve() (*Solution, error) {
 	return m.SolveWith(Options{})
 }
 
-// SolveWith optimises the model using a two-phase dense primal simplex.
-// It returns ErrInfeasible, ErrUnbounded, or ErrIterLimit for those
-// outcomes (with a Solution carrying the matching Status), and nil for an
-// optimal solution.
+// SolveWith optimises the model. The default back end is the sparse
+// revised simplex (see revised.go); the dense two-phase tableau remains
+// as an independent oracle and fallback. It returns ErrInfeasible,
+// ErrUnbounded, or ErrIterLimit for those outcomes (with a Solution
+// carrying the matching Status), and nil for an optimal solution.
 //
 // The mechanism-design LPs are massively degenerate (hundreds of
 // homogeneous ratio rows meet at every vertex), which both stalls the
-// simplex and lets numerical drift choose bad bases. The primary solve
-// therefore runs on a copy whose right-hand sides carry a tiny
+// simplex and lets numerical drift choose bad bases. Both back ends
+// therefore run their primary solve on right-hand sides carrying a tiny
 // deterministic perturbation — making the polytope simple — after which
-// the true data is restored and the solution refined against it. If that
-// result is not feasible for the model, the plain unperturbed solve runs
-// as a fallback.
+// the true data is restored and the solution re-derived against it, with
+// an unperturbed solve as fallback.
 func (m *Model) SolveWith(opts Options) (*Solution, error) {
-	t := newTableau(m)
-	opts = opts.withDefaults(t.m, t.totalCols)
+	cf := canonicalize(m)
+	opts = opts.withDefaults(cf.m, cf.totalCols, cf.nnz())
 
+	switch opts.Method {
+	case MethodDense:
+		return m.solveDense(cf, opts)
+	case MethodSparse:
+		sol, err := m.solveSparse(cf, opts)
+		if errors.Is(err, errSparseFallback) {
+			// Shapes the revised path declines (e.g. no constraints) go
+			// dense — within the same size cap as the auto route.
+			if cf.m*(cf.totalCols+1) <= maxDenseCells {
+				return m.solveDense(cf, opts)
+			}
+			return nil, fmt.Errorf("lp: sparse solver declined the model and it is too large for the dense fallback: %w", ErrBadModel)
+		}
+		if err != nil {
+			return sol, err
+		}
+		m.finishSolution(sol, opts)
+		return sol, nil
+	default:
+		// Tall models solve far faster through their dual: every
+		// revised-simplex cost scales with the basis dimension (= rows).
+		if wantDual(cf) {
+			if sol, err := m.solveViaDual(opts); err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+				m.finishSolution(sol, opts)
+				return sol, nil
+			}
+		}
+		sol, err := m.solveSparse(cf, opts)
+		if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+			m.finishSolution(sol, opts)
+			return sol, nil
+		}
+		cells := cf.m * (cf.totalCols + 1)
+		// A definitive sparse verdict (infeasible, unbounded, iteration
+		// limit) was already confirmed on a fresh factorization; beyond
+		// oracle size, re-deriving it densely would stall a caller for
+		// minutes to re-learn the same answer.
+		if err != nil && !errors.Is(err, errSparseFallback) && cells > maxOracleCells {
+			return sol, err
+		}
+		// Otherwise re-run on the dense oracle — declined models, numeric
+		// failures, and cheap double-checks — but only where the O(m·n)
+		// tableau is affordable: past that the allocation alone (m rows ×
+		// totalCols+1 float64s) would take gigabytes.
+		if cells > maxDenseCells {
+			if err != nil && !errors.Is(err, errSparseFallback) {
+				return sol, err
+			}
+			// An optimal-status solution that just missed the strict
+			// feasibility tolerance is still the best answer available at
+			// a size with no dense fallback; residuals scale with model
+			// size, so accept it under a looser absolute bound before
+			// declaring failure.
+			if err == nil && m.CheckFeasible(sol.X, 1e-5) == nil {
+				m.finishSolution(sol, opts)
+				return sol, nil
+			}
+			// Never leak the unexported sentinel to callers.
+			return nil, fmt.Errorf("lp: sparse solver failed and the model is too large for the dense fallback: %w", ErrBadModel)
+		}
+		return m.solveDense(cf, opts)
+	}
+}
+
+// maxDenseCells bounds the dense tableau's working array (rows ×
+// columns); 50M float64 cells is ~400 MB and roughly the n=96 design
+// LP, past which the dense fallback would be slower than useful anyway.
+const maxDenseCells = 50_000_000
+
+// maxOracleCells bounds the models whose definitive sparse verdicts
+// (infeasible/unbounded/iteration limit) still get a dense
+// double-check; a dense solve at this size takes well under a second.
+const maxOracleCells = 1_000_000
+
+// solveDense is the dense tableau driver: perturbed solve with
+// refinement, then an unperturbed retry if the result is infeasible for
+// the true data.
+func (m *Model) solveDense(cf *canonForm, opts Options) (*Solution, error) {
+	t := newTableauFrom(m, cf)
 	t.perturbRHS(1e-9)
 	sol, err := t.solve(opts)
 	if err == nil {
@@ -104,7 +236,7 @@ func (m *Model) SolveWith(opts Options) (*Solution, error) {
 	}
 	if err != nil || m.CheckFeasible(sol.X, 1e-7) != nil {
 		// Fallback: solve the pristine problem directly.
-		t = newTableau(m)
+		t = newTableauFrom(m, cf)
 		pSol, pErr := t.solve(opts)
 		if pErr != nil {
 			if err == nil {
@@ -116,15 +248,20 @@ func (m *Model) SolveWith(opts Options) (*Solution, error) {
 		}
 		sol, err = pSol, nil
 	}
-	// Round tiny negatives up to zero so downstream probability checks do
-	// not trip over -1e-15.
+	m.finishSolution(sol, opts)
+	return sol, nil
+}
+
+// finishSolution rounds tiny negatives up to zero — so downstream
+// probability checks do not trip over -1e-15 — and evaluates the
+// objective at the returned point.
+func (m *Model) finishSolution(sol *Solution, opts Options) {
 	for i, v := range sol.X {
 		if v < 0 && v > -opts.Tol*10 {
 			sol.X[i] = 0
 		}
 	}
 	sol.Objective = m.EvalObjective(sol.X)
-	return sol, nil
 }
 
 // tableau is the dense simplex working state.
@@ -169,126 +306,49 @@ type tableau struct {
 	savedRHS []float64
 }
 
-// newTableau canonicalises the model into equality standard form with
-// non-negative right-hand sides. Artificial columns are allocated only
-// for rows that need one (GE and EQ after canonicalisation); LE rows
-// start with their slack basic. This keeps the tableau narrow: the
+// newTableau materialises the dense working state from the shared
+// canonical standard form (see canonical.go). Artificial columns exist
+// only for rows that need one (GE and EQ after canonicalisation); LE
+// rows start with their slack basic. This keeps the tableau narrow: the
 // mechanism-design LPs are dominated by homogeneous ≤ rows.
 func newTableau(m *Model) *tableau {
+	return newTableauFrom(m, canonicalize(m))
+}
+
+func newTableauFrom(m *Model, cf *canonForm) *tableau {
 	t := &tableau{
-		model:   m,
-		m:       len(m.cons),
-		nStruct: len(m.varNames),
+		model:     m,
+		m:         cf.m,
+		nStruct:   cf.nStruct,
+		artStart:  cf.artStart,
+		totalCols: cf.totalCols,
+		rowScale:  cf.rowScale,
+		identCol:  cf.identCol,
+		identSign: cf.identSign,
+		initIdCol: cf.initIdCol,
 	}
-
-	// First pass: canonicalise each row (flip negative RHS, scale) and
-	// record the resulting operator so column counts are exact.
-	type prepared struct {
-		coeffs []float64
-		rhs    float64
-		op     Op
-		scale  float64
-	}
-	preps := make([]prepared, t.m)
-	nSlack, nArt := 0, 0
-	for i, c := range m.cons {
-		coeffs := make([]float64, t.nStruct)
-		for _, term := range c.Terms {
-			coeffs[term.Var] += term.Coeff
-		}
-		rhs := c.RHS
-		sign := 1.0
-		op := c.Op
-		if rhs < 0 {
-			for j := range coeffs {
-				coeffs[j] = -coeffs[j]
-			}
-			rhs = -rhs
-			sign = -1
-			switch op {
-			case LE:
-				op = GE
-			case GE:
-				op = LE
-			}
-		}
-		// Scale the row so its largest coefficient is near 1; this keeps
-		// pivots well conditioned.
-		maxAbs := 0.0
-		for _, v := range coeffs {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		if a := math.Abs(rhs); a > maxAbs {
-			maxAbs = a
-		}
-		if maxAbs > 0 && (maxAbs > 16 || maxAbs < 1.0/16) {
-			inv := 1 / maxAbs
-			for j := range coeffs {
-				coeffs[j] *= inv
-			}
-			rhs *= inv
-			sign *= maxAbs // original row = sign · canonical row
-		}
-		preps[i] = prepared{coeffs: coeffs, rhs: rhs, op: op, scale: sign}
-		if op != EQ {
-			nSlack++
-		}
-		if op != LE {
-			nArt++
-		}
-	}
-
-	t.artStart = t.nStruct + nSlack
-	t.totalCols = t.artStart + nArt
 
 	t.rows = make([][]float64, t.m)
-	t.basis = make([]int, t.m)
-	t.rowScale = make([]float64, t.m)
-	t.identCol = make([]int, t.m)
-	t.identSign = make([]float64, t.m)
 	t.origCoeffs = make([][]float64, t.m)
 	t.origRHS = make([]float64, t.m)
-	t.initIdCol = make([]int, t.m)
-
-	slackAt := t.nStruct
-	artAt := t.artStart
-	for i, p := range preps {
-		row := make([]float64, t.totalCols+1)
-		copy(row, p.coeffs)
-		row[t.totalCols] = p.rhs
-
-		switch p.op {
-		case LE:
-			row[slackAt] = 1
-			t.basis[i] = slackAt
-			t.identCol[i] = slackAt
-			t.identSign[i] = 1
-			t.initIdCol[i] = slackAt
-			slackAt++
-		case GE:
-			row[slackAt] = -1
-			t.identCol[i] = slackAt
-			t.identSign[i] = -1
-			slackAt++
-			row[artAt] = 1
-			t.basis[i] = artAt
-			t.initIdCol[i] = artAt
-			artAt++
-		case EQ:
-			row[artAt] = 1
-			t.basis[i] = artAt
-			t.identCol[i] = artAt
-			t.identSign[i] = 1
-			t.initIdCol[i] = artAt
-			artAt++
-		}
-		t.rowScale[i] = p.scale
-		t.origCoeffs[i] = p.coeffs
-		t.origRHS[i] = p.rhs
-		t.rows[i] = row
+	for i := 0; i < t.m; i++ {
+		t.rows[i] = make([]float64, t.totalCols+1)
+		t.origCoeffs[i] = make([]float64, t.nStruct)
+		t.origRHS[i] = cf.b[i]
+		t.rows[i][t.totalCols] = cf.b[i]
 	}
+	for j := 0; j < t.totalCols; j++ {
+		idx, val := cf.column(j)
+		for p, i := range idx {
+			t.rows[i][j] = val[p]
+			if j < t.nStruct {
+				t.origCoeffs[i][j] = val[p]
+			}
+		}
+	}
+
+	t.basis = make([]int, t.m)
+	copy(t.basis, cf.initIdCol)
 	return t
 }
 
@@ -577,6 +637,7 @@ func (t *tableau) solve(opts Options) (*Solution, error) {
 		Status:     StatusOptimal,
 		X:          make([]float64, t.nStruct),
 		Iterations: iters,
+		Basis:      append([]int(nil), t.basis...),
 	}
 	for i := 0; i < t.m; i++ {
 		if b := t.basis[i]; b < t.nStruct {

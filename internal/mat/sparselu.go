@@ -1,0 +1,300 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements a sparse LU factorization in the style of
+// Gilbert–Peierls: a left-looking column factorization with partial
+// pivoting whose work is proportional to the number of floating-point
+// operations actually performed, not to the dimension squared. It exists
+// for the revised simplex in internal/lp, whose basis matrices are large
+// (tens of thousands of rows for the bigger mechanism-design LPs) but
+// extremely sparse — mostly slack singletons plus short structural
+// columns — so a dense factorization would be both too slow and too big.
+//
+// The factorization computes P·A·Q = L·U where P is a row permutation
+// chosen by partial pivoting and Q is a column permutation chosen up
+// front (columns ordered by increasing nonzero count, which puts the
+// slack singletons first and keeps fill-in negligible on simplex bases).
+
+// SparseLU is the factorization produced by FactorSparse. It provides
+// in-place dense solves with A and Aᵀ. A SparseLU is not safe for
+// concurrent use: the solves share internal scratch space.
+type SparseLU struct {
+	n int
+
+	// L and U in compressed sparse column form, with row indices in
+	// pivot-position space. L has a unit diagonal stored explicitly as the
+	// first entry of each column; U stores its diagonal as the last entry
+	// of each column.
+	lp, li []int32
+	lx     []float64
+	up, ui []int32
+	ux     []float64
+
+	// pinv maps an original row index to its pivot position; rperm is the
+	// inverse (pivot position -> original row).
+	pinv, rperm []int
+	// cperm maps a factorization column position to the caller's column
+	// index; cinv is the inverse.
+	cperm, cinv []int
+
+	scratch []float64
+}
+
+// FactorSparse factorizes the n×n sparse matrix whose k-th column is
+// returned by col (row indices and values of the nonzeros; indices need
+// not be sorted but must be unique and in [0, n)). It returns
+// ErrSingular (wrapped) when elimination finds no usable pivot.
+func FactorSparse(n int, col func(k int) (rows []int32, vals []float64)) (*SparseLU, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mat: FactorSparse(%d): %w", n, ErrShape)
+	}
+	f := &SparseLU{
+		n:       n,
+		pinv:    make([]int, n),
+		rperm:   make([]int, n),
+		cperm:   make([]int, n),
+		cinv:    make([]int, n),
+		scratch: make([]float64, n),
+	}
+
+	// Column pre-ordering: increasing nonzero count. On simplex bases this
+	// floats the slack/identity singletons to the front where they pivot
+	// without any fill.
+	counts := make([]int, n)
+	for k := 0; k < n; k++ {
+		rows, _ := col(k)
+		counts[k] = len(rows)
+		f.cperm[k] = k
+	}
+	sort.SliceStable(f.cperm, func(a, b int) bool { return counts[f.cperm[a]] < counts[f.cperm[b]] })
+	for pos, k := range f.cperm {
+		f.cinv[k] = pos
+	}
+
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+
+	// Workspaces for the sparse triangular solve per column.
+	x := make([]float64, n)    // dense accumulator
+	xi := make([]int, n)       // topological pattern stack
+	pstack := make([]int, n)   // DFS position stack
+	marked := make([]int32, n) // visit stamps
+	stamp := int32(0)
+
+	f.lp = append(f.lp, 0)
+	f.up = append(f.up, 0)
+
+	for kpos := 0; kpos < n; kpos++ {
+		rows, vals := col(f.cperm[kpos])
+
+		// Symbolic step: depth-first search from the column's nonzero rows
+		// through the graph of L to find the nonzero pattern of
+		// x = L⁻¹·a_k in topological order (xi[top:n]).
+		stamp++
+		top := n
+		for _, r := range rows {
+			if marked[r] == stamp {
+				continue
+			}
+			top = f.reachDFS(int(r), stamp, marked, xi, pstack, top)
+		}
+
+		// Numeric step: scatter the column and eliminate in topological
+		// order using the finished columns of L.
+		for p := top; p < n; p++ {
+			x[xi[p]] = 0
+		}
+		for i, r := range rows {
+			x[r] = vals[i]
+		}
+		for p := top; p < n; p++ {
+			i := xi[p]
+			jpiv := f.pinv[i]
+			if jpiv < 0 {
+				continue
+			}
+			xj := x[i]
+			if xj == 0 {
+				continue
+			}
+			for q := f.lp[jpiv] + 1; q < f.lp[jpiv+1]; q++ {
+				x[f.li[q]] -= f.lx[q] * xj
+			}
+		}
+
+		// Partial pivoting: the largest-magnitude entry among rows not yet
+		// pivoted. Entries in already-pivoted rows belong to U.
+		ipiv, pivMag := -1, 0.0
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if f.pinv[i] < 0 {
+				if a := math.Abs(x[i]); a > pivMag {
+					pivMag, ipiv = a, i
+				}
+			}
+		}
+		if ipiv < 0 || pivMag < 1e-13 {
+			return nil, fmt.Errorf("mat: FactorSparse: column %d (pivot %g): %w", f.cperm[kpos], pivMag, ErrSingular)
+		}
+		f.pinv[ipiv] = kpos
+		f.rperm[kpos] = ipiv
+		pivVal := x[ipiv]
+
+		// Emit U column kpos (rows above the diagonal, in pivot space),
+		// diagonal last; then L column kpos (unit diagonal first, then the
+		// scaled subdiagonal entries, still carrying original row indices —
+		// they are remapped to pivot space once the sweep finishes).
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if jp := f.pinv[i]; jp >= 0 && jp < kpos {
+				if x[i] != 0 {
+					f.ui = append(f.ui, int32(jp))
+					f.ux = append(f.ux, x[i])
+				}
+			}
+		}
+		f.ui = append(f.ui, int32(kpos))
+		f.ux = append(f.ux, pivVal)
+		f.up = append(f.up, int32(len(f.ui)))
+
+		f.li = append(f.li, int32(ipiv)) // diagonal, value 1
+		f.lx = append(f.lx, 1)
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if f.pinv[i] < 0 && x[i] != 0 {
+				f.li = append(f.li, int32(i))
+				f.lx = append(f.lx, x[i]/pivVal)
+			}
+		}
+		f.lp = append(f.lp, int32(len(f.li)))
+	}
+
+	// Remap L's row indices from original to pivot-position space so the
+	// triangular solves can run without indirection.
+	for p := range f.li {
+		f.li[p] = int32(f.pinv[f.li[p]])
+	}
+	return f, nil
+}
+
+// reachDFS walks the graph of L from original row r, pushing newly
+// finished nodes onto xi from position top downward; it returns the new
+// top. Nodes are original row indices; a pivoted row i continues into the
+// subdiagonal pattern of L's column pinv[i].
+func (f *SparseLU) reachDFS(r int, stamp int32, marked []int32, xi, pstack []int, top int) int {
+	head := 0
+	xi[0] = r
+	for head >= 0 {
+		i := xi[head]
+		if marked[i] != stamp {
+			marked[i] = stamp
+			if f.pinv[i] < 0 {
+				pstack[head] = 0 // unpivoted: terminal
+			} else {
+				pstack[head] = int(f.lp[f.pinv[i]]) + 1 // skip unit diagonal
+			}
+		}
+		done := true
+		if jpiv := f.pinv[i]; jpiv >= 0 {
+			for p := pstack[head]; p < int(f.lp[jpiv+1]); p++ {
+				child := int(f.li[p])
+				if marked[child] != stamp {
+					pstack[head] = p + 1
+					head++
+					xi[head] = child
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			head--
+			top--
+			xi[top] = i
+		}
+	}
+	return top
+}
+
+// NNZ returns the number of stored nonzeros in L and U combined.
+func (f *SparseLU) NNZ() int { return len(f.lx) + len(f.ux) }
+
+// Order returns the dimension of the factorized matrix.
+func (f *SparseLU) Order() int { return f.n }
+
+// SolveVec overwrites b with A⁻¹·b. Zero entries are skipped, so solves
+// with sparse right-hand sides cost only their reachable set plus one
+// O(n) permutation pass.
+func (f *SparseLU) SolveVec(b []float64) {
+	n := f.n
+	x := f.scratch
+	// x = P·b (row permutation).
+	for i := 0; i < n; i++ {
+		x[f.pinv[i]] = b[i]
+	}
+	// L·y = x, forward.
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	// U·z = y, backward (diagonal stored last in each column).
+	for j := n - 1; j >= 0; j-- {
+		last := f.up[j+1] - 1
+		xj := x[j] / f.ux[last]
+		x[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < last; p++ {
+			x[f.ui[p]] -= f.ux[p] * xj
+		}
+	}
+	// Undo the column permutation: solution component for caller column
+	// cperm[j] is z[j].
+	for j := 0; j < n; j++ {
+		b[f.cperm[j]] = x[j]
+	}
+}
+
+// SolveTransposeVec overwrites c with A⁻ᵀ·c. Like SolveVec it skips
+// zero entries where possible.
+func (f *SparseLU) SolveTransposeVec(c []float64) {
+	n := f.n
+	x := f.scratch
+	// Apply the column permutation: (A·Q)ᵀ has its rows permuted by Q.
+	for j := 0; j < n; j++ {
+		x[j] = c[f.cperm[j]]
+	}
+	// Uᵀ·v = x, forward.
+	for j := 0; j < n; j++ {
+		last := f.up[j+1] - 1
+		s := x[j]
+		for p := f.up[j]; p < last; p++ {
+			s -= f.ux[p] * x[f.ui[p]]
+		}
+		x[j] = s / f.ux[last]
+	}
+	// Lᵀ·w = v, backward.
+	for j := n - 1; j >= 0; j-- {
+		s := x[j]
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			s -= f.lx[p] * x[f.li[p]]
+		}
+		x[j] = s
+	}
+	// c = Pᵀ·w.
+	for i := 0; i < n; i++ {
+		c[i] = x[f.pinv[i]]
+	}
+}

@@ -1,0 +1,133 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// colsOf adapts a Dense matrix to FactorSparse's column callback,
+// dropping explicit zeros.
+func colsOf(a *Dense) func(k int) ([]int32, []float64) {
+	return func(k int) ([]int32, []float64) {
+		var idx []int32
+		var val []float64
+		for i := 0; i < a.Rows(); i++ {
+			if v := a.At(i, k); v != 0 {
+				idx = append(idx, int32(i))
+				val = append(val, v)
+			}
+		}
+		return idx, val
+	}
+}
+
+func TestFactorSparseIdentity(t *testing.T) {
+	f, err := FactorSparse(5, colsOf(Identity(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	f.SolveVec(b)
+	for i, v := range b {
+		if math.Abs(v-float64(i+1)) > 1e-14 {
+			t.Fatalf("identity solve: b[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFactorSparseMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(30)
+		a := NewDense(n, n)
+		// Sparse random matrix with a guaranteed-nonsingular diagonal plus
+		// a scattering of off-diagonal entries, mimicking simplex bases.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, 1+rng.Float64())
+		}
+		for k := 0; k < 3*n; k++ {
+			a.Set(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+
+		want, err := SolveLinear(a, b)
+		if err != nil {
+			continue // dense found it singular; skip
+		}
+		f, err := FactorSparse(n, colsOf(a))
+		if err != nil {
+			t.Fatalf("trial %d: FactorSparse: %v", trial, err)
+		}
+		got := append([]float64(nil), b...)
+		f.SolveVec(got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d n=%d: x[%d] = %v, want %v", trial, n, i, got[i], want[i])
+			}
+		}
+
+		// Transpose solve: check Aᵀy = c by residual.
+		c := append([]float64(nil), b...)
+		f.SolveTransposeVec(c)
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += a.At(i, j) * c[i]
+			}
+			if math.Abs(s-b[j]) > 1e-8*(1+math.Abs(b[j])) {
+				t.Fatalf("trial %d n=%d: (Aᵀy)[%d] = %v, want %v", trial, n, j, s, b[j])
+			}
+		}
+	}
+}
+
+func TestFactorSparsePermutedIdentityAndSingletons(t *testing.T) {
+	// A pure permutation matrix exercises pivoting without elimination.
+	n := 8
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set((i*3)%n, i, 2)
+	}
+	f, err := FactorSparse(n, colsOf(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := append([]float64(nil), b...)
+	f.SolveVec(x)
+	// Verify A·x = b.
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-12 {
+			t.Fatalf("Ax[%d] = %v, want %v", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestFactorSparseSingular(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	// column 2 is a copy of column 0
+	a.Set(0, 2, 1)
+	if _, err := FactorSparse(3, colsOf(a)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorSparseRejectsBadOrder(t *testing.T) {
+	if _, err := FactorSparse(0, nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}

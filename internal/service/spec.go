@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"privcount/internal/core"
+	"privcount/internal/design"
 )
 
 // Kind selects how a Spec's mechanism is constructed.
@@ -100,6 +101,16 @@ type Spec struct {
 // process's memory before the cache ever gets to evict it.
 const MaxN = 4096
 
+// MaxLPN bounds the group size for specs whose construction solves a
+// constrained-design LP (kinds lp and lp-minimax, plus the choose
+// branches that the Figure 5 flowchart routes to an LP). The sparse
+// revised simplex builds these in seconds up to n≈64 and in about a
+// minute at n=128 (one build per spec; singleflight queues duplicate
+// requests behind it), so admission stops where a cold build would tie
+// up a handler for minutes. Closed-form kinds (gm, em, um, and the
+// choose branches they serve) are unaffected and go up to MaxN.
+const MaxLPN = 128
+
 // Validate reports whether the spec describes a servable scenario.
 func (s Spec) Validate() error {
 	if _, ok := kindNames[s.Kind]; !ok {
@@ -119,10 +130,27 @@ func (s Spec) Validate() error {
 	if s.Kind == KindChoose && s.Props&core.OutputDP != 0 {
 		return fmt.Errorf("service: the Figure 5 procedure does not cover OutputDP; use kind lp")
 	}
+	if s.lpBacked() && s.N > MaxLPN {
+		return fmt.Errorf("service: group size n=%d needs an LP-designed mechanism, want n <= %d", s.N, MaxLPN)
+	}
 	if s.ObjectiveP < 0 || math.IsNaN(s.ObjectiveP) {
 		return fmt.Errorf("service: objective exponent p=%v, want >= 0", s.ObjectiveP)
 	}
 	return nil
+}
+
+// lpBacked reports whether building this spec solves a design LP. For
+// KindChoose it defers to design.IsLPBacked, the predicate maintained
+// next to the Figure 5 flowchart itself, so admission can never desync
+// from the build path.
+func (s Spec) lpBacked() bool {
+	switch s.Kind {
+	case KindLP, KindLPMinimax:
+		return true
+	case KindChoose:
+		return design.IsLPBacked(s.N, s.Alpha, s.Props)
+	}
+	return false
 }
 
 // canonical folds equivalent specs onto one cache key: fields a kind
