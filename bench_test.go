@@ -203,6 +203,22 @@ func BenchmarkDesignChooseN64(b *testing.B) {
 	}
 }
 
+// BenchmarkDesignChooseN256 measures the serving-scale cold build the
+// raised service.MaxLPN admits: the WM LP at n=256 through the bounded
+// simplex with presolve and the geometric-vertex crash basis (~6 s/op).
+// Like N64 it yields a single iteration under CI's -benchtime, so it is
+// published in BENCH_lp.json but not regression-gated; the enforced
+// guard is TestWMDesignN256UnderBudget's 10 s wall-clock ceiling.
+func BenchmarkDesignChooseN256(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		design.ClearCache()
+		if _, err := design.Choose(256, 0.9, core.ColumnMonotone); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDesignChooseN24 is the gated CI proxy for LP-path scaling: a
 // cold WM LP at n=24 (the old dense limit) is fast enough to collect
 // several samples per run, so the 30% regression gate applies to it.

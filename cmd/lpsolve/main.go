@@ -55,10 +55,19 @@ func main() {
 	fmt.Printf("objective:  %.10g\n", sol.Objective)
 	fmt.Printf("iterations: %d\n", sol.Iterations)
 	if *stats {
+		ps := sol.Presolve
 		fmt.Printf("stats:\n")
 		fmt.Printf("  rows             %d\n", model.NumConstraints())
 		fmt.Printf("  cols             %d\n", model.NumVariables())
 		fmt.Printf("  nnz              %d\n", model.NumNonzeros())
+		fmt.Printf("  route            %s\n", sol.Route)
+		fmt.Printf("  presolve_rows    %d -> %d\n", ps.RowsIn, ps.RowsOut)
+		fmt.Printf("  bounds_folded    %d\n", ps.BoundsFolded)
+		fmt.Printf("  rows_dominated   %d\n", ps.DominatedRows)
+		fmt.Printf("  rows_duplicate   %d\n", ps.DuplicateRows)
+		fmt.Printf("  rows_implied     %d\n", ps.ImpliedRows+ps.EmptyRows)
+		fmt.Printf("  vars_fixed       %d\n", ps.FixedVars)
+		fmt.Printf("  bound_flips      %d\n", sol.BoundFlips)
 		fmt.Printf("  refactorizations %d\n", sol.Refactorizations)
 		fmt.Printf("  solve_seconds    %.6f\n", elapsed.Seconds())
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"privcount/internal/lp"
 )
 
 func TestReadSourceFromFile(t *testing.T) {
@@ -20,6 +22,30 @@ func TestReadSourceFromFile(t *testing.T) {
 	}
 	if got != content {
 		t.Fatalf("read %q", got)
+	}
+}
+
+// TestStatsReportPresolveAndRoute pins the -stats surface: presolve
+// reductions (rows in -> out, folded bounds) and the solver route taken
+// must be reported, since operators use them to see whether a model is
+// being served by the bounded engine or falling back.
+func TestStatsReportPresolveAndRoute(t *testing.T) {
+	model, err := lp.ParseLP("min: 2x + 3y; c1: x + y >= 4; c2: x >= 1; c3: y <= 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.SolveWith(lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Route == "" {
+		t.Error("Solution.Route is empty; -stats would print nothing useful")
+	}
+	if sol.Presolve.RowsIn != 3 || sol.Presolve.BoundsFolded != 2 {
+		t.Errorf("presolve stats %+v, want RowsIn=3 BoundsFolded=2 (the two singleton rows)", sol.Presolve)
+	}
+	if sol.Presolve.RowsOut >= sol.Presolve.RowsIn {
+		t.Errorf("presolve did not reduce: %d -> %d", sol.Presolve.RowsIn, sol.Presolve.RowsOut)
 	}
 }
 

@@ -56,10 +56,13 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// The write deadline must outlast the slowest admissible cold
-		// build: an LP-backed spec at service.MaxLPN takes about a
-		// minute, and the handler blocks for the whole build (duplicate
-		// requests queue behind it via singleflight).
-		WriteTimeout: 150 * time.Second,
+		// build: an LP-backed spec at service.MaxLPN=512 takes ~40 s on
+		// current hardware (bounded simplex + presolve + crash basis),
+		// and the handler blocks for the whole build (duplicate requests
+		// queue behind it via singleflight). 5 minutes leaves room for
+		// slower machines; the build still completes and warms the cache
+		// even if an impatient client hangs up first.
+		WriteTimeout: 300 * time.Second,
 	}
 	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", *addr, *capacity, *shards)
 	log.Fatal(srv.ListenAndServe())

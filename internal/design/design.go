@@ -127,10 +127,8 @@ func Solve(p Problem) (*Result, error) {
 		}
 	}
 
-	if reduce {
-		b.model.DedupeConstraints()
-	}
-	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, reduce: reduce})
+	crash := b.finishModel()
+	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)
@@ -160,6 +158,14 @@ type builder struct {
 	reduce bool
 	model  *lp.Model
 	vars   map[cell]int
+	// crash collects the rows expected tight at a GM-like optimum — the
+	// column sums and the away-from-diagonal α-ratio rows — which
+	// together pick out exactly one constraint per variable: the
+	// geometric-mechanism vertex. Passed to the LP layer as
+	// Options.CrashRows, it starts the dual simplex an order of magnitude
+	// closer to the constrained optimum than a cold basis; a hint the
+	// solver cannot use is ignored.
+	crash []int
 }
 
 func newBuilder(n int, alpha float64, reduce bool) *builder {
@@ -211,7 +217,9 @@ func (b *builder) cells() []cell {
 
 // addBasicDP adds the §III constraints: column sums (Eq 5) and the α
 // ratio bounds (Eq 6). Non-negativity is native to the solver and upper
-// bounds are implied by the column sums.
+// bounds are implied by the column sums. The sums and the ratio rows
+// pointing away from the diagonal (the ones a geometric mechanism makes
+// tight) are recorded as crash hints for the solver.
 func (b *builder) addBasicDP() error {
 	n, alpha := b.n, b.alpha
 	for j := 0; j <= n; j++ {
@@ -219,29 +227,59 @@ func (b *builder) addBasicDP() error {
 		for i := 0; i <= n; i++ {
 			terms = append(terms, lp.Term{Var: b.varOf(i, j), Coeff: 1})
 		}
-		if _, err := b.model.AddConstraint(fmt.Sprintf("sum_%d", j), terms, lp.EQ, 1); err != nil {
+		row, err := b.model.AddConstraint(fmt.Sprintf("sum_%d", j), terms, lp.EQ, 1)
+		if err != nil {
 			return err
 		}
+		b.crash = append(b.crash, row)
 	}
 	for i := 0; i <= n; i++ {
 		for j := 0; j < n; j++ {
 			// ρ[i][j] ≥ α·ρ[i][j+1]  ⇒  α·ρ[i][j+1] − ρ[i][j] ≤ 0
-			if _, err := b.model.AddConstraint(
+			row, err := b.model.AddConstraint(
 				fmt.Sprintf("dpA_%d_%d", i, j),
 				[]lp.Term{{Var: b.varOf(i, j+1), Coeff: alpha}, {Var: b.varOf(i, j), Coeff: -1}},
-				lp.LE, 0); err != nil {
+				lp.LE, 0)
+			if err != nil {
 				return err
 			}
+			if j < i {
+				b.crash = append(b.crash, row) // left tail decays at rate α
+			}
 			// ρ[i][j+1] ≥ α·ρ[i][j]
-			if _, err := b.model.AddConstraint(
+			row, err = b.model.AddConstraint(
 				fmt.Sprintf("dpB_%d_%d", i, j),
 				[]lp.Term{{Var: b.varOf(i, j), Coeff: alpha}, {Var: b.varOf(i, j+1), Coeff: -1}},
-				lp.LE, 0); err != nil {
+				lp.LE, 0)
+			if err != nil {
 				return err
+			}
+			if j >= i {
+				b.crash = append(b.crash, row) // right tail decays at rate α
 			}
 		}
 	}
 	return nil
+}
+
+// finishModel dedupes the folded model's duplicate rows (remapping the
+// crash hints through the surviving indices) and returns the solver
+// options carrying the hints.
+func (b *builder) finishModel() []int {
+	if b.reduce {
+		_, remap := b.model.DedupeConstraints()
+		seen := make(map[int]bool, len(b.crash))
+		kept := b.crash[:0]
+		for _, r := range b.crash {
+			nr := remap[r]
+			if !seen[nr] {
+				seen[nr] = true
+				kept = append(kept, nr)
+			}
+		}
+		b.crash = kept
+	}
+	return b.crash
 }
 
 // addProperties encodes the requested structural properties, pruning ones
@@ -328,10 +366,11 @@ func (b *builder) addProperties(ps core.PropertySet) error {
 		}
 	}
 	if effective&core.WeakHonesty != 0 {
+		// The weak-honesty floor is a pure lower bound — exactly what the
+		// bounded simplex absorbs without a constraint row.
 		floor := 1 / float64(n+1)
 		for i := 0; i <= n; i++ {
-			if _, err := b.model.AddConstraint(fmt.Sprintf("wh_%d", i),
-				[]lp.Term{{Var: b.varOf(i, i), Coeff: 1}}, lp.GE, floor); err != nil {
+			if err := b.model.SetBounds(b.varOf(i, i), floor, math.Inf(1)); err != nil {
 				return err
 			}
 		}

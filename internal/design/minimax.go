@@ -60,10 +60,16 @@ func SolveMinimax(p Problem) (*Result, error) {
 			return nil, err
 		}
 	}
-	if reduce {
-		b.model.DedupeConstraints()
-	}
-	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, minimax: true, reduce: reduce})
+	// No crash hint here: the geometric-vertex guess (plus any one
+	// epigraph row to fix the cardinality) is primal-infeasible in the
+	// dual — a minimax optimum spreads its objective duals across every
+	// worst-case column — so the solver would reject it after paying for
+	// a basis factorization. Minimax solves therefore stay cold, which is
+	// why the serving layer caps lp-minimax admission at MaxLPMinimaxN
+	// below the MaxLPN the crash-accelerated L0 designs get.
+	b.finishModel()
+	var crash []int
+	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, minimax: true, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: minimax n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)

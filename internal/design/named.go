@@ -84,9 +84,12 @@ func storeWarmBasis(k warmKey, basis []int) {
 }
 
 // solveWarm solves the builder's model, reusing and refreshing the
-// warm-basis cache for the key.
-func solveWarm(m *lp.Model, k warmKey) (*lp.Solution, error) {
-	sol, err := m.SolveWith(lp.Options{Basis: warmBasis(k)})
+// warm-basis cache for the key. A previous optimal basis (same key, e.g.
+// a neighbouring α) wins over the structural crash hint; the hint makes
+// cold solves start at the geometric-mechanism vertex instead of an
+// all-slack basis.
+func solveWarm(m *lp.Model, k warmKey, crash []int) (*lp.Solution, error) {
+	sol, err := m.SolveWith(lp.Options{Basis: warmBasis(k), CrashRows: crash})
 	if err != nil {
 		return nil, err
 	}
@@ -202,10 +205,8 @@ func buildL0D(n int, alpha float64, d int, weights []float64, props core.Propert
 			}
 		}
 	}
-	if reduce {
-		b.model.DedupeConstraints()
-	}
-	sol, err := solveWarm(b.model, warmKey{n: n, props: props, d: d, reduce: reduce})
+	crash := b.finishModel()
+	sol, err := solveWarm(b.model, warmKey{n: n, props: props, d: d, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: L0D n=%d alpha=%g d=%d: %w", n, alpha, d, err)
 	}

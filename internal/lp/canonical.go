@@ -12,12 +12,14 @@ import "math"
 // optimise the identical problem, which is what makes the sparse-vs-dense
 // cross-validation tests meaningful.
 //
-// Canonicalisation per row: negative right-hand sides are sign-flipped
-// (swapping ≤ and ≥), rows are scaled so their largest coefficient is
-// near one, LE rows get a slack column (+1), GE rows a surplus column
-// (−1) plus an artificial (+1), and EQ rows an artificial (+1). The
-// design LPs never densify on this path — constraint terms go straight
-// from the Model's sparse Term lists into CSC storage.
+// Canonicalisation per row: structural lower bounds are shifted into the
+// right-hand side (so every canonical variable lives in [0, ub] with
+// ub = hi − lo, possibly +Inf), negative right-hand sides are
+// sign-flipped (swapping ≤ and ≥), rows are scaled so their largest
+// coefficient is near one, LE rows get a slack column (+1), GE rows a
+// surplus column (−1) plus an artificial (+1), and EQ rows an artificial
+// (+1). The design LPs never densify on this path — constraint terms go
+// straight from the Model's sparse Term lists into CSC storage.
 
 // canonForm is the canonicalised model. Columns are ordered structural
 // variables, then slack/surplus, then artificial.
@@ -51,6 +53,13 @@ type canonForm struct {
 	// initIdCol[i] is the column forming row i's slot of the initial
 	// identity basis (slack for LE rows, artificial otherwise).
 	initIdCol []int
+
+	// shift[v] is the structural lower bound folded into b (canonical
+	// variable = original − shift); ub[j] is the canonical upper bound of
+	// column j after the shift (+Inf for slack/surplus/artificial columns
+	// and unboxed variables, 0 for fixed variables).
+	shift []float64
+	ub    []float64
 }
 
 // canonicalize builds the shared standard form from a model.
@@ -72,6 +81,13 @@ func canonicalize(m *Model) *canonForm {
 		terms := make([]Term, len(c.Terms))
 		copy(terms, c.Terms)
 		rhs := c.RHS
+		if m.boxed {
+			for _, t := range terms {
+				if lo := m.lo[t.Var]; lo != 0 {
+					rhs -= t.Coeff * lo
+				}
+			}
+		}
 		sign := 1.0
 		op := c.Op
 		if rhs < 0 {
@@ -116,6 +132,16 @@ func canonicalize(m *Model) *canonForm {
 
 	cf.artStart = cf.nStruct + nSlack
 	cf.totalCols = cf.artStart + nArt
+	cf.shift = m.lo
+	cf.ub = make([]float64, cf.totalCols)
+	for j := range cf.ub {
+		cf.ub[j] = math.Inf(1)
+	}
+	if m.boxed {
+		for v := 0; v < cf.nStruct; v++ {
+			cf.ub[v] = m.hi[v] - m.lo[v]
+		}
+	}
 	cf.b = make([]float64, cf.m)
 	cf.rowScale = make([]float64, cf.m)
 	cf.identCol = make([]int, cf.m)

@@ -67,24 +67,57 @@ func dualize(m *Model) (*Model, []dualVarRef, error) {
 }
 
 // wantDual reports whether the canonical shape favours the dual route:
-// enough rows for the basis size to matter, and distinctly more rows
-// than structural variables.
+// enough rows for the basis size to matter, and more rows than
+// structural variables by a margin that pays for the dualization
+// overhead. (With presolve folding bound rows away and dropping the
+// dominated ratio rows, the design LPs arrive here at roughly 2–3 rows
+// per variable — past the cutover, which also keeps the crash-hint
+// machinery on the route that can use it.)
 func wantDual(cf *canonForm) bool {
-	return cf.m >= 256 && cf.m >= 3*cf.nStruct
+	return cf.m >= 256 && 4*cf.m >= 5*cf.nStruct
 }
 
-// solveViaDual solves m by solving its explicit dual with the sparse
-// revised simplex and mapping the solution back. Any failure — including
-// dual verdicts that are ambiguous for the primal (an infeasible dual
-// means the primal is infeasible or unbounded) — is reported to the
-// caller, which falls back to a primal-side solve.
+// solveViaDual solves m by solving its explicit dual with the bounded
+// sparse engine and mapping the solution back. Positive lower bounds
+// are shifted into the right-hand sides first (duals are unaffected) and
+// finite upper bounds become explicit singleton rows, so the dual stays
+// a plain non-negative model. Any failure — including dual verdicts that
+// are ambiguous for the primal (an infeasible dual means the primal is
+// infeasible or unbounded) — is reported to the caller, which falls back
+// to a primal-side solve.
 func (m *Model) solveViaDual(opts Options) (*Solution, error) {
-	d, refs, err := dualize(m)
+	sm, shift := m.shiftLowerBounds()
+	em, _ := sm.expandBounds()
+	d, refs, err := dualize(em)
 	if err != nil {
 		return nil, errSparseFallback
 	}
 	cf := canonicalize(d)
-	dsol, err := d.solveSparse(cf, opts)
+	if opts.Basis == nil && len(opts.CrashRows) > 0 {
+		// Seed an advanced basis from the caller's tight-row hint: the
+		// hinted primal rows' dual variables are basic. In the dual space
+		// a basis has exactly one column per dual row (= primal
+		// variable), so the hint only applies when its cardinality works
+		// out; solveBounded validates the rest (non-singularity, primal
+		// feasibility) and cold-starts on any mismatch.
+		warm := make([]int, 0, len(opts.CrashRows))
+		for _, r := range opts.CrashRows {
+			if r < 0 || r >= len(refs) {
+				warm = nil
+				break
+			}
+			ref := refs[r]
+			if ref.pos >= 0 {
+				warm = append(warm, ref.pos)
+			} else if ref.neg >= 0 {
+				warm = append(warm, ref.neg)
+			}
+		}
+		if len(warm) == cf.m {
+			opts.Basis = warm
+		}
+	}
+	dsol, err := d.solveBounded(cf, opts)
 	if err != nil {
 		return nil, errSparseFallback
 	}
@@ -93,6 +126,7 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 		Status:           StatusOptimal,
 		X:                make([]float64, len(m.varNames)),
 		Iterations:       dsol.Iterations,
+		BoundFlips:       dsol.BoundFlips,
 		Refactorizations: dsol.Refactorizations,
 		Basis:            dsol.Basis,
 	}
@@ -100,9 +134,13 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 	// (one dual constraint per primal variable, in order).
 	for j := range sol.X {
 		sol.X[j] = dsol.Duals[j]
+		if shift != nil {
+			sol.X[j] += shift[j]
+		}
 	}
 	sol.Duals = make([]float64, len(m.cons))
-	for i, r := range refs {
+	for i := range sol.Duals {
+		r := refs[i]
 		var y float64
 		if r.pos >= 0 {
 			y += dsol.X[r.pos]

@@ -14,10 +14,16 @@
 // brute-force vertex enumeration, strong duality, sparse-vs-dense
 // cross-validation, and the paper's closed forms.
 //
-// All variables are non-negative; upper bounds and free variables are
-// expressed through constraints or variable splitting by the caller. This
-// matches the mechanism-design LPs exactly (probabilities are ≥ 0 and the
-// column-sum equalities imply ≤ 1).
+// All variables are non-negative. Beyond that, each variable carries an
+// optional [lo, hi] box (SetBounds, default [0, ∞)) that the bounded
+// revised simplex honours natively: lower bounds are shifted into the
+// right-hand sides during canonicalisation and finite upper bounds drive
+// the three-state nonbasic logic, so neither consumes a constraint row.
+// The oracle back ends (the dense tableau and the unbounded revised
+// path) see the same boxes as explicit singleton rows via expandBounds.
+// This matches the mechanism-design LPs exactly (probabilities are ≥ 0,
+// weak-honesty floors are lower bounds, and the column-sum equalities
+// imply ≤ 1).
 package lp
 
 import (
@@ -86,6 +92,8 @@ type Model struct {
 	sense    Sense
 	varNames []string
 	obj      []float64
+	lo, hi   []float64 // per-variable box; default [0, +Inf)
+	boxed    bool      // any non-default bound set
 	cons     []Constraint
 }
 
@@ -122,7 +130,140 @@ func (m *Model) AddVariable(name string) int {
 	}
 	m.varNames = append(m.varNames, name)
 	m.obj = append(m.obj, 0)
+	m.lo = append(m.lo, 0)
+	m.hi = append(m.hi, math.Inf(1))
 	return len(m.varNames) - 1
+}
+
+// SetBounds sets the box lo ≤ x_v ≤ hi. The lower bound must be finite
+// and non-negative (the package-wide convention; shift the model if a
+// variable must go negative), the upper bound may be +Inf, and lo == hi
+// fixes the variable. Tightening an existing bound is allowed; bounds
+// that cross are rejected here rather than surfacing later as a spurious
+// infeasibility.
+func (m *Model) SetBounds(v int, lo, hi float64) error {
+	if v < 0 || v >= len(m.varNames) {
+		return fmt.Errorf("lp: SetBounds: variable %d out of range [0,%d): %w", v, len(m.varNames), ErrBadModel)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || lo < 0 {
+		return fmt.Errorf("lp: SetBounds(%s): lower bound %v, want finite and >= 0: %w", m.varNames[v], lo, ErrBadModel)
+	}
+	if hi < lo {
+		return fmt.Errorf("lp: SetBounds(%s): empty box [%v, %v]: %w", m.varNames[v], lo, hi, ErrBadModel)
+	}
+	m.lo[v] = lo
+	m.hi[v] = hi
+	m.boxed = m.boxed || lo != 0 || !math.IsInf(hi, 1)
+	return nil
+}
+
+// Bounds returns the box of variable v ([0, +Inf) unless SetBounds
+// changed it).
+func (m *Model) Bounds(v int) (lo, hi float64) {
+	if v < 0 || v >= len(m.lo) {
+		return 0, math.Inf(1)
+	}
+	return m.lo[v], m.hi[v]
+}
+
+// Boxed reports whether any variable carries a non-default bound.
+func (m *Model) Boxed() bool { return m.boxed }
+
+// shiftLowerBounds returns an equivalent model whose variables all have
+// zero lower bounds (positive lower bounds move into the right-hand
+// sides and shrink the upper bounds) plus the shift vector to add back
+// to a solution of the shifted model, or the receiver and nil when no
+// variable has a positive lower bound. Row duals are unaffected by the
+// shift.
+func (m *Model) shiftLowerBounds() (*Model, []float64) {
+	if !m.boxed {
+		return m, nil
+	}
+	any := false
+	for _, l := range m.lo {
+		if l > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return m, nil
+	}
+	s := &Model{
+		name:     m.name,
+		sense:    m.sense,
+		varNames: m.varNames,
+		obj:      m.obj,
+		boxed:    true,
+		lo:       make([]float64, len(m.lo)),
+		hi:       make([]float64, len(m.hi)),
+		cons:     make([]Constraint, len(m.cons)),
+	}
+	for v := range m.hi {
+		s.hi[v] = m.hi[v] - m.lo[v]
+	}
+	for i, c := range m.cons {
+		rhs := c.RHS
+		for _, t := range c.Terms {
+			if l := m.lo[t.Var]; l != 0 {
+				rhs -= t.Coeff * l
+			}
+		}
+		s.cons[i] = Constraint{Name: c.Name, Terms: c.Terms, Op: c.Op, RHS: rhs}
+	}
+	return s, m.lo
+}
+
+// expandBounds returns an equivalent model with every non-default box
+// materialised as explicit singleton rows appended after the original
+// constraints — the form the dense tableau and the unbounded revised
+// oracle understand — plus the number of rows appended. It returns the
+// receiver itself (zero appended) when no variable is boxed; callers
+// slice the extra duals back off the returned solution.
+func (m *Model) expandBounds() (*Model, int) {
+	if !m.boxed {
+		return m, 0
+	}
+	e := &Model{
+		name:     m.name,
+		sense:    m.sense,
+		varNames: m.varNames,
+		obj:      m.obj,
+		cons:     append(make([]Constraint, 0, len(m.cons)+len(m.lo)), m.cons...),
+	}
+	e.lo = make([]float64, len(m.lo))
+	e.hi = make([]float64, len(m.hi))
+	for v := range e.hi {
+		e.hi[v] = math.Inf(1)
+	}
+	added := 0
+	for v := range m.lo {
+		lo, hi := m.lo[v], m.hi[v]
+		switch {
+		case lo == hi:
+			e.cons = append(e.cons, Constraint{
+				Name:  fmt.Sprintf("fix_%s", m.varNames[v]),
+				Terms: []Term{{Var: v, Coeff: 1}}, Op: EQ, RHS: lo,
+			})
+			added++
+		default:
+			if lo > 0 {
+				e.cons = append(e.cons, Constraint{
+					Name:  fmt.Sprintf("lb_%s", m.varNames[v]),
+					Terms: []Term{{Var: v, Coeff: 1}}, Op: GE, RHS: lo,
+				})
+				added++
+			}
+			if !math.IsInf(hi, 1) {
+				e.cons = append(e.cons, Constraint{
+					Name:  fmt.Sprintf("ub_%s", m.varNames[v]),
+					Terms: []Term{{Var: v, Coeff: 1}}, Op: LE, RHS: hi,
+				})
+				added++
+			}
+		}
+	}
+	return e, added
 }
 
 // VariableName returns the name of variable v.
@@ -188,31 +329,36 @@ func (m *Model) Constraint(i int) Constraint { return m.cons[i] }
 
 // DedupeConstraints removes constraints that are exact duplicates of an
 // earlier one (same variables, coefficients, operator, and right-hand
-// side) and returns how many were dropped. Symmetry-folded design LPs
-// emit every constraint twice; dropping the copies halves the simplex
-// work without changing the feasible region.
-func (m *Model) DedupeConstraints() int {
-	seen := make(map[string]bool, len(m.cons))
+// side) and returns how many were dropped, plus a remap from old row
+// indices to new ones (a dropped row maps to the index of the copy that
+// was kept, so tight-row hints survive the dedupe). Symmetry-folded
+// design LPs emit every constraint twice; dropping the copies halves the
+// simplex work without changing the feasible region.
+func (m *Model) DedupeConstraints() (int, []int) {
+	seen := make(map[string]int, len(m.cons))
+	remap := make([]int, len(m.cons))
 	kept := m.cons[:0]
 	dropped := 0
-	for _, c := range m.cons {
+	for i, c := range m.cons {
 		terms := append([]Term(nil), c.Terms...)
-		sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+		sort.Slice(terms, func(a, b int) bool { return terms[a].Var < terms[b].Var })
 		var b strings.Builder
 		fmt.Fprintf(&b, "%d|%g|", c.Op, c.RHS)
 		for _, t := range terms {
 			fmt.Fprintf(&b, "%d:%g;", t.Var, t.Coeff)
 		}
 		key := b.String()
-		if seen[key] {
+		if at, ok := seen[key]; ok {
+			remap[i] = at
 			dropped++
 			continue
 		}
-		seen[key] = true
+		seen[key] = len(kept)
+		remap[i] = len(kept)
 		kept = append(kept, c)
 	}
 	m.cons = kept
-	return dropped
+	return dropped, remap
 }
 
 // EvalObjective evaluates the objective at x.
@@ -233,8 +379,11 @@ func (m *Model) CheckFeasible(x []float64, tol float64) error {
 		return fmt.Errorf("lp: CheckFeasible: %d values for %d variables: %w", len(x), len(m.varNames), ErrBadModel)
 	}
 	for v := range m.varNames {
-		if x[v] < -tol {
-			return fmt.Errorf("lp: variable %s = %g violates non-negativity", m.varNames[v], x[v])
+		if x[v] < m.lo[v]-tol {
+			return fmt.Errorf("lp: variable %s = %g violates lower bound %g", m.varNames[v], x[v], m.lo[v])
+		}
+		if x[v] > m.hi[v]+tol {
+			return fmt.Errorf("lp: variable %s = %g violates upper bound %g", m.varNames[v], x[v], m.hi[v])
 		}
 	}
 	for _, c := range m.cons {

@@ -129,12 +129,23 @@ func TestDedupeConstraints(t *testing.T) {
 	m.AddConstraint("c", []Term{{x, 1}, {y, 2}}, GE, 3) // different op
 	m.AddConstraint("d", []Term{{x, 1}, {y, 2}}, LE, 4) // different rhs
 
-	dropped := m.DedupeConstraints()
+	dropped, remap := m.DedupeConstraints()
 	if dropped != 1 {
 		t.Fatalf("dropped %d, want 1", dropped)
 	}
 	if m.NumConstraints() != 3 {
 		t.Fatalf("kept %d constraints, want 3", m.NumConstraints())
+	}
+	// Row "b" was a copy of row "a"; the remap points both at the kept
+	// copy and shifts the survivors down.
+	if want := []int{0, 0, 1, 2}; len(remap) != len(want) {
+		t.Fatalf("remap %v, want %v", remap, want)
+	} else {
+		for i := range want {
+			if remap[i] != want[i] {
+				t.Fatalf("remap %v, want %v", remap, want)
+			}
+		}
 	}
 }
 

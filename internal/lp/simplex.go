@@ -37,17 +37,29 @@ type Solution struct {
 	Objective  float64   // objective value in the model's original sense
 	Duals      []float64 // one dual per constraint, in the model's original sense
 	Iterations int
+	// BoundFlips counts bounded-simplex iterations that moved a nonbasic
+	// variable across its box without a basis change (zero on the oracle
+	// paths, which have no native bounds).
+	BoundFlips int
 	// Refactorizations counts basis refactorizations performed by the
 	// sparse revised simplex (zero on the dense path).
 	Refactorizations int
 	// Basis is an opaque warm-start token: the final basis of whichever
 	// solver route produced this solution (for the automatic dual route
-	// it indexes the dual's canonical columns, not this model's). Feed
-	// it to Options.Basis of a solve with the identical constraint shape
-	// and the same Method — e.g. the same design LP at a neighbouring α
-	// — where route selection repeats deterministically; a basis that
-	// does not fit the shape is ignored and the solve cold-starts.
+	// it indexes the dual's canonical columns, not this model's, and
+	// after presolve it indexes the reduced model's rows). Feed it to
+	// Options.Basis of a solve with the identical constraint shape and
+	// the same Method — e.g. the same design LP at a neighbouring α —
+	// where presolve and route selection repeat deterministically; a
+	// basis that does not fit the shape is ignored and the solve
+	// cold-starts.
 	Basis []int
+	// Presolve reports the reductions applied before the solve (zero on
+	// the oracle methods, which always solve the model as given).
+	Presolve PresolveStats
+	// Route names the solver path that produced the solution: "bounded",
+	// "dual", "sparse-unbounded", or "dense".
+	Route string
 }
 
 // Value returns the solved value of variable v. A v outside [0, len(X))
@@ -74,14 +86,21 @@ type Method int
 
 // Solver back ends.
 const (
-	// MethodAuto (the zero value) runs the sparse revised simplex and
-	// falls back to the dense tableau if the sparse path declines the
-	// model or returns an infeasible-looking point.
+	// MethodAuto (the zero value) presolves the model, dualizes it when
+	// tall, runs the bounded-variable revised simplex, and falls back to
+	// the oracle paths if the sparse engine declines the model or returns
+	// an infeasible-looking point.
 	MethodAuto Method = iota
-	// MethodSparse forces the sparse revised simplex.
+	// MethodSparse forces the bounded-variable revised simplex (with
+	// presolve unless Options.NoPresolve is set; no dual route).
 	MethodSparse
-	// MethodDense forces the dense tableau simplex.
+	// MethodDense forces the dense tableau simplex, solving the model
+	// exactly as given (bounds become explicit rows, no presolve). It is
+	// one of the two independent cross-validation oracles.
 	MethodDense
+	// MethodUnboundedSparse forces the original unbounded revised simplex
+	// (bounds become explicit rows, no presolve) — the second oracle.
+	MethodUnboundedSparse
 )
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -104,6 +123,21 @@ type Options struct {
 	// the same solver route; a basis that does not apply is ignored and
 	// the solve cold-starts.
 	Basis []int
+	// NoPresolve skips the presolve reductions on the default methods
+	// (the oracle methods never presolve). Used by tests that pin the
+	// presolved and unreduced solves against each other.
+	NoPresolve bool
+	// CrashRows lists constraints the caller expects to be tight at the
+	// optimum (original row indices). The dual route seeds its advanced
+	// basis from them when they determine one exactly; a hint that does
+	// not fit — wrong cardinality after presolve, singular, or primal
+	// infeasible — is ignored and the solve cold-starts, so a wrong guess
+	// costs nothing but the attempt. design uses this to start the
+	// BASICDP LPs at the geometric-mechanism vertex (column sums plus the
+	// away-from-diagonal ratio rows), which cuts cold-solve pivot counts
+	// by an order of magnitude. An explicit Options.Basis wins over the
+	// hint.
+	CrashRows []int
 }
 
 func (o Options) withDefaults(rows, cols, nnz int) Options {
@@ -141,71 +175,175 @@ func (m *Model) Solve() (*Solution, error) {
 // the true data is restored and the solution re-derived against it, with
 // an unperturbed solve as fallback.
 func (m *Model) SolveWith(opts Options) (*Solution, error) {
+	if opts.Tol == 0 {
+		opts.Tol = 1e-9
+	}
+	switch opts.Method {
+	case MethodDense, MethodUnboundedSparse:
+		return m.solveOracle(opts)
+	}
+
+	// Default path: presolve (unless disabled), then the bounded sparse
+	// engine on the reduced model, with the dual route for tall shapes
+	// and the oracle paths as fallback.
+	target := m
+	var pre *presolved
+	if !opts.NoPresolve {
+		var err error
+		pre, err = presolve(m)
+		if err != nil {
+			return &Solution{Status: StatusInfeasible}, err
+		}
+		target = pre.reduced
+		if len(opts.CrashRows) > 0 {
+			// Crash hints follow the rows into the reduced index space;
+			// hints on rows presolve removed are dropped (the dual route
+			// rejects a hint set that no longer determines a basis).
+			origToRed := make(map[int]int, len(pre.rowMap))
+			for red, orig := range pre.rowMap {
+				origToRed[orig] = red
+			}
+			mapped := make([]int, 0, len(opts.CrashRows))
+			for _, r := range opts.CrashRows {
+				if red, ok := origToRed[r]; ok {
+					mapped = append(mapped, red)
+				}
+			}
+			opts.CrashRows = mapped
+		}
+	}
+	sol, err := target.solveReduced(opts)
+	if sol != nil && pre != nil {
+		sol.Presolve = pre.stats
+		if err == nil && sol.Status == StatusOptimal {
+			pre.postsolve(sol)
+		}
+	}
+	if err != nil {
+		return sol, err
+	}
+	m.finishSolution(sol, opts)
+	return sol, nil
+}
+
+// solveOracle runs one of the two independent oracle back ends on the
+// model exactly as given: variable boxes become explicit singleton rows
+// (whose duals are sliced back off) and no presolve reduction applies.
+func (m *Model) solveOracle(opts Options) (*Solution, error) {
+	em, extra := m.expandBounds()
+	cf := canonicalize(em)
+	opts = opts.withDefaults(cf.m, cf.totalCols, cf.nnz())
+
+	var sol *Solution
+	var err error
+	route := "dense"
+	if opts.Method == MethodDense {
+		sol, err = em.solveDense(cf, opts)
+	} else {
+		route = "sparse-unbounded"
+		sol, err = em.solveSparse(cf, opts)
+		if errors.Is(err, errSparseFallback) {
+			if cf.m*(cf.totalCols+1) <= maxDenseCells {
+				route = "dense"
+				sol, err = em.solveDense(cf, opts)
+			} else {
+				return nil, fmt.Errorf("lp: sparse solver declined the model and it is too large for the dense fallback: %w", ErrBadModel)
+			}
+		}
+	}
+	if err != nil {
+		if sol != nil {
+			sol.Route = route
+		}
+		return sol, err
+	}
+	trimBoundRowDuals(sol, m, extra, route)
+	m.finishSolution(sol, opts)
+	return sol, nil
+}
+
+// trimBoundRowDuals drops the duals of the singleton rows expandBounds
+// appended (they represent variable bounds, not caller constraints) and
+// stamps the route that produced the solution. Every path that solves an
+// expanded model funnels through here so the dual-slicing rule lives in
+// one place.
+func trimBoundRowDuals(sol *Solution, m *Model, extra int, route string) {
+	if sol == nil {
+		return
+	}
+	if extra > 0 && len(sol.Duals) >= len(m.cons) {
+		sol.Duals = sol.Duals[:len(m.cons)]
+	}
+	sol.Route = route
+}
+
+// solveReduced drives the sparse engine (and, on the auto method, the
+// dual route) for a presolved model, falling back to the oracle paths
+// where affordable.
+func (m *Model) solveReduced(opts Options) (*Solution, error) {
 	cf := canonicalize(m)
 	opts = opts.withDefaults(cf.m, cf.totalCols, cf.nnz())
 
-	switch opts.Method {
-	case MethodDense:
-		return m.solveDense(cf, opts)
-	case MethodSparse:
-		sol, err := m.solveSparse(cf, opts)
-		if errors.Is(err, errSparseFallback) {
-			// Shapes the revised path declines (e.g. no constraints) go
-			// dense — within the same size cap as the auto route.
-			if cf.m*(cf.totalCols+1) <= maxDenseCells {
-				return m.solveDense(cf, opts)
-			}
-			return nil, fmt.Errorf("lp: sparse solver declined the model and it is too large for the dense fallback: %w", ErrBadModel)
-		}
-		if err != nil {
-			return sol, err
-		}
-		m.finishSolution(sol, opts)
-		return sol, nil
-	default:
-		// Tall models solve far faster through their dual: every
-		// revised-simplex cost scales with the basis dimension (= rows).
-		if wantDual(cf) {
-			if sol, err := m.solveViaDual(opts); err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
-				m.finishSolution(sol, opts)
-				return sol, nil
-			}
-		}
-		sol, err := m.solveSparse(cf, opts)
-		if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
-			m.finishSolution(sol, opts)
+	// Tall models solve far faster through their dual: every
+	// revised-simplex cost scales with the basis dimension (= rows).
+	if opts.Method == MethodAuto && wantDual(cf) {
+		if sol, err := m.solveViaDual(opts); err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+			sol.Route = "dual"
 			return sol, nil
 		}
-		cells := cf.m * (cf.totalCols + 1)
-		// A definitive sparse verdict (infeasible, unbounded, iteration
-		// limit) was already confirmed on a fresh factorization; beyond
-		// oracle size, re-deriving it densely would stall a caller for
-		// minutes to re-learn the same answer.
-		if err != nil && !errors.Is(err, errSparseFallback) && cells > maxOracleCells {
+	}
+	sol, err := m.solveBounded(cf, opts)
+	if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+		sol.Route = "bounded"
+		return sol, nil
+	}
+	cells := cf.m * (cf.totalCols + 1)
+	// A definitive sparse verdict (infeasible, unbounded, iteration
+	// limit) was already confirmed on a fresh factorization; beyond
+	// oracle size, re-deriving it densely would stall a caller for
+	// minutes to re-learn the same answer.
+	if err != nil && !errors.Is(err, errSparseFallback) && cells > maxOracleCells {
+		return sol, err
+	}
+	// Otherwise re-run on the oracle paths — declined models, numeric
+	// failures, and cheap double-checks. The unbounded revised path picks
+	// up shapes the bounded engine declined, but only at oracle size: at
+	// serving scale its dense per-pivot sweeps are the minutes-per-solve
+	// cost this engine replaced, and stalling a handler to re-learn a
+	// marginal verdict is worse than the loose-tolerance acceptance
+	// below. The dense tableau is the last resort, affordable only while
+	// the O(m·n) working array stays reasonable: past that the allocation
+	// alone (m rows × totalCols+1 float64s) would take gigabytes.
+	em, extra := m.expandBounds()
+	ecf := cf
+	if extra > 0 {
+		ecf = canonicalize(em)
+	}
+	if cells <= maxOracleCells {
+		if sol2, err2 := em.solveSparse(ecf, opts); err2 == nil && em.CheckFeasible(sol2.X, 1e-7) == nil {
+			trimBoundRowDuals(sol2, m, extra, "sparse-unbounded")
+			return sol2, nil
+		}
+	}
+	if ecf.m*(ecf.totalCols+1) > maxDenseCells {
+		if err != nil && !errors.Is(err, errSparseFallback) {
 			return sol, err
 		}
-		// Otherwise re-run on the dense oracle — declined models, numeric
-		// failures, and cheap double-checks — but only where the O(m·n)
-		// tableau is affordable: past that the allocation alone (m rows ×
-		// totalCols+1 float64s) would take gigabytes.
-		if cells > maxDenseCells {
-			if err != nil && !errors.Is(err, errSparseFallback) {
-				return sol, err
-			}
-			// An optimal-status solution that just missed the strict
-			// feasibility tolerance is still the best answer available at
-			// a size with no dense fallback; residuals scale with model
-			// size, so accept it under a looser absolute bound before
-			// declaring failure.
-			if err == nil && m.CheckFeasible(sol.X, 1e-5) == nil {
-				m.finishSolution(sol, opts)
-				return sol, nil
-			}
-			// Never leak the unexported sentinel to callers.
-			return nil, fmt.Errorf("lp: sparse solver failed and the model is too large for the dense fallback: %w", ErrBadModel)
+		// An optimal-status solution that just missed the strict
+		// feasibility tolerance is still the best answer available at a
+		// size with no dense fallback; residuals scale with model size,
+		// so accept it under a looser absolute bound before declaring
+		// failure.
+		if err == nil && m.CheckFeasible(sol.X, 1e-5) == nil {
+			sol.Route = "bounded"
+			return sol, nil
 		}
-		return m.solveDense(cf, opts)
+		// Never leak the unexported sentinel to callers.
+		return nil, fmt.Errorf("lp: sparse solver failed and the model is too large for the dense fallback: %w", ErrBadModel)
 	}
+	dsol, derr := em.solveDense(ecf, opts)
+	trimBoundRowDuals(dsol, m, extra, "dense")
+	return dsol, derr
 }
 
 // maxDenseCells bounds the dense tableau's working array (rows ×
@@ -252,13 +390,16 @@ func (m *Model) solveDense(cf *canonForm, opts Options) (*Solution, error) {
 	return sol, nil
 }
 
-// finishSolution rounds tiny negatives up to zero — so downstream
-// probability checks do not trip over -1e-15 — and evaluates the
-// objective at the returned point.
+// finishSolution rounds values a hair outside their box back onto it —
+// so downstream probability checks do not trip over -1e-15 — and
+// evaluates the objective at the returned point.
 func (m *Model) finishSolution(sol *Solution, opts Options) {
 	for i, v := range sol.X {
-		if v < 0 && v > -opts.Tol*10 {
-			sol.X[i] = 0
+		lo, hi := m.lo[i], m.hi[i]
+		if v < lo && v > lo-opts.Tol*10 {
+			sol.X[i] = lo
+		} else if v > hi && v < hi+opts.Tol*10 {
+			sol.X[i] = hi
 		}
 	}
 	sol.Objective = m.EvalObjective(sol.X)

@@ -43,6 +43,26 @@ type SparseLU struct {
 	cperm, cinv []int
 
 	scratch []float64
+
+	// CSR mirrors of the strictly triangular parts, built once after the
+	// factorization sweep: row r of L (column r of Lᵀ) and row r of U
+	// (column r of Uᵀ). They exist so the sparse transpose solves can walk
+	// dependency edges forward without a per-call transposition.
+	ltp, lti []int32
+	ltx      []float64
+	utp, uti []int32
+	utx      []float64
+	udiag    []float64
+
+	// Sparse-solve workspaces: a second dense accumulator (kept all-zero
+	// between calls), DFS stacks, visit stamps, and pattern buffers.
+	sx             []float64
+	dstack, pstack []int32
+	topo           []int32 // topological pattern, filled from the top down
+	seedbuf        []int32
+	outpat         []int32
+	marked         []int32
+	stamp          int32
 }
 
 // FactorSparse factorizes the n×n sparse matrix whose k-th column is
@@ -183,6 +203,73 @@ func FactorSparse(n int, col func(k int) (rows []int32, vals []float64)) (*Spars
 	return f, nil
 }
 
+// ensureSparseKernels lazily builds the CSR transpose mirrors and the
+// sparse-solve workspaces on the first FtranSparse/BtranSparse call, so
+// callers that only ever use the dense solves (the unbounded oracle
+// path) pay neither the O(nnz) transposition nor the doubled factor
+// memory.
+func (f *SparseLU) ensureSparseKernels() {
+	if f.marked == nil {
+		f.buildTranspose()
+	}
+}
+
+// buildTranspose fills the CSR mirrors of the strictly triangular parts
+// of L and U plus the U diagonal, enabling the sparse transpose solves.
+func (f *SparseLU) buildTranspose() {
+	n := f.n
+	f.udiag = make([]float64, n)
+	lCounts := make([]int32, n)
+	uCounts := make([]int32, n)
+	for j := 0; j < n; j++ {
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			lCounts[f.li[p]]++
+		}
+		last := f.up[j+1] - 1
+		f.udiag[j] = f.ux[last]
+		for p := f.up[j]; p < last; p++ {
+			uCounts[f.ui[p]]++
+		}
+	}
+	f.ltp = make([]int32, n+1)
+	f.utp = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		f.ltp[i+1] = f.ltp[i] + lCounts[i]
+		f.utp[i+1] = f.utp[i] + uCounts[i]
+	}
+	f.lti = make([]int32, f.ltp[n])
+	f.ltx = make([]float64, f.ltp[n])
+	f.uti = make([]int32, f.utp[n])
+	f.utx = make([]float64, f.utp[n])
+	lNext := append([]int32(nil), f.ltp[:n]...)
+	uNext := append([]int32(nil), f.utp[:n]...)
+	for j := 0; j < n; j++ {
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			i := f.li[p]
+			q := lNext[i]
+			f.lti[q] = int32(j)
+			f.ltx[q] = f.lx[p]
+			lNext[i] = q + 1
+		}
+		last := f.up[j+1] - 1
+		for p := f.up[j]; p < last; p++ {
+			i := f.ui[p]
+			q := uNext[i]
+			f.uti[q] = int32(j)
+			f.utx[q] = f.ux[p]
+			uNext[i] = q + 1
+		}
+	}
+
+	f.sx = make([]float64, n)
+	f.dstack = make([]int32, n)
+	f.pstack = make([]int32, n)
+	f.topo = make([]int32, n)
+	f.seedbuf = make([]int32, 0, n)
+	f.outpat = make([]int32, 0, n)
+	f.marked = make([]int32, n)
+}
+
 // reachDFS walks the graph of L from original row r, pushing newly
 // finished nodes onto xi from position top downward; it returns the new
 // top. Nodes are original row indices; a pivoted row i continues into the
@@ -220,6 +307,228 @@ func (f *SparseLU) reachDFS(r int, stamp int32, marked []int32, xi, pstack []int
 		}
 	}
 	return top
+}
+
+// Triangle selects one of the four triangular dependency graphs a sparse
+// solve walks: L and U as stored (CSC), or their CSR mirrors (the
+// transpose solves).
+type triangle int8
+
+const (
+	triL  triangle = iota // CSC L, unit diagonal stored first
+	triU                  // CSC U, diagonal stored last
+	triUT                 // CSR U (strictly upper), diagonal in udiag
+	triLT                 // CSR L (strictly lower), unit diagonal implicit
+)
+
+// triEdges returns the adjacency slices of node j in the given triangle:
+// the nodes whose values a finished x[j] updates.
+func (f *SparseLU) triEdges(tr triangle, j int32) (idx []int32, val []float64) {
+	switch tr {
+	case triL:
+		return f.li[f.lp[j]+1 : f.lp[j+1]], f.lx[f.lp[j]+1 : f.lp[j+1]]
+	case triU:
+		return f.ui[f.up[j] : f.up[j+1]-1], f.ux[f.up[j] : f.up[j+1]-1]
+	case triUT:
+		return f.uti[f.utp[j]:f.utp[j+1]], f.utx[f.utp[j]:f.utp[j+1]]
+	default:
+		return f.lti[f.ltp[j]:f.ltp[j+1]], f.ltx[f.ltp[j]:f.ltp[j+1]]
+	}
+}
+
+// nextStamp advances the DFS visit stamp, clearing the mark array on the
+// (effectively unreachable) wraparound.
+func (f *SparseLU) nextStamp() int32 {
+	f.stamp++
+	if f.stamp == math.MaxInt32 {
+		for i := range f.marked {
+			f.marked[i] = 0
+		}
+		f.stamp = 1
+	}
+	return f.stamp
+}
+
+// triReach computes the set of nodes reachable from seed through the
+// triangle's dependency edges — the nonzero pattern of the triangular
+// solve — in topological order, stored in f.topo[top:n]. It returns top.
+func (f *SparseLU) triReach(tr triangle, seed []int32) int {
+	stamp := f.nextStamp()
+	top := f.n
+	for _, r := range seed {
+		if f.marked[r] == stamp {
+			continue
+		}
+		// Iterative DFS: a node is pushed to topo once all its children are
+		// done, so topo[top:n] lists every node before its dependents.
+		head := 0
+		f.dstack[0] = r
+		for head >= 0 {
+			j := f.dstack[head]
+			if f.marked[j] != stamp {
+				f.marked[j] = stamp
+				f.pstack[head] = 0
+			}
+			idx, _ := f.triEdges(tr, j)
+			descended := false
+			for p := f.pstack[head]; int(p) < len(idx); p++ {
+				child := idx[p]
+				if f.marked[child] != stamp {
+					f.pstack[head] = p + 1
+					head++
+					f.dstack[head] = child
+					descended = true
+					break
+				}
+			}
+			if !descended {
+				head--
+				top--
+				f.topo[top] = j
+			}
+		}
+	}
+	return top
+}
+
+// triSolveSparse runs the column-oriented triangular solve over the
+// topologically ordered pattern f.topo[top:n] against the dense-scattered
+// accumulator x (indexed in pivot space). Divide-by-diagonal happens for
+// the U-involving triangles before the scatter.
+func (f *SparseLU) triSolveSparse(tr triangle, top int, x []float64) {
+	divide := tr == triU || tr == triUT
+	for p := top; p < f.n; p++ {
+		j := f.topo[p]
+		xj := x[j]
+		if divide {
+			xj /= f.udiag[j]
+			x[j] = xj
+		}
+		if xj == 0 {
+			continue
+		}
+		idx, val := f.triEdges(tr, j)
+		for q, i := range idx {
+			x[i] -= val[q] * xj
+		}
+	}
+}
+
+// sparsityCut is the pattern-density fraction beyond which the sparse
+// kernels stop paying for their DFS overhead and the solve goes dense.
+const sparsityCut = 8
+
+// FtranSparse overwrites the sparse vector held in (x, pat) — values
+// scattered in the caller's dense accumulator x, nonzero indices in pat
+// (caller row space, as for SolveVec) — with A⁻¹·x and returns the new
+// pattern, whose indices are in caller column space. Entries of x outside
+// pat must be zero. When the pattern grows past n/8 the solve finishes
+// densely and returns nil: x then holds the full dense result (as after
+// SolveVec) and the caller must treat it as dense. The returned slice is
+// owned by the factorization and valid until the next sparse solve.
+func (f *SparseLU) FtranSparse(x []float64, pat []int32) []int32 {
+	n := f.n
+	if len(pat)*sparsityCut > n {
+		f.SolveVec(x)
+		return nil
+	}
+	f.ensureSparseKernels()
+	s := f.sx
+	f.seedbuf = f.seedbuf[:0]
+	for _, i := range pat {
+		j := int32(f.pinv[i])
+		s[j] = x[i]
+		x[i] = 0
+		f.seedbuf = append(f.seedbuf, j)
+	}
+	top := f.triReach(triL, f.seedbuf)
+	f.triSolveSparse(triL, top, s)
+	if (n-top)*sparsityCut > n {
+		// Pattern filled in: finish with the dense backward solve. s holds
+		// y = L⁻¹Pb exactly (untouched entries are zero).
+		for j := n - 1; j >= 0; j-- {
+			last := f.up[j+1] - 1
+			xj := s[j] / f.ux[last]
+			s[j] = xj
+			if xj == 0 {
+				continue
+			}
+			for p := f.up[j]; p < last; p++ {
+				s[f.ui[p]] -= f.ux[p] * xj
+			}
+		}
+		for j := 0; j < n; j++ {
+			x[f.cperm[j]] = s[j]
+			s[j] = 0
+		}
+		return nil
+	}
+	// The L pattern seeds the U reach; copy it out before topo is reused.
+	f.seedbuf = append(f.seedbuf[:0], f.topo[top:n]...)
+	top = f.triReach(triU, f.seedbuf)
+	f.triSolveSparse(triU, top, s)
+	f.outpat = f.outpat[:0]
+	for p := top; p < n; p++ {
+		j := f.topo[p]
+		c := int32(f.cperm[j])
+		x[c] = s[j]
+		s[j] = 0
+		f.outpat = append(f.outpat, c)
+	}
+	return f.outpat
+}
+
+// BtranSparse is the transpose counterpart of FtranSparse: it overwrites
+// the sparse vector (x, pat) — indices in caller column space, as for
+// SolveTransposeVec — with A⁻ᵀ·x and returns the new pattern in caller
+// row space, or nil after a dense finish (x then holds the dense result).
+func (f *SparseLU) BtranSparse(x []float64, pat []int32) []int32 {
+	n := f.n
+	if len(pat)*sparsityCut > n {
+		f.SolveTransposeVec(x)
+		return nil
+	}
+	f.ensureSparseKernels()
+	s := f.sx
+	f.seedbuf = f.seedbuf[:0]
+	for _, c := range pat {
+		j := int32(f.cinv[c])
+		s[j] = x[c]
+		x[c] = 0
+		f.seedbuf = append(f.seedbuf, j)
+	}
+	top := f.triReach(triUT, f.seedbuf)
+	f.triSolveSparse(triUT, top, s)
+	if (n-top)*sparsityCut > n {
+		// Dense finish: s holds v = U⁻ᵀ(Q-permuted c) exactly; run the
+		// dense backward Lᵀ solve and permute out.
+		for j := n - 1; j >= 0; j-- {
+			sj := s[j]
+			for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+				sj -= f.lx[p] * s[f.li[p]]
+			}
+			s[j] = sj
+		}
+		for i := 0; i < n; i++ {
+			x[i] = s[f.pinv[i]]
+		}
+		for j := 0; j < n; j++ {
+			s[j] = 0
+		}
+		return nil
+	}
+	f.seedbuf = append(f.seedbuf[:0], f.topo[top:n]...)
+	top = f.triReach(triLT, f.seedbuf)
+	f.triSolveSparse(triLT, top, s)
+	f.outpat = f.outpat[:0]
+	for p := top; p < n; p++ {
+		j := f.topo[p]
+		r := int32(f.rperm[j])
+		x[r] = s[j]
+		s[j] = 0
+		f.outpat = append(f.outpat, r)
+	}
+	return f.outpat
 }
 
 // NNZ returns the number of stored nonzeros in L and U combined.

@@ -115,6 +115,83 @@ func TestFactorSparsePermutedIdentityAndSingletons(t *testing.T) {
 	}
 }
 
+// TestSparseSolvesMatchDense drives FtranSparse/BtranSparse over random
+// sparse right-hand sides of every density — from singletons that stay
+// hyper-sparse to patterns past the dense cutover — and requires exact
+// agreement with the dense SolveVec/SolveTransposeVec on the same data.
+func TestSparseSolvesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + rng.Intn(60)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, 1+rng.Float64())
+		}
+		for k := 0; k < 3*n; k++ {
+			a.Set(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		f, err := FactorSparse(n, colsOf(a))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		nnz := 1 + rng.Intn(n)
+		pat := make([]int32, 0, nnz)
+		seen := make(map[int32]bool)
+		dense := make([]float64, n)
+		scatter := make([]float64, n)
+		for k := 0; k < nnz; k++ {
+			i := int32(rng.Intn(n))
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			v := rng.NormFloat64()
+			pat = append(pat, i)
+			dense[i] = v
+			scatter[i] = v
+		}
+
+		for pass := 0; pass < 2; pass++ {
+			want := append([]float64(nil), dense...)
+			got := append([]float64(nil), scatter...)
+			var outPat []int32
+			if pass == 0 {
+				f.SolveVec(want)
+				outPat = f.FtranSparse(got, pat)
+			} else {
+				f.SolveTransposeVec(want)
+				outPat = f.BtranSparse(got, pat)
+			}
+			if outPat != nil {
+				// Sparse result: entries off the pattern must be zero in the
+				// dense answer too, and on-pattern values must agree.
+				onPat := make(map[int32]bool, len(outPat))
+				for _, i := range outPat {
+					onPat[i] = true
+				}
+				for i := 0; i < n; i++ {
+					if !onPat[int32(i)] && math.Abs(want[i]) > 1e-12 {
+						t.Fatalf("trial %d pass %d: dense has x[%d]=%v but sparse pattern omits it", trial, pass, i, want[i])
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("trial %d pass %d n=%d nnz=%d: x[%d] = %v, want %v", trial, pass, n, len(pat), i, got[i], want[i])
+				}
+			}
+		}
+
+		// The internal accumulator must be clean for the next call.
+		for i, v := range f.sx {
+			if v != 0 {
+				t.Fatalf("trial %d: scratch not cleared at %d: %v", trial, i, v)
+			}
+		}
+	}
+}
+
 func TestFactorSparseSingular(t *testing.T) {
 	a := NewDense(3, 3)
 	a.Set(0, 0, 1)

@@ -92,6 +92,37 @@ func TestSpecValidation(t *testing.T) {
 	if _, err := svc.Sample(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}, 9); err == nil {
 		t.Error("Sample with out-of-range count succeeded")
 	}
+	// LP-backed admission runs to MaxLPN and no further; closed-form and
+	// closed-form-served choose branches go all the way to MaxN. (Validate
+	// alone — no Get — so this costs no LP solve.)
+	lpOK := Spec{Kind: KindLP, N: MaxLPN, Alpha: 0.9, Props: core.WeakHonesty | core.ColumnMonotone}
+	if err := lpOK.Validate(); err != nil {
+		t.Errorf("Validate(%v) = %v, want admissible at MaxLPN=%d", lpOK, err, MaxLPN)
+	}
+	lpBig := lpOK
+	lpBig.N = MaxLPN + 1
+	if err := lpBig.Validate(); err == nil {
+		t.Errorf("Validate(%v) succeeded, want LP admission bound at %d", lpBig, MaxLPN)
+	}
+	chooseLP := Spec{Kind: KindChoose, N: MaxLPN + 1, Alpha: 0.9, Props: core.ColumnMonotone}
+	if err := chooseLP.Validate(); err == nil {
+		t.Errorf("Validate(%v) succeeded, want rejection: choose routes it to the WM LP", chooseLP)
+	}
+	chooseGM := Spec{Kind: KindChoose, N: MaxN, Alpha: 0.4, Props: core.ColumnMonotone}
+	if err := chooseGM.Validate(); err != nil {
+		t.Errorf("Validate(%v) = %v, want admissible: Lemma 3 serves it with GM", chooseGM, err)
+	}
+	if MaxLPN < 512 {
+		t.Errorf("MaxLPN = %d, want >= 512 (serving-scale LP admission)", MaxLPN)
+	}
+	mmBig := Spec{Kind: KindLPMinimax, N: MaxLPMinimaxN + 1, Alpha: 0.9}
+	if err := mmBig.Validate(); err == nil {
+		t.Errorf("Validate(%v) succeeded, want the cold-minimax bound at %d", mmBig, MaxLPMinimaxN)
+	}
+	mmOK := Spec{Kind: KindLPMinimax, N: MaxLPMinimaxN, Alpha: 0.9}
+	if err := mmOK.Validate(); err != nil {
+		t.Errorf("Validate(%v) = %v, want admissible", mmOK, err)
+	}
 	if _, err := svc.Estimate(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}, []int{-1}); err == nil {
 		t.Error("Estimate with out-of-range output succeeded")
 	}

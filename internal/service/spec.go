@@ -103,13 +103,27 @@ const MaxN = 4096
 
 // MaxLPN bounds the group size for specs whose construction solves a
 // constrained-design LP (kinds lp and lp-minimax, plus the choose
-// branches that the Figure 5 flowchart routes to an LP). The sparse
-// revised simplex builds these in seconds up to n≈64 and in about a
-// minute at n=128 (one build per spec; singleflight queues duplicate
-// requests behind it), so admission stops where a cold build would tie
-// up a handler for minutes. Closed-form kinds (gm, em, um, and the
+// branches that the Figure 5 flowchart routes to an LP). The bounded
+// revised simplex — with presolve folding the weak-honesty floors into
+// variable bounds and dropping the dominated ratio rows, and the
+// geometric-vertex crash basis skipping the cold pivot walk — builds the
+// WM LP in about a second at n=128, ~6 s at n=256, and ~40 s at n=512
+// (one build per spec; singleflight queues duplicate requests behind
+// it), so admission stops where a cold build would tie up a handler for
+// minutes rather than seconds. Closed-form kinds (gm, em, um, and the
 // choose branches they serve) are unaffected and go up to MaxN.
-const MaxLPN = 128
+const MaxLPN = 512
+
+// MaxLPMinimaxN bounds kind lp-minimax separately: the epigraph LP of
+// Definition 3 has no geometric-vertex crash basis (its optimum spreads
+// duals across every worst-case column), so those solves run cold —
+// ~12 s at n=64 and minutes at n≈96, which no HTTP write deadline
+// survives. Admission therefore stops at the largest size a cold build
+// actually delivers inside privcountd's timeout; the old blanket
+// MaxLPN=128 nominally admitted larger minimax specs, but those
+// requests only ever produced a dead connection after minutes of a
+// blocked handler.
+const MaxLPMinimaxN = 64
 
 // Validate reports whether the spec describes a servable scenario.
 func (s Spec) Validate() error {
@@ -129,6 +143,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Kind == KindChoose && s.Props&core.OutputDP != 0 {
 		return fmt.Errorf("service: the Figure 5 procedure does not cover OutputDP; use kind lp")
+	}
+	if s.Kind == KindLPMinimax && s.N > MaxLPMinimaxN {
+		return fmt.Errorf("service: group size n=%d needs a cold minimax LP solve, want n <= %d", s.N, MaxLPMinimaxN)
 	}
 	if s.lpBacked() && s.N > MaxLPN {
 		return fmt.Errorf("service: group size n=%d needs an LP-designed mechanism, want n <= %d", s.N, MaxLPN)
