@@ -49,6 +49,17 @@ func main() {
 	sol, err := model.SolveWith(lp.Options{MaxIterations: *maxIter})
 	elapsed := time.Since(start)
 	if err != nil {
+		// Terminations are first-class: report the cause (classified via
+		// the lp sentinel errors, not string matching) alongside whatever
+		// partial solution the solver handed back, then exit non-zero.
+		if sol != nil {
+			fmt.Printf("status:     %s\n", sol.Status)
+			fmt.Printf("cause:      %s\n", lp.Cause(err))
+			if *stats {
+				fmt.Printf("iterations: %d\n", sol.Iterations)
+				fmt.Printf("solve_seconds: %.6f\n", elapsed.Seconds())
+			}
+		}
 		fatal(err)
 	}
 	fmt.Printf("status:     %s\n", sol.Status)

@@ -1,21 +1,25 @@
 // Command privcountd serves differentially private count releases over
 // HTTP/JSON, backed by the internal/service mechanism cache: each
 // requested scenario (mechanism kind, group size n, privacy level alpha,
-// §IV-A property set, objective) is constructed on first touch and every
-// later request is served from precomputed tables.
+// §IV-A property set, objective) is constructed on first touch by a
+// bounded background build pool and every later request is served from
+// precomputed tables.
 //
 // Usage:
 //
-//	privcountd -addr :8080 -capacity 256 -shards 8
+//	privcountd -addr :8080 -capacity 256 -shards 8 -build-workers 4
 //
-// Endpoints (all request bodies are JSON):
+// Endpoints (request bodies are JSON):
 //
-//	GET  /healthz       liveness probe
-//	GET  /v1/stats      cache statistics (entries, hits, misses, evictions)
-//	POST /v1/mechanism  describe the mechanism a spec resolves to
-//	POST /v1/sample     one noisy release for one true count
-//	POST /v1/batch      noisy releases for a batch of true counts
-//	POST /v1/estimate   MLE decode + debiased aggregate for observed outputs
+//	GET  /healthz              liveness probe
+//	GET  /v1/stats             cache + build-pipeline statistics
+//	POST /v1/mechanism         describe the mechanism a spec resolves to;
+//	                           "wait": false admits asynchronously and
+//	                           returns 202 plus a build-status document
+//	GET  /v1/mechanism/status  poll build state for a spec (query params)
+//	POST /v1/sample            one noisy release for one true count
+//	POST /v1/batch             noisy releases for a batch of true counts
+//	POST /v1/estimate          MLE decode + debiased aggregate for observed outputs
 //
 // A spec is the JSON object embedded in every request:
 //
@@ -26,14 +30,28 @@
 // (RH, RM, CH, CM, F, WH, S, ODP); objective_p selects the O_{p,Σ}
 // exponent for the LP kinds. Batch requests may carry a "seed" for
 // reproducible draws; omitting it uses the server's pooled randomness.
+//
+// Expensive builds are a managed background workload, not request-scoped
+// work: a synchronous request whose client disconnects mid-build cancels
+// the build (unless a prior async admission pinned it), an asynchronous
+// admission ("wait": false) survives its originating request and is
+// polled via /v1/mechanism/status, and SIGINT/SIGTERM drain the build
+// pool before the process exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"privcount/internal/core"
@@ -46,27 +64,77 @@ func main() {
 		capacity = flag.Int("capacity", 256, "total cached mechanisms across shards")
 		shards   = flag.Int("shards", 8, "cache shard count (rounded up to a power of two)")
 		seed     = flag.Uint64("seed", 0, "RNG pool seed; 0 seeds from the OS CSPRNG")
+		workers  = flag.Int("build-workers", 0, "background mechanism-build workers (0 = GOMAXPROCS, capped at 8)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{Capacity: *capacity, Shards: *shards, Seed: *seed})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	cfg := service.Config{Capacity: *capacity, Shards: *shards, Seed: *seed, BuildWorkers: *workers}
+	if err := run(ctx, *addr, cfg, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled (SIGINT or
+// SIGTERM in production), then shuts down gracefully: the listener
+// closes, in-flight handlers get shutdownGrace to finish, and the
+// service's build pool drains — queued and in-flight builds are
+// cancelled and their workers joined — before run returns. ready, if
+// non-nil, receives the bound listen address once the server accepts
+// connections (tests listen on ":0").
+func run(ctx context.Context, addr string, cfg service.Config, ready chan<- string) error {
+	svc := service.New(cfg)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           newMux(svc),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		// The write deadline must outlast the slowest admissible cold
-		// build: an LP-backed spec at service.MaxLPN=512 takes ~40 s on
-		// current hardware (bounded simplex + presolve + crash basis),
-		// and the handler blocks for the whole build (duplicate requests
-		// queue behind it via singleflight). 5 minutes leaves room for
-		// slower machines; the build still completes and warms the cache
-		// even if an impatient client hangs up first.
-		WriteTimeout: 300 * time.Second,
+		// No handler blocks on an LP solve anymore — synchronous
+		// mechanism requests wait on the build pool but their clients can
+		// (and should) use async admission + status polling for anything
+		// slow — so the write deadline is a serving deadline, not a
+		// solver budget. A client that hangs up mid-build cancels the
+		// build instead of leaving it to warm the cache for nobody.
+		WriteTimeout: 30 * time.Second,
+		BaseContext:  func(net.Listener) context.Context { return ctx },
 	}
-	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", *addr, *capacity, *shards)
-	log.Fatal(srv.ListenAndServe())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", ln.Addr(), cfg.Capacity, cfg.Shards)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("privcountd shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shCtx)
+	// Close after Shutdown: handlers have returned (or been abandoned),
+	// so cancelling the remaining builds strands no request, and Close
+	// blocks until every worker goroutine has exited.
+	svc.Close()
+	<-errc // Serve has returned http.ErrServerClosed
+	if shutdownErr != nil {
+		return fmt.Errorf("privcountd: shutdown: %w", shutdownErr)
+	}
+	return nil
 }
+
+// shutdownGrace bounds how long in-flight handlers may run after a
+// termination signal before the server gives up on them.
+const shutdownGrace = 10 * time.Second
 
 // specRequest is the wire form of a service.Spec, embedded in every
 // request body.
@@ -91,6 +159,48 @@ func (r specRequest) spec() (service.Spec, error) {
 	return service.Spec{Kind: kind, N: r.N, Alpha: r.Alpha, Props: props, ObjectiveP: r.ObjectiveP}, nil
 }
 
+// specFromQuery parses a spec from URL query parameters (the GET status
+// endpoint has no body): mechanism, n, alpha, properties, objective_p.
+func specFromQuery(q url.Values) (service.Spec, error) {
+	var r specRequest
+	r.Mechanism = q.Get("mechanism")
+	r.Properties = q.Get("properties")
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid n %q: %w", v, err)
+		}
+		r.N = n
+	}
+	if v := q.Get("alpha"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid alpha %q: %w", v, err)
+		}
+		r.Alpha = a
+	}
+	if v := q.Get("objective_p"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid objective_p %q: %w", v, err)
+		}
+		r.ObjectiveP = p
+	}
+	return r.spec()
+}
+
+// statusDoc renders a build-status snapshot for the async endpoints.
+func statusDoc(info service.BuildInfo) map[string]any {
+	doc := map[string]any{
+		"state":         info.State.String(),
+		"build_seconds": info.BuildSeconds,
+	}
+	if info.Err != nil {
+		doc["error"] = info.Err.Error()
+	}
+	return doc
+}
+
 // newMux wires the HTTP routes to svc; split from main for testing.
 func newMux(svc *service.Service) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -102,17 +212,42 @@ func newMux(svc *service.Service) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"entries": st.Entries, "hits": st.Hits,
 			"misses": st.Misses, "evictions": st.Evictions,
+			"build_queue_depth": st.QueueDepth,
+			"builds_in_flight":  st.InFlight,
+			"builds":            st.Builds,
+			"build_failures":    st.BuildFailures,
+			"build_cancels":     st.BuildCancels,
+			"build_seconds":     st.BuildSeconds,
 		})
 	})
 	mux.HandleFunc("POST /v1/mechanism", func(w http.ResponseWriter, r *http.Request) {
-		var req specRequest
+		var req struct {
+			specRequest
+			Wait *bool `json:"wait"`
+		}
 		spec, ok := decodeSpec(w, r, &req)
 		if !ok {
 			return
 		}
-		e, err := svc.Get(spec)
+		if req.Wait != nil && !*req.Wait {
+			// Async admission: hand the build to the background pool and
+			// answer immediately. The build is detached — it outlives this
+			// request — and its progress is polled via GET
+			// /v1/mechanism/status. 202 signals "admitted, not ready";
+			// an already-ready spec falls through to the full document.
+			info, err := svc.Start(spec)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if info.State != service.BuildReady {
+				writeJSON(w, http.StatusAccepted, statusDoc(info))
+				return
+			}
+		}
+		e, err := svc.GetCtx(r.Context(), spec)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusForBuildErr(err), err)
 			return
 		}
 		m := e.Mechanism()
@@ -127,6 +262,25 @@ func newMux(svc *service.Service) *http.ServeMux {
 			"debiasable": debiasErr == nil,
 		})
 	})
+	mux.HandleFunc("GET /v1/mechanism/status", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := specFromQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := svc.Status(spec)
+		if errors.Is(err, service.ErrNotAdmitted) {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"state": "absent", "error": err.Error(),
+			})
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, statusDoc(info))
+	})
 	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			specRequest
@@ -136,9 +290,13 @@ func newMux(svc *service.Service) *http.ServeMux {
 		if !ok {
 			return
 		}
-		out, err := svc.Sample(spec, req.Count)
+		// The request context rides into a cold spec's build, so a
+		// client that disconnects mid-build releases (and, when it was
+		// the only interest, cancels) the build; on a warm entry the
+		// sample is a table read that never consults it.
+		out, err := svc.SampleCtx(r.Context(), spec, req.Count)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusForBuildErr(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"output": out})
@@ -160,12 +318,12 @@ func newMux(svc *service.Service) *http.ServeMux {
 		var outs []int
 		var err error
 		if req.Seed != nil {
-			outs, err = svc.SampleBatchSeeded(spec, *req.Seed, req.Counts, nil)
+			outs, err = svc.SampleBatchSeededCtx(r.Context(), spec, *req.Seed, req.Counts, nil)
 		} else {
-			outs, err = svc.SampleBatch(spec, req.Counts, nil)
+			outs, err = svc.SampleBatchCtx(r.Context(), spec, req.Counts, nil)
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusForBuildErr(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
@@ -183,9 +341,9 @@ func newMux(svc *service.Service) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
 			return
 		}
-		est, err := svc.Estimate(spec, req.Outputs)
+		est, err := svc.EstimateCtx(r.Context(), spec, req.Outputs)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusForBuildErr(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -193,6 +351,21 @@ func newMux(svc *service.Service) *http.ServeMux {
 		})
 	})
 	return mux
+}
+
+// statusForBuildErr maps a lookup failure to an HTTP status: client
+// mistakes (validation, deterministic build errors) are 400s, while a
+// build cut short by cancellation or shutdown is a 503 the client may
+// retry — the entry is rebuildable.
+func statusForBuildErr(err error) int {
+	if errors.Is(err, service.ErrClosed) ||
+		errors.Is(err, service.ErrBuildAbandoned) ||
+		errors.Is(err, service.ErrEvicted) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 // specCarrier lets decodeSpec extract the embedded specRequest from each

@@ -2,17 +2,23 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
+	"time"
 
 	"privcount/internal/service"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newMux(service.New(service.Config{Capacity: 32, Seed: 7})))
+	svc := service.New(service.Config{Capacity: 32, Seed: 7})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(newMux(svc))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -159,6 +165,190 @@ func TestBadRequests(t *testing.T) {
 		if out["error"] == nil {
 			t.Errorf("POST %s %v: missing error field", c.path, c.body)
 		}
+	}
+}
+
+// getJSON GETs path and decodes the JSON response.
+func getJSON(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestAsyncMechanismAdmission drives the wait=false flow end to end:
+// admission answers 202 with a build-status document, GET
+// /v1/mechanism/status polls the build to ready, and a later synchronous
+// request serves the cached mechanism instantly.
+func TestAsyncMechanismAdmission(t *testing.T) {
+	ts := testServer(t)
+	body := map[string]any{
+		"mechanism": "lp", "n": 8, "alpha": 0.7, "properties": "WH+S", "wait": false,
+	}
+	code, out := post(t, ts, "/v1/mechanism", body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("async admission status %d: %v", code, out)
+	}
+	if code == http.StatusAccepted {
+		state, _ := out["state"].(string)
+		if state != "pending" && state != "building" {
+			t.Fatalf("202 document state = %q, want pending/building: %v", state, out)
+		}
+	}
+
+	statusPath := "/v1/mechanism/status?" + url.Values{
+		"mechanism":  {"lp"},
+		"n":          {"8"},
+		"alpha":      {"0.7"},
+		"properties": {"WH+S"},
+	}.Encode()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, st := getJSON(t, ts, statusPath)
+		if code != http.StatusOK {
+			t.Fatalf("status poll returned %d: %v", code, st)
+		}
+		if st["state"] == "ready" {
+			if sec, ok := st["build_seconds"].(float64); !ok || sec < 0 {
+				t.Errorf("ready status build_seconds = %v", st["build_seconds"])
+			}
+			break
+		}
+		if st["state"] == "failed" {
+			t.Fatalf("async build failed: %v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("build never became ready: %v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The mechanism now serves synchronously from cache (wait defaulted).
+	delete(body, "wait")
+	code, out = post(t, ts, "/v1/mechanism", body)
+	if code != http.StatusOK {
+		t.Fatalf("post-build mechanism status %d: %v", code, out)
+	}
+	if out["name"] == nil || out["rule"] == nil {
+		t.Fatalf("mechanism document incomplete: %v", out)
+	}
+	// wait=false on a ready spec skips the 202 and returns the document.
+	body["wait"] = false
+	code, out = post(t, ts, "/v1/mechanism", body)
+	if code != http.StatusOK || out["name"] == nil {
+		t.Fatalf("wait=false on ready spec: %d %v", code, out)
+	}
+}
+
+// TestMechanismStatusErrors pins the status endpoint's error surface:
+// never-admitted specs 404 with an error body, malformed queries 400.
+func TestMechanismStatusErrors(t *testing.T) {
+	ts := testServer(t)
+	code, out := getJSON(t, ts, "/v1/mechanism/status?mechanism=gm&n=9&alpha=0.5")
+	if code != http.StatusNotFound {
+		t.Fatalf("unadmitted status = %d, want 404: %v", code, out)
+	}
+	if out["state"] != "absent" || out["error"] == nil {
+		t.Fatalf("404 body = %v, want state=absent with error", out)
+	}
+	for _, q := range []string{
+		"mechanism=gm&n=bogus&alpha=0.5",
+		"mechanism=gm&n=9&alpha=bogus",
+		"mechanism=nope&n=9&alpha=0.5",
+		"mechanism=gm&n=9&alpha=0.5&objective_p=x",
+		"mechanism=gm&n=0&alpha=0.5",
+	} {
+		code, out := getJSON(t, ts, "/v1/mechanism/status?"+q)
+		if code != http.StatusBadRequest || out["error"] == nil {
+			t.Errorf("query %q: status %d body %v, want 400 with error", q, code, out)
+		}
+	}
+}
+
+// TestStatsReportBuildPipeline checks the stats document carries the
+// build-pipeline gauges the ops runbook polls.
+func TestStatsReportBuildPipeline(t *testing.T) {
+	ts := testServer(t)
+	if code, out := post(t, ts, "/v1/sample", map[string]any{
+		"mechanism": "gm", "n": 8, "alpha": 0.5, "count": 1,
+	}); code != http.StatusOK {
+		t.Fatalf("sample: %d %v", code, out)
+	}
+	code, st := getJSON(t, ts, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	for _, key := range []string{"build_queue_depth", "builds_in_flight", "builds", "build_failures", "build_cancels", "build_seconds"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, st)
+		}
+	}
+	if st["builds"].(float64) < 1 {
+		t.Errorf("builds = %v after a successful sample", st["builds"])
+	}
+}
+
+// TestGracefulShutdownDrains boots the real server loop, serves a
+// request, then delivers the signal-context cancellation and checks run
+// returns cleanly — listener closed, build workers joined — within the
+// shutdown grace. Run under -race this is the shutdown leak test.
+func TestGracefulShutdownDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", service.Config{Capacity: 16, Seed: 3}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/sample", "application/json",
+		bytes.NewReader([]byte(`{"mechanism":"gm","n":8,"alpha":0.5,"count":2}`)))
+	if err != nil {
+		t.Fatalf("request against live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sample status %d", resp.StatusCode)
+	}
+	// Park a slow detached build so shutdown has something in flight to
+	// cancel (n=96 exceeds the old sync cap; a cold solve runs far
+	// beyond this test, so a timely exit proves the drain cancelled it).
+	resp, err = http.Post("http://"+addr+"/v1/mechanism", "application/json",
+		bytes.NewReader([]byte(`{"mechanism":"lp-minimax","n":96,"alpha":0.9,"wait":false}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async admission status %d, want 202", resp.StatusCode)
+	}
+
+	cancel() // what SIGTERM does in main
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(shutdownGrace + 30*time.Second):
+		t.Fatal("run did not return after shutdown signal")
+	}
+	// The listener is gone.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("listener still accepting after shutdown")
 	}
 }
 

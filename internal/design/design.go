@@ -11,6 +11,7 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -93,6 +94,16 @@ func symmetricWeights(w []float64) bool {
 // the constraint set (e.g. RH rows are dropped when RM is requested), so
 // cost-equivalent requests produce identical LPs.
 func Solve(p Problem) (*Result, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve under a context: the LP engine checks ctx at every
+// pivot and factorization boundary, so cancelling it abandons the solve
+// promptly with an error wrapping lp.ErrCanceled. A cancelled solve
+// stores nothing in the warm-basis cache — the next solve of the same
+// family cold-starts (or reuses the previous completed basis) exactly as
+// if the cancelled attempt had never run.
+func SolveCtx(ctx context.Context, p Problem) (*Result, error) {
 	if p.N < 1 {
 		return nil, fmt.Errorf("design: n=%d, want >= 1", p.N)
 	}
@@ -128,7 +139,7 @@ func Solve(p Problem) (*Result, error) {
 	}
 
 	crash := b.finishModel()
-	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, reduce: reduce}, crash)
+	sol, err := solveWarm(ctx, b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)

@@ -1,6 +1,7 @@
 package design
 
 import (
+	"context"
 	"fmt"
 
 	"privcount/internal/core"
@@ -19,6 +20,15 @@ import (
 // BASICDP plus the requested properties. Weights follow the same
 // convention as Solve (nil = uniform).
 func SolveMinimax(p Problem) (*Result, error) {
+	return SolveMinimaxCtx(context.Background(), p)
+}
+
+// SolveMinimaxCtx is SolveMinimax under a context, with the same prompt
+// cancellation and cache-hygiene guarantees as SolveCtx. The epigraph
+// LPs are the slowest designs this package builds (no crash vertex), so
+// cancellability matters most here: an abandoned minimax build stops
+// mid-pivot instead of running cold for minutes.
+func SolveMinimaxCtx(ctx context.Context, p Problem) (*Result, error) {
 	if p.N < 1 {
 		return nil, fmt.Errorf("design: minimax: n=%d, want >= 1", p.N)
 	}
@@ -69,7 +79,7 @@ func SolveMinimax(p Problem) (*Result, error) {
 	// below the MaxLPN the crash-accelerated L0 designs get.
 	b.finishModel()
 	var crash []int
-	sol, err := solveWarm(b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, minimax: true, reduce: reduce}, crash)
+	sol, err := solveWarm(ctx, b.model, warmKey{n: p.N, props: p.Props, p: obj.P, d: -1, minimax: true, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: minimax n=%d alpha=%g props=%s: %w",
 			p.N, p.Alpha, core.PropertySetString(p.Props), err)

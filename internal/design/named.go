@@ -1,6 +1,7 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -87,9 +88,11 @@ func storeWarmBasis(k warmKey, basis []int) {
 // warm-basis cache for the key. A previous optimal basis (same key, e.g.
 // a neighbouring α) wins over the structural crash hint; the hint makes
 // cold solves start at the geometric-mechanism vertex instead of an
-// all-slack basis.
-func solveWarm(m *lp.Model, k warmKey, crash []int) (*lp.Solution, error) {
-	sol, err := m.SolveWith(lp.Options{Basis: warmBasis(k), CrashRows: crash})
+// all-slack basis. Failed solves — cancellations included — store
+// nothing, so an abandoned build can never poison the cache with a
+// half-pivoted basis.
+func solveWarm(ctx context.Context, m *lp.Model, k warmKey, crash []int) (*lp.Solution, error) {
+	sol, err := m.SolveCtx(ctx, lp.Options{Basis: warmBasis(k), CrashRows: crash})
 	if err != nil {
 		return nil, err
 	}
@@ -98,10 +101,12 @@ func solveWarm(m *lp.Model, k warmKey, crash []int) (*lp.Solution, error) {
 }
 
 // solveCached solves with symmetry reduction enabled and memoises on
-// (n, alpha, props, objective-p) for uniform-weight problems.
-func solveCached(n int, alpha float64, props core.PropertySet, obj Objective) (*Result, error) {
+// (n, alpha, props, objective-p) for uniform-weight problems. Errors —
+// cancellations included — are never memoised: the next request for the
+// same key re-solves from scratch.
+func solveCached(ctx context.Context, n int, alpha float64, props core.PropertySet, obj Objective) (*Result, error) {
 	if obj.Weights != nil {
-		return Solve(Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
+		return SolveCtx(ctx, Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
 	}
 	key := cacheKey{n: n, alpha: alpha, props: props, p: obj.P}
 	cacheMu.Lock()
@@ -110,7 +115,7 @@ func solveCached(n int, alpha float64, props core.PropertySet, obj Objective) (*
 		return r, nil
 	}
 	cacheMu.Unlock()
-	r, err := Solve(Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
+	r, err := SolveCtx(ctx, Problem{N: n, Alpha: alpha, Props: props, Objective: obj, ReduceSymmetry: true})
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +140,12 @@ func ClearCache() {
 // under WH + RM + CM (+S at no cost). Its L0 cost is sandwiched between
 // GM's 2α/(1+α) and EM's ≈ 2α/(1+α)·(n+1)/n (Figure 6).
 func WM(n int, alpha float64) (*core.Mechanism, error) {
-	r, err := solveCached(n, alpha, WMProps, L0Objective)
+	return WMCtx(context.Background(), n, alpha)
+}
+
+// WMCtx is WM under a context (see SolveCtx for cancellation semantics).
+func WMCtx(ctx context.Context, n int, alpha float64) (*core.Mechanism, error) {
+	r, err := solveCached(ctx, n, alpha, WMProps, L0Objective)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +156,7 @@ func WM(n int, alpha float64) (*core.Mechanism, error) {
 // LP-defined behaviour in the Figure 5 flowchart. When n ≥ 2α/(1−α) it
 // coincides with GM (Lemma 2).
 func WHOnly(n int, alpha float64) (*core.Mechanism, error) {
-	r, err := solveCached(n, alpha, core.WeakHonesty|core.Symmetry, L0Objective)
+	r, err := solveCached(context.Background(), n, alpha, core.WeakHonesty|core.Symmetry, L0Objective)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +216,7 @@ func buildL0D(n int, alpha float64, d int, weights []float64, props core.Propert
 		}
 	}
 	crash := b.finishModel()
-	sol, err := solveWarm(b.model, warmKey{n: n, props: props, d: d, reduce: reduce}, crash)
+	sol, err := solveWarm(context.Background(), b.model, warmKey{n: n, props: props, d: d, reduce: reduce}, crash)
 	if err != nil {
 		return nil, fmt.Errorf("design: L0D n=%d alpha=%g d=%d: %w", n, alpha, d, err)
 	}
@@ -271,6 +281,13 @@ func IsLPBacked(n int, alpha float64, props core.PropertySet) bool {
 // already satisfies them (α ≤ ½, Lemma 3); weak-honesty-only requests are
 // served by GM once n ≥ 2α/(1−α) (Lemma 2) and by the WH LP below that.
 func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
+	return ChooseCtx(context.Background(), n, alpha, props)
+}
+
+// ChooseCtx is Choose under a context. The closed-form branches (GM, EM)
+// never block; the LP branches thread ctx into the design solve, so an
+// abandoned request cancels its LP mid-pivot (see SolveCtx).
+func ChooseCtx(ctx context.Context, n int, alpha float64, props core.PropertySet) (*Choice, error) {
 	props &^= core.Symmetry // free by Theorem 1; every branch provides it
 	closed := core.Closure(props)
 
@@ -291,7 +308,7 @@ func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
 			return &Choice{Mechanism: m, Rule: "column property, alpha <= 1/2 => GM (Lemma 3)",
 				Props: GeometricProps(n, alpha)}, nil
 		}
-		m, err := WM(n, alpha)
+		m, err := WMCtx(ctx, n, alpha)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +327,7 @@ func Choose(n int, alpha float64, props core.PropertySet) (*Choice, error) {
 		// Below the threshold the LP must carry any requested row
 		// properties too, not just WH, or the serving layer would hand
 		// back a mechanism weaker than asked for.
-		r, err := solveCached(n, alpha, closed|core.Symmetry, L0Objective)
+		r, err := solveCached(ctx, n, alpha, closed|core.Symmetry, L0Objective)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package design
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -42,7 +43,7 @@ func ClassifySubsets(n int, alpha, tol float64) ([]SubsetResult, int, error) {
 		key := costKey{c: closure | core.Symmetry}
 		cost, ok := costs[key]
 		if !ok {
-			r, err := solveCached(n, alpha, key.c, L0Objective)
+			r, err := solveCached(context.Background(), n, alpha, key.c, L0Objective)
 			if err != nil {
 				return nil, 0, err
 			}

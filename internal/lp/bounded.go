@@ -183,10 +183,13 @@ func (bv *bounded) shiftRhsWork(j int, delta float64) {
 }
 
 func (bv *bounded) refactorize() error {
-	lu, err := mat.FactorSparse(bv.cf.m, func(k int) ([]int32, []float64) {
+	lu, err := mat.FactorSparseCtx(bv.opts.ctx, bv.cf.m, func(k int) ([]int32, []float64) {
 		return bv.cf.column(bv.basis[k])
 	})
 	if err != nil {
+		if ctxErr(bv.opts.ctx) != nil {
+			return canceledErr(bv.opts.ctx)
+		}
 		return errors.Join(errSparseFallback, err)
 	}
 	bv.lu = lu
@@ -849,6 +852,9 @@ func (bv *bounded) runPhase(cost []float64, barArt, barArtificialRatio bool) (St
 	bv.resetDevex()
 	bv.refreshPricing(cost)
 	for {
+		if ctxErr(bv.opts.ctx) != nil {
+			return StatusCanceled, nil
+		}
 		if bv.iters >= bv.opts.MaxIterations {
 			return StatusIterLimit, nil
 		}
@@ -969,6 +975,9 @@ func (bv *bounded) evictArtificials() error {
 	for i := 0; i < cf.m; i++ {
 		if !cf.isArtificial(bv.basis[i]) {
 			continue
+		}
+		if ctxErr(bv.opts.ctx) != nil {
+			return canceledErr(bv.opts.ctx)
 		}
 		bv.btranRow(i)
 		rowAt := func(j int) float64 {
@@ -1109,6 +1118,8 @@ func (bv *bounded) run() (*Solution, error) {
 			return nil, err
 		}
 		switch st {
+		case StatusCanceled:
+			return &Solution{Status: StatusCanceled, Iterations: bv.iters}, canceledErr(bv.opts.ctx)
 		case StatusIterLimit:
 			return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterLimit
 		case StatusUnbounded:
@@ -1136,6 +1147,8 @@ func (bv *bounded) run() (*Solution, error) {
 		return nil, err
 	}
 	switch st {
+	case StatusCanceled:
+		return &Solution{Status: StatusCanceled, Iterations: bv.iters}, canceledErr(bv.opts.ctx)
 	case StatusIterLimit:
 		return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterLimit
 	case StatusUnbounded:
@@ -1204,6 +1217,9 @@ func (m *Model) solveBounded(cf *canonForm, opts Options) (*Solution, error) {
 		bv := newBounded(m, cf, opts, true)
 		if sol, ok := bv.runWarm(opts.Basis); ok {
 			return sol, nil
+		}
+		if ctxErr(opts.ctx) != nil {
+			return &Solution{Status: StatusCanceled}, canceledErr(opts.ctx)
 		}
 	}
 	bv := newBounded(m, cf, opts, true)

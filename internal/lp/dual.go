@@ -1,5 +1,7 @@
 package lp
 
+import "errors"
+
 // This file gives the auto solver a dualization route for tall models.
 // The mechanism-design LPs have ~4 constraint rows per variable (column
 // sums, two DP ratio rows per adjacent cell pair, and the property
@@ -119,6 +121,9 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 	}
 	dsol, err := d.solveBounded(cf, opts)
 	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			return dsol, err
+		}
 		return nil, errSparseFallback
 	}
 

@@ -97,13 +97,28 @@ type Model struct {
 	cons     []Constraint
 }
 
-// Errors returned by model construction and solving.
+// Errors returned by model construction and solving. The solve outcomes
+// are first-class sentinels: every solver route wraps exactly one of
+// them, so callers classify terminations with errors.Is rather than
+// string matching, and the Solution.Status always agrees with the
+// matching sentinel.
 var (
 	ErrInfeasible = errors.New("lp: infeasible")
 	ErrUnbounded  = errors.New("lp: unbounded")
-	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
-	ErrBadModel   = errors.New("lp: malformed model")
+	// ErrIterationLimit reports that the pivot budget
+	// (Options.MaxIterations) ran out before optimality.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+	// ErrCanceled reports that the context passed to SolveCtx was
+	// cancelled mid-solve; it is always joined with the context's cause,
+	// so errors.Is also matches context.Canceled / DeadlineExceeded.
+	ErrCanceled = errors.New("lp: solve canceled")
+	ErrBadModel = errors.New("lp: malformed model")
 )
+
+// ErrIterLimit is the historical name of ErrIterationLimit.
+//
+// Deprecated: use ErrIterationLimit.
+var ErrIterLimit = ErrIterationLimit
 
 // NewModel returns an empty model with the given name and objective sense.
 func NewModel(name string, sense Sense) *Model {

@@ -124,12 +124,17 @@ func newRevised(m *Model, cf *canonForm, opts Options, perturb bool) *revised {
 }
 
 // refactorize rebuilds the LU factorization of the current basis and
-// clears the eta file.
+// clears the eta file. A cancelled solve context abandons the partial
+// factorization and surfaces ErrCanceled instead of the fallback
+// sentinel, so cancellation never triggers an oracle re-solve.
 func (rv *revised) refactorize() error {
-	lu, err := mat.FactorSparse(rv.cf.m, func(k int) ([]int32, []float64) {
+	lu, err := mat.FactorSparseCtx(rv.opts.ctx, rv.cf.m, func(k int) ([]int32, []float64) {
 		return rv.cf.column(rv.basis[k])
 	})
 	if err != nil {
+		if ctxErr(rv.opts.ctx) != nil {
+			return canceledErr(rv.opts.ctx)
+		}
 		return fmt.Errorf("%w: %v", errSparseFallback, err)
 	}
 	rv.lu = lu
@@ -435,6 +440,9 @@ func (rv *revised) runPhase(cost []float64, allowed func(int) bool, barArtificia
 	rv.resetDevex()
 	rv.refreshPricing(cost)
 	for {
+		if ctxErr(rv.opts.ctx) != nil {
+			return StatusCanceled, nil
+		}
 		if rv.iters >= rv.opts.MaxIterations {
 			return StatusIterLimit, nil
 		}
@@ -513,6 +521,9 @@ func (rv *revised) evictArtificials() error {
 	for i := 0; i < cf.m; i++ {
 		if !cf.isArtificial(rv.basis[i]) {
 			continue
+		}
+		if ctxErr(rv.opts.ctx) != nil {
+			return canceledErr(rv.opts.ctx)
 		}
 		for k := range rho {
 			rho[k] = 0
@@ -619,6 +630,8 @@ func (rv *revised) run() (*Solution, error) {
 			return nil, err
 		}
 		switch st {
+		case StatusCanceled:
+			return &Solution{Status: StatusCanceled, Iterations: rv.iters}, canceledErr(rv.opts.ctx)
 		case StatusIterLimit:
 			return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterLimit
 		case StatusUnbounded:
@@ -646,6 +659,8 @@ func (rv *revised) run() (*Solution, error) {
 		return nil, err
 	}
 	switch st {
+	case StatusCanceled:
+		return &Solution{Status: StatusCanceled, Iterations: rv.iters}, canceledErr(rv.opts.ctx)
 	case StatusIterLimit:
 		return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterLimit
 	case StatusUnbounded:
@@ -717,6 +732,9 @@ func (m *Model) solveSparse(cf *canonForm, opts Options) (*Solution, error) {
 		rv := newRevised(m, cf, opts, false)
 		if sol, ok := rv.runWarm(opts.Basis); ok {
 			return sol, nil
+		}
+		if ctxErr(opts.ctx) != nil {
+			return &Solution{Status: StatusCanceled}, canceledErr(opts.ctx)
 		}
 	}
 	rv := newRevised(m, cf, opts, true)

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,9 @@ const (
 	StatusInfeasible
 	StatusUnbounded
 	StatusIterLimit
+	// StatusCanceled reports that the SolveCtx context was cancelled
+	// before the solve finished; the paired error wraps ErrCanceled.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -25,8 +29,32 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return "iteration-limit"
+	}
+}
+
+// Cause names the termination class of a solve error for display
+// ("canceled", "iteration-limit", "infeasible", "unbounded",
+// "bad-model"), or "" for a nil error and "error" for anything else.
+func Cause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrIterationLimit):
+		return "iteration-limit"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrUnbounded):
+		return "unbounded"
+	case errors.Is(err, ErrBadModel):
+		return "bad-model"
+	default:
+		return "error"
 	}
 }
 
@@ -138,6 +166,40 @@ type Options struct {
 	// by an order of magnitude. An explicit Options.Basis wins over the
 	// hint.
 	CrashRows []int
+
+	// ctx carries the cancellation signal set by SolveCtx. Every solver
+	// loop — dense tableau, unbounded revised, bounded revised, and the
+	// basis factorizations — checks it at iteration boundaries and
+	// abandons the solve with ErrCanceled when it fires. nil means no
+	// cancellation (Solve / SolveWith).
+	ctx context.Context
+}
+
+// ctxErr returns the context's cause if ctx is cancelled, else nil. The
+// Done-channel select avoids taking the context mutex on the per-pivot
+// hot path.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}
+
+// canceledErr wraps the context's cause in ErrCanceled, so errors.Is
+// matches both the lp sentinel and the underlying context error.
+func canceledErr(ctx context.Context) error {
+	cause := context.Canceled
+	if ctx != nil {
+		if c := context.Cause(ctx); c != nil {
+			cause = c
+		}
+	}
+	return errors.Join(ErrCanceled, cause)
 }
 
 func (o Options) withDefaults(rows, cols, nnz int) Options {
@@ -161,6 +223,17 @@ func (m *Model) Solve() (*Solution, error) {
 	return m.SolveWith(Options{})
 }
 
+// SolveCtx is SolveWith under a context: the solver loops check ctx at
+// iteration boundaries (pivots, bound flips, factorization columns) and
+// abandon the solve with an error wrapping ErrCanceled — and a Solution
+// carrying StatusCanceled — as soon as it fires. Partial factorizations
+// and eta files are dropped on the floor; no fallback route runs after a
+// cancellation, so a dead caller stops burning CPU within one pivot.
+func (m *Model) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
+	opts.ctx = ctx
+	return m.SolveWith(opts)
+}
+
 // SolveWith optimises the model. The default back end is the sparse
 // revised simplex (see revised.go); the dense two-phase tableau remains
 // as an independent oracle and fallback. It returns ErrInfeasible,
@@ -177,6 +250,9 @@ func (m *Model) Solve() (*Solution, error) {
 func (m *Model) SolveWith(opts Options) (*Solution, error) {
 	if opts.Tol == 0 {
 		opts.Tol = 1e-9
+	}
+	if err := ctxErr(opts.ctx); err != nil {
+		return &Solution{Status: StatusCanceled}, canceledErr(opts.ctx)
 	}
 	switch opts.Method {
 	case MethodDense, MethodUnboundedSparse:
@@ -242,6 +318,9 @@ func (m *Model) solveOracle(opts Options) (*Solution, error) {
 	} else {
 		route = "sparse-unbounded"
 		sol, err = em.solveSparse(cf, opts)
+		if errors.Is(err, ErrCanceled) {
+			return sol, err
+		}
 		if errors.Is(err, errSparseFallback) {
 			if cf.m*(cf.totalCols+1) <= maxDenseCells {
 				route = "dense"
@@ -287,12 +366,21 @@ func (m *Model) solveReduced(opts Options) (*Solution, error) {
 	// Tall models solve far faster through their dual: every
 	// revised-simplex cost scales with the basis dimension (= rows).
 	if opts.Method == MethodAuto && wantDual(cf) {
-		if sol, err := m.solveViaDual(opts); err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+		sol, err := m.solveViaDual(opts)
+		if errors.Is(err, ErrCanceled) {
+			return sol, err
+		}
+		if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
 			sol.Route = "dual"
 			return sol, nil
 		}
 	}
 	sol, err := m.solveBounded(cf, opts)
+	if errors.Is(err, ErrCanceled) {
+		// A cancellation is not a verdict about the model: return it
+		// rather than re-deriving anything on a fallback route.
+		return sol, err
+	}
 	if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
 		sol.Route = "bounded"
 		return sol, nil
@@ -320,7 +408,11 @@ func (m *Model) solveReduced(opts Options) (*Solution, error) {
 		ecf = canonicalize(em)
 	}
 	if cells <= maxOracleCells {
-		if sol2, err2 := em.solveSparse(ecf, opts); err2 == nil && em.CheckFeasible(sol2.X, 1e-7) == nil {
+		sol2, err2 := em.solveSparse(ecf, opts)
+		if errors.Is(err2, ErrCanceled) {
+			return sol2, err2
+		}
+		if err2 == nil && em.CheckFeasible(sol2.X, 1e-7) == nil {
 			trimBoundRowDuals(sol2, m, extra, "sparse-unbounded")
 			return sol2, nil
 		}
@@ -363,6 +455,9 @@ func (m *Model) solveDense(cf *canonForm, opts Options) (*Solution, error) {
 	t := newTableauFrom(m, cf)
 	t.perturbRHS(1e-9)
 	sol, err := t.solve(opts)
+	if errors.Is(err, ErrCanceled) {
+		return sol, err
+	}
 	if err == nil {
 		t.restoreRHS()
 		t.refineRHS(opts)
@@ -615,6 +710,9 @@ func (t *tableau) iterate(cost []float64, allowed func(j int) bool, opts Options
 	stall := 0
 	sinceRefresh := 0
 	for {
+		if ctxErr(opts.ctx) != nil {
+			return z, StatusCanceled
+		}
 		if *iters >= opts.MaxIterations {
 			return z, StatusIterLimit
 		}
@@ -740,6 +838,8 @@ func (t *tableau) solve(opts Options) (*Solution, error) {
 	if needPhase1 {
 		z1, st := t.iterate(cost1, func(j int) bool { return true }, opts, &iters)
 		switch st {
+		case StatusCanceled:
+			return &Solution{Status: StatusCanceled, Iterations: iters}, canceledErr(opts.ctx)
 		case StatusIterLimit:
 			return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterLimit
 		case StatusUnbounded:
@@ -766,6 +866,8 @@ func (t *tableau) solve(opts Options) (*Solution, error) {
 	}
 	_, st := t.iterate(cost2, func(j int) bool { return !t.isArtificial(j) }, opts, &iters)
 	switch st {
+	case StatusCanceled:
+		return &Solution{Status: StatusCanceled, Iterations: iters}, canceledErr(opts.ctx)
 	case StatusIterLimit:
 		return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterLimit
 	case StatusUnbounded:

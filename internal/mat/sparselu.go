@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,6 +71,22 @@ type SparseLU struct {
 // not be sorted but must be unique and in [0, n)). It returns
 // ErrSingular (wrapped) when elimination finds no usable pivot.
 func FactorSparse(n int, col func(k int) (rows []int32, vals []float64)) (*SparseLU, error) {
+	return FactorSparseCtx(nil, n, col)
+}
+
+// factorCheckEvery is how many elimination columns pass between context
+// checks in FactorSparseCtx: frequent enough that cancelling a
+// serving-scale factorization (tens of thousands of columns) aborts in
+// a few milliseconds of remaining work, rare enough to stay invisible
+// in profiles.
+const factorCheckEvery = 256
+
+// FactorSparseCtx is FactorSparse with cooperative cancellation: when
+// ctx is cancelled mid-elimination the partial factorization is
+// abandoned and the context's cause is returned (satisfying
+// errors.Is(err, context.Canceled) / DeadlineExceeded). A nil ctx means
+// no cancellation, exactly as FactorSparse.
+func FactorSparseCtx(ctx context.Context, n int, col func(k int) (rows []int32, vals []float64)) (*SparseLU, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mat: FactorSparse(%d): %w", n, ErrShape)
 	}
@@ -110,7 +127,19 @@ func FactorSparse(n int, col func(k int) (rows []int32, vals []float64)) (*Spars
 	f.lp = append(f.lp, 0)
 	f.up = append(f.up, 0)
 
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for kpos := 0; kpos < n; kpos++ {
+		if done != nil && kpos%factorCheckEvery == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("mat: FactorSparse abandoned at column %d of %d: %w",
+					kpos, n, context.Cause(ctx))
+			default:
+			}
+		}
 		rows, vals := col(f.cperm[kpos])
 
 		// Symbolic step: depth-first search from the column's nonzero rows

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"privcount/internal/core"
@@ -71,6 +73,52 @@ func BenchmarkConstructThenSample(b *testing.B) {
 		}
 		_ = s.Sample(src, i&63)
 	}
+}
+
+// BenchmarkServiceWarmup measures the startup path end to end: spin up
+// a service, precompute a 24-spec closed-form serving set through the
+// background worker pool, and drain the pool — the whole lifecycle an
+// operator pays before opening the listener.
+func BenchmarkServiceWarmup(b *testing.B) {
+	specs := make([]Spec, 0, 24)
+	for n := 8; n < 16; n++ {
+		specs = append(specs,
+			Spec{Kind: KindGeometric, N: n, Alpha: 0.5},
+			Spec{Kind: KindExplicitFair, N: n, Alpha: 0.5},
+			Spec{Kind: KindUniform, N: n},
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := New(Config{Seed: 1})
+		if err := svc.Warmup(context.Background(), specs); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+	b.ReportMetric(float64(len(specs)), "builds/op")
+}
+
+// BenchmarkBuildQueueLatency measures the admission round-trip under
+// concurrent load: every op admits a distinct cheap spec, rides the
+// build queue to a worker, and returns when the entry is ready. The
+// capacity keeps steady state evicting, so admission, queue hand-off,
+// build, and eviction are all on the measured path — the serving-layer
+// cost of a cache miss, as opposed to BenchmarkCachedSample's hit path.
+func BenchmarkBuildQueueLatency(b *testing.B) {
+	svc := New(Config{Capacity: 2048, Seed: 1})
+	defer svc.Close()
+	var ctr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			alpha := 0.1 + 0.8*float64(i%(1<<20))/(1<<20)
+			if _, err := svc.Get(Spec{Kind: KindGeometric, N: 8, Alpha: alpha}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // TestCachedBatchSpeedup enforces the PR's acceptance criterion: batch

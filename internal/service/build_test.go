@@ -1,0 +1,393 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"privcount/internal/core"
+	"privcount/internal/design"
+	"privcount/internal/lp"
+)
+
+// waitForState polls the spec's status until it reaches want or the
+// deadline passes, returning the final snapshot.
+func waitForState(t *testing.T, svc *Service, spec Spec, want BuildState, deadline time.Duration) BuildInfo {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		info, err := svc.Status(spec)
+		if err == nil && info.State == want {
+			return info
+		}
+		if time.Now().After(end) {
+			t.Fatalf("spec %s never reached %v (last: %+v, err %v)", spec, want, info, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCanceledBuildLandsFailedRebuildable is the PR's acceptance
+// criterion: cancelling the only waiter of a large minimax build stops
+// the in-flight LP solve promptly — the solver returns ErrCanceled well
+// before the tens-of-minutes cold epigraph solve could complete — and
+// the entry settles in the failed (rebuildable) state instead of being
+// cached forever.
+func TestCanceledBuildLandsFailedRebuildable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second LP cancel test skipped in -short mode")
+	}
+	design.ClearCache()
+	svc := New(Config{BuildWorkers: 2})
+	defer svc.Close()
+
+	// n=128 exceeds the old synchronous minimax cap (64): only async
+	// cancellable serving admits it, and a cold solve runs tens of
+	// minutes — far beyond this test's budget — so a prompt return can
+	// only come from cancellation.
+	spec := Spec{Kind: KindLPMinimax, N: 128, Alpha: 0.9}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := svc.GetCtx(ctx, spec)
+	if err == nil {
+		t.Fatal("canceled minimax build returned a mechanism")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx error = %v, want context.Canceled", err)
+	}
+
+	// The abandoned build must settle failed with the solver's
+	// cancellation error, promptly (the full solve would take tens of
+	// minutes; two minutes of headroom covers -race machines).
+	info := waitForState(t, svc, spec, BuildFailed, 2*time.Minute)
+	elapsed := time.Since(start)
+	t.Logf("build settled failed after %v: %v", elapsed, info.Err)
+	if !errors.Is(info.Err, lp.ErrCanceled) && !errors.Is(info.Err, ErrBuildAbandoned) {
+		t.Fatalf("entry error = %v, want lp.ErrCanceled / ErrBuildAbandoned", info.Err)
+	}
+	if elapsed > 2*time.Minute {
+		t.Fatalf("cancellation took %v — not 'promptly'", elapsed)
+	}
+
+	// Rebuildable, not cached-forever: a new admission re-arms the entry
+	// out of failed instead of replaying the stored error.
+	again, err := svc.Start(spec)
+	if err != nil {
+		t.Fatalf("Start after cancellation: %v", err)
+	}
+	if again.State == BuildFailed {
+		t.Fatalf("canceled entry stayed failed on re-admission: %+v", again)
+	}
+	if st := svc.Stats(); st.BuildCancels == 0 {
+		t.Errorf("Stats.BuildCancels = 0 after a canceled build: %+v", st)
+	}
+}
+
+// TestMinimaxAsyncAdmissionExceedsSyncCap pins the raised bound: the
+// async pipeline admits lp-minimax specs beyond the synchronous n=64
+// ceiling that privcountd's write deadline used to impose.
+func TestMinimaxAsyncAdmissionExceedsSyncCap(t *testing.T) {
+	if MaxLPMinimaxN <= 64 {
+		t.Fatalf("MaxLPMinimaxN = %d, want > 64 now that builds are off the request path", MaxLPMinimaxN)
+	}
+	over := Spec{Kind: KindLPMinimax, N: 65, Alpha: 0.9}
+	if err := over.Validate(); err != nil {
+		t.Fatalf("Validate(%v) = %v, want admissible past the old sync cap", over, err)
+	}
+	at := Spec{Kind: KindLPMinimax, N: MaxLPMinimaxN, Alpha: 0.9}
+	if err := at.Validate(); err != nil {
+		t.Fatalf("Validate(%v) = %v, want admissible at the bound", at, err)
+	}
+}
+
+// TestWarmupBuildsServingSet exercises the startup path: a mixed spec
+// set is precomputed through the worker pool and everything lands ready.
+func TestWarmupBuildsServingSet(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	specs := []Spec{
+		{Kind: KindGeometric, N: 32, Alpha: 0.5},
+		{Kind: KindExplicitFair, N: 32, Alpha: 0.5},
+		{Kind: KindUniform, N: 32},
+		{Kind: KindChoose, N: 16, Alpha: 0.6, Props: core.Fairness},
+		{Kind: KindLP, N: 6, Alpha: 0.8, Props: core.WeakHonesty | core.Symmetry},
+	}
+	if err := svc.Warmup(context.Background(), specs); err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	for _, spec := range specs {
+		info, err := svc.Status(spec)
+		if err != nil || info.State != BuildReady {
+			t.Errorf("after warmup, %s is %v (err %v), want ready", spec, info.State, err)
+		}
+		if info.State == BuildReady && info.BuildSeconds < 0 {
+			t.Errorf("%s reports negative build seconds", spec)
+		}
+	}
+	st := svc.Stats()
+	if st.Builds != int64(len(specs)) {
+		t.Errorf("Stats.Builds = %d, want %d", st.Builds, len(specs))
+	}
+	if st.BuildSeconds <= 0 {
+		t.Errorf("Stats.BuildSeconds = %v, want > 0", st.BuildSeconds)
+	}
+	// An invalid spec fails the whole warmup with its validation error.
+	if err := svc.Warmup(context.Background(), []Spec{{Kind: KindGeometric, N: 0, Alpha: 0.5}}); err == nil {
+		t.Error("Warmup accepted an invalid spec")
+	}
+}
+
+// TestStartStatusAsyncRoundTrip drives the async admission flow the
+// HTTP layer builds on: Start returns immediately with a non-ready
+// state, polling reaches ready, and the entry then serves instantly.
+func TestStartStatusAsyncRoundTrip(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	spec := Spec{Kind: KindLP, N: 8, Alpha: 0.7, Props: core.WeakHonesty | core.Symmetry}
+
+	if _, err := svc.Status(spec); !errors.Is(err, ErrNotAdmitted) {
+		t.Fatalf("Status before admission = %v, want ErrNotAdmitted", err)
+	}
+	info, err := svc.Start(spec)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if info.State == BuildFailed {
+		t.Fatalf("fresh admission reported failed: %+v", info)
+	}
+	waitForState(t, svc, spec, BuildReady, 30*time.Second)
+	e, err := svc.Get(spec)
+	if err != nil || e.Mechanism() == nil {
+		t.Fatalf("Get after async build: %v", err)
+	}
+	// Start on a ready spec is a cheap status read.
+	info, err = svc.Start(spec)
+	if err != nil || info.State != BuildReady {
+		t.Fatalf("Start on ready spec = %+v, %v", info, err)
+	}
+	// Invalid specs are rejected at admission.
+	if _, err := svc.Start(Spec{Kind: KindGeometric, N: 8, Alpha: 7}); err == nil {
+		t.Error("Start accepted an invalid spec")
+	}
+}
+
+// TestCloseDrainsInFlightBuilds pins shutdown: Close cancels queued and
+// running builds, unblocks their waiters with a closed-service error,
+// joins every worker goroutine before returning, and refuses new builds
+// afterwards — while ready entries keep serving.
+func TestCloseDrainsInFlightBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP close-drain test skipped in -short mode")
+	}
+	design.ClearCache()
+	svc := New(Config{BuildWorkers: 1})
+	ready := Spec{Kind: KindGeometric, N: 16, Alpha: 0.5}
+	if _, err := svc.Get(ready); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detached slow build occupies the lone worker; a second pending
+	// build sits in the queue behind it.
+	slow := Spec{Kind: KindLPMinimax, N: 96, Alpha: 0.9}
+	if _, err := svc.Start(slow); err != nil {
+		t.Fatal(err)
+	}
+	queued := Spec{Kind: KindLPMinimax, N: 80, Alpha: 0.9}
+	if _, err := svc.Start(queued); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker is genuinely inside the slow solve so Close
+	// exercises the cancel-an-in-flight-build path, not just queue
+	// teardown.
+	waitForState(t, svc, slow, BuildRunning, 30*time.Second)
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Close did not drain the build pool")
+	}
+	t.Logf("Close drained in %v", time.Since(start))
+
+	for _, spec := range []Spec{slow, queued} {
+		info, err := svc.Status(spec)
+		if err != nil {
+			t.Fatalf("Status(%s) after close: %v", spec, err)
+		}
+		if info.State != BuildFailed {
+			t.Errorf("%s state after close = %v, want failed", spec, info.State)
+		}
+	}
+	// Ready entries still serve; new builds are refused with ErrClosed.
+	if _, err := svc.Sample(ready, 3); err != nil {
+		t.Errorf("ready entry stopped serving after Close: %v", err)
+	}
+	if _, err := svc.Get(Spec{Kind: KindUniform, N: 4}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed service = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	svc.Close()
+}
+
+// TestAbandonedPendingBuildIsRebuildable covers the abandonment path
+// without an LP in the loop: a pending (armed, never queued) entry
+// whose only waiter gives up settles failed with ErrBuildAbandoned, and
+// the next blocking request re-arms and builds it.
+func TestAbandonedPendingBuildIsRebuildable(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	spec := Spec{Kind: KindUniform, N: 9}.canonical()
+	sh := svc.shards[spec.hash()&svc.mask]
+	e := sh.get(spec, 0)
+	e.mu.Lock()
+	e.armLocked(svc.build.root)
+	e.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := svc.await(ctx, e); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("await on a never-queued build = %v, want deadline exceeded", err)
+	}
+	info := e.Info()
+	if info.State != BuildFailed || !errors.Is(info.Err, ErrBuildAbandoned) {
+		t.Fatalf("abandoned entry = %+v, want failed with ErrBuildAbandoned", info)
+	}
+	// Rebuildable: a plain Get re-arms the same entry and succeeds.
+	if _, err := svc.Get(spec); err != nil {
+		t.Fatalf("Get after abandonment: %v", err)
+	}
+	if e.State() != BuildReady {
+		t.Fatalf("entry state after rebuild = %v, want ready", e.State())
+	}
+}
+
+// TestEvictionCancelsUnwatchedBuild covers the eviction hook: an armed
+// entry with no waiters is cancelled outright — detached or not, since
+// an evicted entry's result is unreachable — while one with a live
+// waiter is left alone (the waiter still gets the result).
+func TestEvictionCancelsUnwatchedBuild(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	spec := Spec{Kind: KindUniform, N: 7}.canonical()
+	sh := svc.shards[spec.hash()&svc.mask]
+	e := sh.get(spec, 0)
+	e.mu.Lock()
+	e.armLocked(svc.build.root)
+	e.mu.Unlock()
+	if !e.abandonIfUnwatched(ErrEvicted) {
+		t.Fatal("unwatched pending entry not cancelled by eviction")
+	}
+	if info := e.Info(); info.State != BuildFailed || !errors.Is(info.Err, ErrEvicted) {
+		t.Fatalf("evicted entry = %+v, want failed with ErrEvicted", info)
+	}
+
+	// A detached entry is cancelled too: once evicted, nobody can ever
+	// reach the result its Start admission pinned.
+	spec2 := Spec{Kind: KindUniform, N: 8}.canonical()
+	e2 := sh.get(spec2, 0)
+	e2.mu.Lock()
+	e2.armLocked(svc.build.root)
+	e2.detached = true
+	e2.mu.Unlock()
+	if !e2.abandonIfUnwatched(ErrEvicted) {
+		t.Fatal("unreachable detached entry not cancelled by eviction")
+	}
+	if e2.State() != BuildFailed {
+		t.Fatal("unreachable detached entry not failed by eviction")
+	}
+
+	// A waiter keeps the build alive across eviction.
+	spec4 := Spec{Kind: KindUniform, N: 10}.canonical()
+	e4 := sh.get(spec4, 0)
+	e4.mu.Lock()
+	e4.armLocked(svc.build.root)
+	e4.refs++
+	e4.mu.Unlock()
+	if e4.abandonIfUnwatched(ErrEvicted) {
+		t.Fatal("watched entry cancelled by eviction")
+	}
+	if e4.State() == BuildFailed {
+		t.Fatal("watched entry failed by eviction")
+	}
+	e4.mu.Lock()
+	e4.refs--
+	e4.mu.Unlock()
+	// Ready entries are never touched.
+	spec3 := Spec{Kind: KindUniform, N: 6}.canonical()
+	if _, err := svc.Get(spec3); err != nil {
+		t.Fatal(err)
+	}
+	e3 := svc.shards[spec3.hash()&svc.mask].get(spec3, 0)
+	if e3.abandonIfUnwatched(ErrEvicted) {
+		t.Fatal("ready entry cancelled by eviction")
+	}
+}
+
+// TestCloseRefusesNewBuilds is the -short-safe shutdown contract: after
+// Close, ready entries keep serving, new builds fail with ErrClosed, and
+// Close is idempotent.
+func TestCloseRefusesNewBuilds(t *testing.T) {
+	svc := New(Config{})
+	ready := Spec{Kind: KindUniform, N: 5}
+	if _, err := svc.Get(ready); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if _, err := svc.Sample(ready, 2); err != nil {
+		t.Errorf("ready entry stopped serving after Close: %v", err)
+	}
+	if _, err := svc.Get(Spec{Kind: KindUniform, N: 11}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed service = %v, want ErrClosed", err)
+	}
+	if err := svc.Warmup(context.Background(), []Spec{{Kind: KindUniform, N: 12}}); err == nil {
+		t.Error("Warmup on closed service succeeded")
+	}
+	st := svc.Stats()
+	if st.BuildCancels == 0 {
+		t.Errorf("Stats.BuildCancels = 0 after refused builds: %+v", st)
+	}
+	svc.Close()
+}
+
+// TestBuildStateStrings pins the wire names the status endpoint serves.
+func TestBuildStateStrings(t *testing.T) {
+	cases := map[BuildState]string{
+		BuildPending: "pending",
+		BuildRunning: "building",
+		BuildReady:   "ready",
+		BuildFailed:  "failed",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+	if got := BuildState(99).String(); got == "" {
+		t.Error("unknown state renders empty")
+	}
+}
+
+// TestDeterministicFailureStaysCached pins the old contract for
+// non-cancellation errors: a build that fails deterministically is not
+// rebuilt on every request.
+func TestDeterministicFailureStaysCached(t *testing.T) {
+	if !rebuildable(errors.Join(lp.ErrCanceled, context.Canceled)) {
+		t.Error("cancellation-class error classified non-rebuildable")
+	}
+	if rebuildable(errors.New("design: column 3 sums to 0.5")) {
+		t.Error("deterministic build error classified rebuildable")
+	}
+	if !rebuildable(ErrEvicted) || !rebuildable(ErrClosed) || !rebuildable(ErrBuildAbandoned) {
+		t.Error("pipeline cancellation causes must be rebuildable")
+	}
+}

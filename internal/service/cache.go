@@ -1,25 +1,45 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"privcount/internal/core"
-	"privcount/internal/design"
 	"privcount/internal/rng"
 )
 
 // Entry is one admitted mechanism with everything precomputed for
 // serving: the mechanism matrix, per-column alias/CDF sampling tables,
-// the MLE decode table and the unbiased (debiasing) estimator. All of it
-// is built exactly once, on first touch, and read-only afterwards, so an
-// Entry may be shared by any number of goroutines.
+// the MLE decode table and the unbiased (debiasing) estimator.
+//
+// An Entry is a small state machine (see BuildState): it is admitted in
+// BuildPending, picked up by a background worker into BuildRunning, and
+// settles in BuildReady or BuildFailed. The serving tables are written
+// exactly once, by the worker, before the state word flips to
+// BuildReady; after that flip they are immutable, so a ready Entry may
+// be shared by any number of goroutines with no locking beyond the
+// single atomic state load.
 type Entry struct {
 	spec  Spec
-	once  sync.Once
 	clock atomic.Int64 // last-touch stamp for LRU eviction
 
-	// Populated by build; immutable afterwards.
+	// state is the machine word (a BuildState). Transitions happen under
+	// mu; the serving hot path reads it lock-free.
+	state atomic.Int32
+
+	mu       sync.Mutex
+	done     chan struct{}           // closed when the current build settles; nil before first arm
+	ctx      context.Context         // the in-flight build's context
+	cancel   context.CancelCauseFunc // cancels the in-flight build
+	queued   bool                    // an enqueue for the current pending generation happened
+	refs     int                     // callers currently waiting on the build
+	detached bool                    // an async admission wants the build to finish regardless of waiters
+	buildErr error                   // terminal error of the last settled build
+	buildDur float64                 // wall seconds of the last settled build
+
+	// Populated by the worker before state flips to BuildReady;
+	// immutable afterwards.
 	mech      *core.Mechanism
 	sampler   *core.Sampler
 	mle       []int
@@ -27,70 +47,93 @@ type Entry struct {
 	debiasErr error
 	rule      string
 	props     core.PropertySet
-	err       error
 }
 
-// build constructs the mechanism for e.spec and its serving tables. It
-// runs under e.once, so concurrent first touches block until one build
-// finishes and then share the result.
-func (e *Entry) build() {
-	s := e.spec
-	var m *core.Mechanism
-	var err error
-	switch s.Kind {
-	case KindGeometric:
-		m, err = core.Geometric(s.N, s.Alpha)
-		e.rule = "forced GM"
-		e.props = design.GeometricProps(s.N, s.Alpha)
-	case KindExplicitFair:
-		m, err = core.ExplicitFair(s.N, s.Alpha)
-		e.rule = "forced EM"
-		e.props = core.AllProperties
-	case KindUniform:
-		m, err = core.Uniform(s.N)
-		e.rule = "forced UM"
-		e.props = core.AllProperties
-	case KindChoose:
-		var ch *design.Choice
-		ch, err = design.Choose(s.N, s.Alpha, s.Props)
-		if err == nil {
-			m, e.rule, e.props = ch.Mechanism, ch.Rule, ch.Props
-		}
-	case KindLP, KindLPMinimax:
-		p := design.Problem{
-			N: s.N, Alpha: s.Alpha, Props: s.Props,
-			Objective:      design.Objective{P: s.ObjectiveP},
-			ReduceSymmetry: s.Props&core.Symmetry != 0,
-		}
-		var r *design.Result
-		if s.Kind == KindLPMinimax {
-			e.rule = "LP minimax design"
-			r, err = design.SolveMinimax(p)
-		} else {
-			e.rule = "LP design"
-			r, err = design.Solve(p)
-		}
-		if err == nil {
-			m = r.Mechanism
-			e.props = core.Closure(s.Props)
-		}
+func newEntry(spec Spec) *Entry {
+	return &Entry{spec: spec} // zero state == BuildPending, unarmed
+}
+
+// armLocked equips a pending entry with its build context and completion
+// channel. Caller holds e.mu. root is the service's lifetime context, so
+// service shutdown cancels every armed build.
+func (e *Entry) armLocked(root context.Context) {
+	e.done = make(chan struct{})
+	e.ctx, e.cancel = context.WithCancelCause(root)
+}
+
+// rearmLocked resets a failed (rebuildable) entry to pending for a fresh
+// build generation. Caller holds e.mu.
+func (e *Entry) rearmLocked(root context.Context) {
+	e.state.Store(int32(BuildPending))
+	e.queued = false
+	e.detached = false
+	e.buildErr = nil
+	e.armLocked(root)
+}
+
+// failLocked settles the current generation as failed. Caller holds e.mu
+// and has already cancelled e.ctx (or there is none).
+func (e *Entry) failLocked(cause error) {
+	e.buildErr = cause
+	e.queued = false
+	e.state.Store(int32(BuildFailed))
+	if e.done != nil {
+		close(e.done)
+		e.done = nil
 	}
-	if err != nil {
-		e.err = err
-		return
+	if e.cancel != nil {
+		e.cancel(cause)
+		e.cancel, e.ctx = nil, nil
 	}
-	e.mech = m
-	if e.sampler, e.err = core.NewSampler(m); e.err != nil {
-		return
+}
+
+// abandonIfUnwatched cancels an in-flight or queued build that no
+// caller is waiting for (refs == 0). The LRU eviction path uses it so
+// that evicting an entry mid-build stops the solve instead of letting
+// it keep burning a worker: once the entry has left the shard map its
+// result is unreachable — even a detached (Start-admitted) build has
+// nobody left to serve, so the detached pin does not save it here;
+// only live waiters do (they hold the entry pointer and still get the
+// result). It reports whether it settled a pending entry itself (the
+// caller counts those as cancels; a cancelled running build is counted
+// by the worker that settles it).
+func (e *Entry) abandonIfUnwatched(cause error) (settledPending bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := BuildState(e.state.Load())
+	if st == BuildReady || st == BuildFailed || e.refs > 0 {
+		return false
 	}
-	e.mle = m.MLETable()
-	e.debias, e.debiasErr = m.UnbiasedEstimator()
+	if st == BuildRunning {
+		if e.cancel != nil {
+			e.cancel(cause) // the worker settles the entry as failed
+		}
+		return false
+	}
+	e.failLocked(cause)
+	return true
+}
+
+// State returns the entry's current build state. It is lock-free and
+// safe from any goroutine.
+func (e *Entry) State() BuildState { return BuildState(e.state.Load()) }
+
+// Info returns a consistent snapshot of the entry's build status.
+func (e *Entry) Info() BuildInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return BuildInfo{
+		Spec:         e.spec,
+		State:        BuildState(e.state.Load()),
+		Err:          e.buildErr,
+		BuildSeconds: e.buildDur,
+	}
 }
 
 // Spec returns the canonical spec the entry was admitted under.
 func (e *Entry) Spec() Spec { return e.spec }
 
-// Mechanism returns the constructed mechanism.
+// Mechanism returns the constructed mechanism (nil unless BuildReady).
 func (e *Entry) Mechanism() *core.Mechanism { return e.mech }
 
 // Sampler returns the read-only sampler over the precomputed tables; it
@@ -128,7 +171,9 @@ type stripedCounter struct {
 // shard is one lock domain of the cache. Lookups are lock-free: the
 // entry map is an immutable snapshot behind an atomic pointer, replaced
 // copy-on-write under mu by the rare admission/eviction path. The shard
-// also owns the RNG pool feeding samples served from it.
+// also owns the RNG pool feeding samples served from it. Builds are not
+// the shard's business — admission hands a pending Entry back and the
+// service's worker pool takes it from there.
 type shard struct {
 	entries atomic.Pointer[map[Spec]*Entry]
 	mu      sync.Mutex // guards snapshot replacement only
@@ -138,21 +183,24 @@ type shard struct {
 
 	hits              [hitStripes]stripedCounter
 	misses, evictions atomic.Int64
+	// buildCancels points at the service-wide cancel counter, so the
+	// eviction path can record the queued builds it settles (running
+	// builds it cancels are counted by the worker that settles them).
+	buildCancels *atomic.Int64
 }
 
-// get returns the entry for spec (already canonical), admitting and
-// building it on first touch. The hot path is one atomic load plus a map
-// read; the expensive build runs outside the shard lock under the
-// entry's once, so a slow LP solve never blocks other specs. stripe
-// picks the hit-counter stripe (any value works; pass the caller's RNG
-// stream id to avoid contention).
+// get returns the entry for spec (already canonical), admitting a
+// pending one on first touch. The hot path is one atomic load plus a map
+// read; nothing here ever blocks on a build. stripe picks the
+// hit-counter stripe (any value works; pass the caller's RNG stream id
+// to avoid contention).
 func (sh *shard) get(spec Spec, stripe uint64) *Entry {
 	e := (*sh.entries.Load())[spec]
 	if e == nil {
 		sh.mu.Lock()
 		snap := *sh.entries.Load()
 		if e = snap[spec]; e == nil {
-			e = &Entry{spec: spec}
+			e = newEntry(spec)
 			next := make(map[Spec]*Entry, len(snap)+1)
 			for s, old := range snap {
 				next[s] = old
@@ -160,12 +208,18 @@ func (sh *shard) get(spec Spec, stripe uint64) *Entry {
 			next[spec] = e
 			sh.misses.Add(1)
 			e.clock.Store(sh.clock.Add(1))
+			var victim *Entry
 			if len(next) > sh.cap {
-				sh.evict(next, e)
+				victim = sh.evict(next, e)
 			}
 			sh.entries.Store(&next)
 			sh.mu.Unlock()
-			e.once.Do(e.build)
+			if victim != nil {
+				// Outside the shard lock: cancelling takes the entry lock.
+				if victim.abandonIfUnwatched(ErrEvicted) {
+					sh.buildCancels.Add(1)
+				}
+			}
 			return e
 		}
 		sh.mu.Unlock()
@@ -177,15 +231,15 @@ func (sh *shard) get(spec Spec, stripe uint64) *Entry {
 	if t := sh.clock.Load() + 1; e.clock.Load() < t {
 		e.clock.Store(t)
 	}
-	e.once.Do(e.build)
 	return e
 }
 
 // evict removes the least-recently-touched entry other than keep from
-// next (the snapshot under construction). Callers holding pointers to an
-// evicted entry can keep using it — entries are immutable once built —
-// it just leaves the map.
-func (sh *shard) evict(next map[Spec]*Entry, keep *Entry) {
+// next (the snapshot under construction) and returns it. Callers holding
+// pointers to an evicted ready entry can keep using it — ready entries
+// are immutable — it just leaves the map; an evicted in-flight build
+// that nobody waits on is cancelled by the caller.
+func (sh *shard) evict(next map[Spec]*Entry, keep *Entry) *Entry {
 	var victimSpec Spec
 	var victim *Entry
 	oldest := int64(1<<63 - 1)
@@ -201,6 +255,7 @@ func (sh *shard) evict(next map[Spec]*Entry, keep *Entry) {
 		delete(next, victimSpec)
 		sh.evictions.Add(1)
 	}
+	return victim
 }
 
 // len returns the number of admitted entries.

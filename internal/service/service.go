@@ -1,13 +1,18 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"privcount/internal/rng"
 )
 
 // Config tunes a Service. The zero value is usable: 256 cached
-// mechanisms across 8 shards, crypto-seeded randomness.
+// mechanisms across 8 shards, crypto-seeded randomness, and a build pool
+// sized to the machine.
 type Config struct {
 	// Capacity is the total number of cached mechanisms across all
 	// shards (default 256). When a shard exceeds its share, the
@@ -21,24 +26,70 @@ type Config struct {
 	// right choice when releases must be unpredictable. Seeded sampling
 	// of specific requests is available regardless via SampleBatchSeeded.
 	Seed uint64
+	// BuildWorkers bounds how many mechanism builds run concurrently
+	// (default GOMAXPROCS clamped to [2, 8]). Builds are CPU-bound LP
+	// solves or closed-form table fills; the pool keeps a burst of
+	// admissions from pinning every core while serving traffic. The
+	// floor of two keeps one long-running solve (a cold lp-minimax
+	// build can take tens of minutes) from head-of-line-blocking every
+	// cheap build on small machines.
+	BuildWorkers int
+	// BuildQueue is the capacity of the admission queue feeding the
+	// workers (default 1024). Enqueueing beyond it blocks the admitting
+	// caller until a worker frees a slot.
+	BuildQueue int
 }
 
 // Service serves differentially private count releases at scale: it
-// builds each requested mechanism once, caches it with its sampling and
-// estimation tables, and answers Sample/SampleBatch/Estimate from any
-// number of goroutines. See the package comment for the architecture.
+// builds each requested mechanism once — on a bounded background worker
+// pool, never on the caller's goroutine — caches it with its sampling
+// and estimation tables, and answers Sample/SampleBatch/Estimate from
+// any number of goroutines. Builds are cancellable end to end (see
+// GetCtx, Start, Warmup, Close); see the package comment for the
+// architecture.
 type Service struct {
 	shards []*shard
 	mask   uint64
+
+	build struct {
+		root       context.Context         // parent of every build context
+		cancelRoot context.CancelCauseFunc // fired by Close
+		queue      chan *Entry
+		sendMu     sync.RWMutex // brackets queue sends against close
+		closed     bool
+		wg         sync.WaitGroup
+		closeOnce  sync.Once
+
+		inFlight atomic.Int64
+		builds   atomic.Int64 // completed successfully
+		failures atomic.Int64 // deterministic build errors
+		cancels  atomic.Int64 // cancellation-class settlements
+		nanos    atomic.Int64 // cumulative wall time spent building
+	}
 }
 
-// New returns a Service with the given configuration.
+// New returns a Service with the given configuration. Call Close to
+// tear its build pipeline down; a Service that is never Closed leaks
+// its worker goroutines (harmless for process-lifetime services, wrong
+// for tests).
 func New(cfg Config) *Service {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 256
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 8
+	}
+	if cfg.BuildWorkers <= 0 {
+		cfg.BuildWorkers = runtime.GOMAXPROCS(0)
+		if cfg.BuildWorkers > 8 {
+			cfg.BuildWorkers = 8
+		}
+		if cfg.BuildWorkers < 2 {
+			cfg.BuildWorkers = 2
+		}
+	}
+	if cfg.BuildQueue <= 0 {
+		cfg.BuildQueue = 1024
 	}
 	nshards := 1
 	for nshards < cfg.Shards {
@@ -54,28 +105,46 @@ func New(cfg Config) *Service {
 		if seed != 0 {
 			seed += uint64(i)*0x9e3779b97f4a7c15 | 1
 		}
-		sh := &shard{cap: perShard, pool: rng.NewPool(seed)}
+		sh := &shard{cap: perShard, pool: rng.NewPool(seed), buildCancels: &s.build.cancels}
 		empty := make(map[Spec]*Entry, perShard)
 		sh.entries.Store(&empty)
 		s.shards[i] = sh
 	}
+	s.build.root, s.build.cancelRoot = context.WithCancelCause(context.Background())
+	s.build.queue = make(chan *Entry, cfg.BuildQueue)
+	s.build.wg.Add(cfg.BuildWorkers)
+	for i := 0; i < cfg.BuildWorkers; i++ {
+		go s.worker()
+	}
 	return s
 }
 
-// lookup validates and canonicalises spec and returns its entry plus the
-// owning shard, building the mechanism on first touch. stripe selects
-// the hit-counter stripe; hot paths pass their RNG stream id.
-func (s *Service) lookup(spec Spec, stripe uint64) (*Entry, *shard, error) {
+// lookup validates and canonicalises spec and returns its ready entry
+// plus the owning shard, admitting and building the mechanism through
+// the worker pool on first touch (blocking under ctx until it settles).
+// stripe selects the hit-counter stripe; hot paths pass their RNG stream
+// id.
+func (s *Service) lookup(ctx context.Context, spec Spec, stripe uint64) (*Entry, *shard, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
 	spec = spec.canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	e := sh.get(spec, stripe)
-	if e.err != nil {
-		return nil, nil, fmt.Errorf("service: building %s: %w", spec, e.err)
+	if err := s.ready(ctx, e); err != nil {
+		return nil, nil, buildError(spec, err)
 	}
 	return e, sh, nil
+}
+
+// ready returns nil immediately for a built entry (the hot path: one
+// atomic load) and otherwise queues the build and waits for it.
+func (s *Service) ready(ctx context.Context, e *Entry) error {
+	if e.State() == BuildReady {
+		return nil
+	}
+	s.ensureQueued(e)
+	return s.await(ctx, e)
 }
 
 // Get returns the cache entry for spec, admitting and building the
@@ -83,7 +152,17 @@ func (s *Service) lookup(spec Spec, stripe uint64) (*Entry, *shard, error) {
 // and guaranteed properties, or to drive the sampler with a caller-owned
 // randomness source.
 func (s *Service) Get(spec Spec) (*Entry, error) {
-	e, _, err := s.lookup(spec, 0)
+	return s.GetCtx(context.Background(), spec)
+}
+
+// GetCtx is Get under a context: while the build is in flight the call
+// blocks on it, and if ctx dies first the call returns ctx's error. A
+// build whose last waiter has given up (and that no Start/Warmup pinned)
+// is cancelled outright — the solver stops mid-pivot and the entry is
+// left failed-rebuildable — so a dead client costs at most one pivot of
+// CPU, not a full LP solve.
+func (s *Service) GetCtx(ctx context.Context, spec Spec) (*Entry, error) {
+	e, _, err := s.lookup(ctx, spec, 0)
 	return e, err
 }
 
@@ -91,6 +170,13 @@ func (s *Service) Get(spec Spec) (*Entry, error) {
 // comes from the owning shard's pool, so concurrent callers do not
 // contend on a shared generator.
 func (s *Service) Sample(spec Spec, j int) (int, error) {
+	return s.SampleCtx(context.Background(), spec, j)
+}
+
+// SampleCtx is Sample under a context: a cold spec's build is awaited
+// under ctx with the same cancellation semantics as GetCtx. Ready
+// entries never consult ctx.
+func (s *Service) SampleCtx(ctx context.Context, spec Spec, j int) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
@@ -98,9 +184,9 @@ func (s *Service) Sample(spec Spec, j int) (int, error) {
 	sh := s.shards[spec.hash()&s.mask]
 	r := sh.pool.Get()
 	e := sh.get(spec, r.StreamID())
-	if e.err != nil {
+	if err := s.ready(ctx, e); err != nil {
 		sh.pool.Put(r)
-		return 0, fmt.Errorf("service: building %s: %w", spec, e.err)
+		return 0, buildError(spec, err)
 	}
 	if j < 0 || j > e.spec.N {
 		sh.pool.Put(r)
@@ -116,6 +202,11 @@ func (s *Service) Sample(spec Spec, j int) (int, error) {
 // once and the batch shares one pooled generator, which is what makes
 // batched serving cheap.
 func (s *Service) SampleBatch(spec Spec, js []int, dst []int) ([]int, error) {
+	return s.SampleBatchCtx(context.Background(), spec, js, dst)
+}
+
+// SampleBatchCtx is SampleBatch under a context (see SampleCtx).
+func (s *Service) SampleBatchCtx(ctx context.Context, spec Spec, js []int, dst []int) ([]int, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,9 +214,9 @@ func (s *Service) SampleBatch(spec Spec, js []int, dst []int) ([]int, error) {
 	sh := s.shards[spec.hash()&s.mask]
 	r := sh.pool.Get()
 	e := sh.get(spec, r.StreamID())
-	if e.err != nil {
+	if err := s.ready(ctx, e); err != nil {
 		sh.pool.Put(r)
-		return nil, fmt.Errorf("service: building %s: %w", spec, e.err)
+		return nil, buildError(spec, err)
 	}
 	if err := checkCounts(js, e.spec.N); err != nil {
 		sh.pool.Put(r)
@@ -141,7 +232,13 @@ func (s *Service) SampleBatch(spec Spec, js []int, dst []int) ([]int, error) {
 // a time, so a seeded batch matches seeded single-shot sampling — useful
 // for replayable experiments and for tests.
 func (s *Service) SampleBatchSeeded(spec Spec, seed uint64, js []int, dst []int) ([]int, error) {
-	e, _, err := s.lookup(spec, 0)
+	return s.SampleBatchSeededCtx(context.Background(), spec, seed, js, dst)
+}
+
+// SampleBatchSeededCtx is SampleBatchSeeded under a context (see
+// SampleCtx).
+func (s *Service) SampleBatchSeededCtx(ctx context.Context, spec Spec, seed uint64, js []int, dst []int) ([]int, error) {
+	e, _, err := s.lookup(ctx, spec, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +267,12 @@ type Estimate struct {
 // Estimate decodes observed outputs (one per released group) under spec
 // using the precomputed MLE and debiasing tables.
 func (s *Service) Estimate(spec Spec, outputs []int) (*Estimate, error) {
-	e, _, err := s.lookup(spec, 0)
+	return s.EstimateCtx(context.Background(), spec, outputs)
+}
+
+// EstimateCtx is Estimate under a context (see SampleCtx).
+func (s *Service) EstimateCtx(ctx context.Context, spec Spec, outputs []int) (*Estimate, error) {
+	e, _, err := s.lookup(ctx, spec, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -204,18 +306,34 @@ func checkCounts(js []int, n int) error {
 	return nil
 }
 
-// Stats is a point-in-time snapshot of cache behaviour, summed over
-// shards.
+// Stats is a point-in-time snapshot of cache and build-pipeline
+// behaviour, summed over shards.
 type Stats struct {
 	// Entries is the number of mechanisms currently cached.
 	Entries int
-	// Hits and Misses count cache lookups; a miss triggers a build.
+	// Hits and Misses count cache lookups; a miss admits a build.
 	Hits, Misses int64
 	// Evictions counts LRU evictions forced by capacity.
 	Evictions int64
+
+	// QueueDepth is the number of admitted builds waiting for a worker.
+	QueueDepth int
+	// InFlight is the number of builds currently executing.
+	InFlight int
+	// Builds counts builds that completed successfully.
+	Builds int64
+	// BuildFailures counts builds that settled with a deterministic
+	// (non-cancellation) error.
+	BuildFailures int64
+	// BuildCancels counts builds settled by cancellation: abandoned
+	// requests, evictions, and shutdown.
+	BuildCancels int64
+	// BuildSeconds is the cumulative wall time spent constructing
+	// mechanisms, successful or not.
+	BuildSeconds float64
 }
 
-// Stats returns current cache statistics.
+// Stats returns current cache and build-pipeline statistics.
 func (s *Service) Stats() Stats {
 	var st Stats
 	for _, sh := range s.shards {
@@ -224,5 +342,11 @@ func (s *Service) Stats() Stats {
 		st.Misses += sh.misses.Load()
 		st.Evictions += sh.evictions.Load()
 	}
+	st.QueueDepth = len(s.build.queue)
+	st.InFlight = int(s.build.inFlight.Load())
+	st.Builds = s.build.builds.Load()
+	st.BuildFailures = s.build.failures.Load()
+	st.BuildCancels = s.build.cancels.Load()
+	st.BuildSeconds = float64(s.build.nanos.Load()) / 1e9
 	return st
 }

@@ -4,13 +4,23 @@
 // serves sampling and estimation traffic from many goroutines.
 //
 // A Service holds a sharded LRU cache keyed by Spec (mechanism kind,
-// group size n, privacy level α, property set, objective). On first
-// touch of a spec the mechanism is constructed once, together with its
-// per-column alias/CDF sampling tables, MLE decode table and unbiased
-// (debiasing) estimator; every later request for the same spec is served
-// from the cache. The hot path — Sample, SampleBatch, Estimate — takes
-// only a per-shard read lock for the map lookup and draws randomness
-// from per-shard rng.Pools, so throughput scales with GOMAXPROCS.
+// group size n, privacy level α, property set, objective). First touch
+// of a spec admits a build-state entry (pending → building →
+// ready/failed) onto a bounded background worker pool; the mechanism and
+// its per-column alias/CDF sampling tables, MLE decode table and
+// unbiased (debiasing) estimator are constructed exactly once, off the
+// caller's goroutine, and every later request is served from the cache.
+// Builds are cancellable end to end: a blocking caller whose context
+// dies releases its interest, and a build nobody waits for (and no
+// Start/Warmup pinned) is cancelled mid-pivot inside the LP engine,
+// leaving the entry failed-but-rebuildable. Start admits without
+// waiting (async serving), Status polls build state, Warmup precomputes
+// a serving set, and Close drains the pipeline for shutdown.
+//
+// The hot path — Sample, SampleBatch, Estimate on a ready entry — is
+// one lock-free map probe plus one atomic state load, and draws
+// randomness from per-shard rng.Pools, so throughput scales with
+// GOMAXPROCS.
 package service
 
 import (
@@ -108,22 +118,23 @@ const MaxN = 4096
 // variable bounds and dropping the dominated ratio rows, and the
 // geometric-vertex crash basis skipping the cold pivot walk — builds the
 // WM LP in about a second at n=128, ~6 s at n=256, and ~40 s at n=512
-// (one build per spec; singleflight queues duplicate requests behind
-// it), so admission stops where a cold build would tie up a handler for
-// minutes rather than seconds. Closed-form kinds (gm, em, um, and the
+// (one build per spec; duplicate requests wait on the same build-state
+// entry), so admission stops where a cold build would tie up a build
+// worker for minutes rather than seconds. Closed-form kinds (gm, em, um, and the
 // choose branches they serve) are unaffected and go up to MaxN.
 const MaxLPN = 512
 
 // MaxLPMinimaxN bounds kind lp-minimax separately: the epigraph LP of
 // Definition 3 has no geometric-vertex crash basis (its optimum spreads
 // duals across every worst-case column), so those solves run cold —
-// ~12 s at n=64 and minutes at n≈96, which no HTTP write deadline
-// survives. Admission therefore stops at the largest size a cold build
-// actually delivers inside privcountd's timeout; the old blanket
-// MaxLPN=128 nominally admitted larger minimax specs, but those
-// requests only ever produced a dead connection after minutes of a
-// blocked handler.
-const MaxLPMinimaxN = 64
+// ~12 s at n=64 and tens of minutes approaching n=128. With builds off
+// the request path (async admission via Start/wait=false, status
+// polling, cancellation when every interested caller goes away) the
+// bound no longer has to fit an HTTP write deadline — it only caps how
+// much CPU one admission can pin on a build worker, so it now sits at
+// the largest size a cold epigraph solve finishes in a background-
+// tolerable window rather than the old synchronous n=64 ceiling.
+const MaxLPMinimaxN = 128
 
 // Validate reports whether the spec describes a servable scenario.
 func (s Spec) Validate() error {

@@ -48,6 +48,8 @@
 package privcount
 
 import (
+	"context"
+
 	"privcount/internal/core"
 	"privcount/internal/design"
 	"privcount/internal/mat"
@@ -201,11 +203,24 @@ func Design(p DesignProblem) (*DesignResult, error) {
 	return design.Solve(p)
 }
 
+// DesignCtx is Design under a context: the simplex loops check ctx at
+// every pivot and factorization boundary, so cancelling it abandons the
+// solve within an iteration instead of letting it run to completion.
+func DesignCtx(ctx context.Context, p DesignProblem) (*DesignResult, error) {
+	return design.SolveCtx(ctx, p)
+}
+
 // DesignMinimax solves the same constrained design problem under the
 // worst-input objective O_{p,max} of Definition 3 (⊕ = max): it bounds
 // the expected penalty of every input rather than the average.
 func DesignMinimax(p DesignProblem) (*DesignResult, error) {
 	return design.SolveMinimax(p)
+}
+
+// DesignMinimaxCtx is DesignMinimax under a context, with the same
+// prompt-cancellation guarantee as DesignCtx.
+func DesignMinimaxCtx(ctx context.Context, p DesignProblem) (*DesignResult, error) {
+	return design.SolveMinimaxCtx(ctx, p)
 }
 
 // AlphaFromEpsilon converts the conventional ε privacy parameter to the
@@ -237,6 +252,13 @@ type Choice = design.Choice
 // the decision rule that selected it.
 func Choose(n int, alpha float64, props PropertySet) (*Choice, error) {
 	return design.Choose(n, alpha, props)
+}
+
+// ChooseCtx is Choose under a context: the LP-backed flowchart branches
+// cancel their design solve when ctx dies; the closed-form branches
+// never block.
+func ChooseCtx(ctx context.Context, n int, alpha float64, props PropertySet) (*Choice, error) {
+	return design.ChooseCtx(ctx, n, alpha, props)
 }
 
 // GeometricL0 is GM's closed-form rescaled L0 score 2α/(1+α).
@@ -307,7 +329,30 @@ const (
 // ServiceEstimate is the decoded result of a batch of observed releases.
 type ServiceEstimate = service.Estimate
 
-// NewService returns a serving layer with the given configuration.
+// BuildState is one stage of a cached mechanism's build lifecycle:
+// pending → building → ready/failed. Builds run on the Service's
+// bounded background worker pool; see Service.GetCtx, Service.Start,
+// Service.Status, Service.Warmup and Service.Close.
+type BuildState = service.BuildState
+
+// The mechanism build states.
+const (
+	// BuildPending: admitted, waiting for a build worker.
+	BuildPending = service.BuildPending
+	// BuildRunning: a worker is constructing the mechanism.
+	BuildRunning = service.BuildRunning
+	// BuildReady: serving tables populated and immutable.
+	BuildReady = service.BuildReady
+	// BuildFailed: the build errored or was cancelled (cancellations are
+	// rebuildable on the next interested request).
+	BuildFailed = service.BuildFailed
+)
+
+// BuildInfo is a snapshot of one cached mechanism's build status.
+type BuildInfo = service.BuildInfo
+
+// NewService returns a serving layer with the given configuration. Call
+// (*Service).Close to drain its background build pool on shutdown.
 func NewService(cfg ServiceConfig) *Service {
 	return service.New(cfg)
 }
