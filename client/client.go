@@ -1,0 +1,318 @@
+// Package client is the typed Go SDK for the privcountd v2 HTTP API.
+//
+// A mechanism is named once by its canonical spec token (privcount.Spec
+// — see Spec.ID), created asynchronously, polled to readiness, and then
+// queried cheaply, many operations per round trip:
+//
+//	c, err := client.New("http://localhost:8080")
+//	spec := privcount.Spec{Kind: privcount.SpecLP, N: 64, Alpha: 0.5,
+//		Props: privcount.WeakHonesty | privcount.ColumnMonotone}
+//	if _, err := c.Create(ctx, spec); err != nil { ... }   // PUT, 202
+//	if _, err := c.WaitReady(ctx, spec); err != nil { ... } // poll w/ backoff
+//	results, err := c.Query(ctx, []client.Op{               // one round trip
+//		client.SampleOp(spec, 17),
+//		client.BatchOp(spec, []int{3, 10, 42}, nil),
+//		client.EstimateOp(other, observed),
+//	})
+//
+// Errors are typed end to end: every failure the server reports carries
+// a machine-readable code ({"error":{"code":"build_canceled",...}}) that
+// the SDK turns back into an error matching the package sentinels, so
+// errors.Is(err, client.ErrBuildCanceled) works across the wire. The
+// wire structs in this package are the same ones the server marshals.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"privcount"
+)
+
+// Client talks to one privcountd base URL. It is safe for concurrent
+// use; the zero value is not usable — construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	pollInitial time.Duration
+	pollMax     time.Duration
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every request
+// (timeouts, transports, instrumentation). The default is a dedicated
+// client with no overall timeout — pass contexts to bound calls.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithPollInterval tunes WaitReady's backoff: polling starts at initial
+// and doubles up to max. The defaults are 10ms and 1s.
+func WithPollInterval(initial, max time.Duration) Option {
+	return func(c *Client) { c.pollInitial, c.pollMax = initial, max }
+}
+
+// New returns a Client for the privcountd at baseURL (scheme and host,
+// e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	c := &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{},
+		pollInitial: 10 * time.Millisecond,
+		pollMax:     time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// specID validates spec client-side and returns its canonical token,
+// typing local failures with the taxonomy so callers never branch on
+// where an error arose.
+func specID(spec privcount.Spec) (string, error) {
+	token, err := spec.MarshalText()
+	if err != nil {
+		return "", localError(err)
+	}
+	return string(token), nil
+}
+
+// do executes one request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses are decoded as error envelopes and
+// returned as *Error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
+		}
+		env.Error.HTTPStatus = resp.StatusCode
+		return env.Error
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Create admits spec's mechanism for building (PUT /v2/mechanisms/{id})
+// and returns its status document without waiting: builds run on the
+// server's background pool and survive this request. Create on a ready
+// or already-admitted mechanism is an idempotent status read. Follow
+// with WaitReady (or poll Status) before querying expensive mechanisms;
+// cheap closed-form mechanisms may simply be queried, which builds them
+// on first touch.
+func (c *Client) Create(ctx context.Context, spec privcount.Spec) (*MechanismStatus, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	var st MechanismStatus
+	if err := c.do(ctx, http.MethodPut, "/v2/mechanisms/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status reads spec's status document (GET /v2/mechanisms/{id}) without
+// admitting anything: a never-created mechanism returns an error
+// matching ErrNotAdmitted.
+func (c *Client) Status(ctx context.Context, spec privcount.Spec) (*MechanismStatus, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	var st MechanismStatus
+	if err := c.do(ctx, http.MethodGet, "/v2/mechanisms/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitReady polls spec's status with exponential backoff (see
+// WithPollInterval) until the build settles or ctx dies. It returns the
+// ready status document; a failed build returns the typed build error
+// (errors.Is(err, ErrBuildCanceled) for cut-short builds, ErrBuildFailed
+// for deterministic failures), and a never-created mechanism returns
+// ErrNotAdmitted — call Create first. A mechanism that was admitted but
+// vanishes mid-poll (LRU eviction under cache pressure drops unwatched
+// builds) is re-admitted transparently a few times before ErrNotAdmitted
+// is reported.
+func (c *Client) WaitReady(ctx context.Context, spec privcount.Spec) (*MechanismStatus, error) {
+	delay := c.pollInitial
+	seen := false
+	readmits := 0
+	for {
+		st, err := c.Status(ctx, spec)
+		if err != nil {
+			// Only re-admit a resource this call has already observed:
+			// a first-poll ErrNotAdmitted means the caller skipped
+			// Create, and that contract stays loud.
+			if errors.Is(err, ErrNotAdmitted) && seen && readmits < 3 {
+				readmits++
+				if _, cerr := c.Create(ctx, spec); cerr == nil {
+					continue
+				}
+			}
+			return nil, err
+		}
+		seen = true
+		if st.Ready() {
+			return st, nil
+		}
+		if st.State == "failed" {
+			if err := st.Err(); err != nil {
+				return nil, err
+			}
+			return nil, ErrBuildFailed
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > c.pollMax {
+			delay = c.pollMax
+		}
+	}
+}
+
+// List returns the status document of every mechanism currently cached
+// by the server (GET /v2/mechanisms), sorted by ID.
+func (c *Client) List(ctx context.Context) ([]MechanismStatus, error) {
+	var out MechanismList
+	if err := c.do(ctx, http.MethodGet, "/v2/mechanisms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Mechanisms, nil
+}
+
+// Query executes a batch of heterogeneous operations — samples, batches,
+// estimates, against any number of mechanisms — in one round trip (POST
+// /v2/query). The returned slice matches ops positionally; each result
+// carries either its payload or its own typed error, so one failed op
+// does not poison the batch. Query itself errors only on transport or
+// request-level failures (malformed batch, too many ops).
+func (c *Client) Query(ctx context.Context, ops []Op) ([]OpResult, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/query", QueryRequest{Ops: ops}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(ops) {
+		return nil, fmt.Errorf("client: query returned %d results for %d ops", len(out.Results), len(ops))
+	}
+	return out.Results, nil
+}
+
+// queryOne runs a single op through the multiplexed endpoint and
+// surfaces its per-op error as the call's error.
+func (c *Client) queryOne(ctx context.Context, op Op) (*OpResult, error) {
+	res, err := c.Query(ctx, []Op{op})
+	if err != nil {
+		return nil, err
+	}
+	if err := res[0].Err(); err != nil {
+		return nil, err
+	}
+	return &res[0], nil
+}
+
+// Sample draws one noisy release for true count under spec, building
+// the mechanism server-side on first touch.
+func (c *Client) Sample(ctx context.Context, spec privcount.Spec, count int) (int, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.queryOne(ctx, Op{Op: OpSample, ID: id, Count: count})
+	if err != nil {
+		return 0, err
+	}
+	if res.Output == nil {
+		return 0, fmt.Errorf("client: sample result missing output")
+	}
+	return *res.Output, nil
+}
+
+// SampleBatch draws one noisy release per true count under spec.
+func (c *Client) SampleBatch(ctx context.Context, spec privcount.Spec, counts []int) ([]int, error) {
+	return c.sampleBatch(ctx, spec, counts, nil)
+}
+
+// SampleBatchSeeded is SampleBatch with reproducible draws: the outputs
+// are exactly those of a fresh seeded generator consumed one count at a
+// time, matching the server's seeded single-shot sampling.
+func (c *Client) SampleBatchSeeded(ctx context.Context, spec privcount.Spec, seed uint64, counts []int) ([]int, error) {
+	return c.sampleBatch(ctx, spec, counts, &seed)
+}
+
+func (c *Client) sampleBatch(ctx context.Context, spec privcount.Spec, counts []int, seed *uint64) ([]int, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.queryOne(ctx, Op{Op: OpBatch, ID: id, Counts: counts, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// Estimate decodes observed outputs under spec: the per-output MLE
+// inputs plus the debiased (unbiased when available) aggregate.
+func (c *Client) Estimate(ctx context.Context, spec privcount.Spec, outputs []int) (*Estimate, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.queryOne(ctx, Op{Op: OpEstimate, ID: id, Outputs: outputs})
+	if err != nil {
+		return nil, err
+	}
+	est := res.Estimate()
+	if est == nil {
+		return nil, fmt.Errorf("client: estimate result missing payload")
+	}
+	return est, nil
+}

@@ -1,0 +1,265 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"privcount"
+	"privcount/client"
+	"privcount/internal/httpapi"
+	"privcount/internal/service"
+)
+
+// newTestClient mounts the real route set over a fresh service and
+// returns an SDK client against it plus the service handle (for
+// shutdown-driven tests).
+func newTestClient(t *testing.T, cfg service.Config) (*client.Client, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(httpapi.NewMux(svc))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, svc
+}
+
+// TestEndToEndCreateWaitQuery is the acceptance round trip: Create an
+// lp spec, WaitReady polls it to ready, and one multiplexed Query
+// carries a sample, a batch and an estimate against two different
+// mechanism IDs with per-op results.
+func TestEndToEndCreateWaitQuery(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 32, Seed: 7})
+	ctx := context.Background()
+
+	lp := privcount.Spec{Kind: privcount.SpecLP, N: 8, Alpha: 0.7,
+		Props: privcount.WeakHonesty | privcount.Symmetry}
+	gm := privcount.Spec{Kind: privcount.SpecGeometric, N: 10, Alpha: 0.6}
+
+	st, err := c.Create(ctx, lp)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if st.ID != lp.ID() {
+		t.Errorf("Create returned id %q, want %q", st.ID, lp.ID())
+	}
+	ready, err := c.WaitReady(ctx, lp)
+	if err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	if !ready.Ready() || ready.Mechanism == nil {
+		t.Fatalf("WaitReady doc = %+v, want ready with mechanism detail", ready)
+	}
+
+	seed := uint64(42)
+	results, err := c.Query(ctx, []client.Op{
+		client.SampleOp(lp, 3),
+		client.BatchOp(gm, []int{0, 5, 10}, &seed),
+		client.EstimateOp(gm, []int{4, 4, 4}),
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if err := r.Err(); err != nil {
+			t.Fatalf("op %d errored: %v", i, err)
+		}
+	}
+	if out := results[0].Output; out == nil || *out < 0 || *out > 8 {
+		t.Errorf("sample result = %v", results[0])
+	}
+	if len(results[1].Outputs) != 3 {
+		t.Errorf("batch result = %v", results[1])
+	}
+	est := results[2].Estimate()
+	if est == nil || !est.Unbiased || len(est.MLE) != 3 {
+		t.Errorf("estimate result = %+v", est)
+	}
+
+	// The convenience wrappers ride the same wire: a seeded batch is
+	// reproducible against the multiplexed call.
+	direct, err := c.SampleBatchSeeded(ctx, gm, seed, []int{0, 5, 10})
+	if err != nil {
+		t.Fatalf("SampleBatchSeeded: %v", err)
+	}
+	if !reflect.DeepEqual(direct, results[1].Outputs) {
+		t.Errorf("seeded batch diverged: %v vs %v", direct, results[1].Outputs)
+	}
+	if _, err := c.Sample(ctx, gm, 4); err != nil {
+		t.Errorf("Sample: %v", err)
+	}
+	if outs, err := c.SampleBatch(ctx, gm, []int{1, 2}); err != nil || len(outs) != 2 {
+		t.Errorf("SampleBatch = %v, %v", outs, err)
+	}
+	if est2, err := c.Estimate(ctx, gm, []int{4, 4, 4}); err != nil || est2.Sum != est.Sum {
+		t.Errorf("Estimate = %+v, %v; want sum %v", est2, err, est.Sum)
+	}
+}
+
+// TestEquivalentSpecsShareResource pins identity semantics through the
+// SDK: closure-equivalent specs resolve to one mechanism ID and one
+// server-side resource.
+func TestEquivalentSpecsShareResource(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 32, Seed: 7})
+	ctx := context.Background()
+
+	cm := privcount.Spec{Kind: privcount.SpecLP, N: 8, Alpha: 0.7, Props: privcount.ColumnMonotone}
+	cmch := privcount.Spec{Kind: privcount.SpecLP, N: 8, Alpha: 0.7,
+		Props: privcount.ColumnMonotone | privcount.ColumnHonesty}
+	if cm.ID() != cmch.ID() {
+		t.Fatalf("client-side IDs differ: %q vs %q", cm.ID(), cmch.ID())
+	}
+	st1, err := c.Create(ctx, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Create(ctx, cmch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ID != st2.ID {
+		t.Errorf("server resolved different resources: %q vs %q", st1.ID, st2.ID)
+	}
+	if _, err := c.WaitReady(ctx, cmch); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Errorf("server caches %d resources, want 1 (shared identity)", len(list))
+	}
+}
+
+// TestCanceledBuildTypedError pins the acceptance criterion that a
+// cancelled build surfaces to the SDK as a typed error matching the
+// build_canceled code: a slow minimax build is cut short by server
+// shutdown and WaitReady reports it as ErrBuildCanceled.
+func TestCanceledBuildTypedError(t *testing.T) {
+	c, svc := newTestClient(t, service.Config{Capacity: 32, Seed: 7})
+	ctx := context.Background()
+
+	slow := privcount.Spec{Kind: privcount.SpecLPMinimax, N: service.MaxLPMinimaxN, Alpha: 0.9}
+	if _, err := c.Create(ctx, slow); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Cut the build short: Close cancels the in-flight solve mid-pivot
+	// and settles the entry failed-rebuildable. Serving (and status
+	// reads) keep working after Close.
+	svc.Close()
+
+	_, err := c.WaitReady(ctx, slow)
+	if err == nil {
+		t.Fatal("WaitReady succeeded on a cancelled build")
+	}
+	if !errors.Is(err, client.ErrBuildCanceled) {
+		t.Fatalf("WaitReady err = %v, want errors.Is ErrBuildCanceled", err)
+	}
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("WaitReady err %T does not expose *client.Error", err)
+	}
+	if apiErr.Code != client.CodeBuildCanceled || apiErr.Message == "" {
+		t.Errorf("typed error = %+v, want build_canceled with message", apiErr)
+	}
+}
+
+// TestTypedErrorTaxonomy exercises each error class through the SDK,
+// local and remote alike.
+func TestTypedErrorTaxonomy(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 32, Seed: 7})
+	ctx := context.Background()
+
+	// Local: an invalid spec never reaches the wire.
+	bad := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 1.5}
+	if _, err := c.Create(ctx, bad); !errors.Is(err, client.ErrSpecInvalid) {
+		t.Errorf("invalid spec err = %v, want ErrSpecInvalid", err)
+	}
+	var apiErr *client.Error
+	if _, err := c.Sample(ctx, bad, 1); !errors.As(err, &apiErr) || apiErr.HTTPStatus != 0 {
+		t.Errorf("local error = %v, want *client.Error with HTTPStatus 0", err)
+	}
+
+	// Local: over-limit specs.
+	over := privcount.Spec{Kind: privcount.SpecLP, N: service.MaxLPN + 1, Alpha: 0.5}
+	if _, err := c.Create(ctx, over); !errors.Is(err, client.ErrOverLimit) {
+		t.Errorf("over-limit err = %v, want ErrOverLimit", err)
+	}
+
+	// Remote: status of a never-created mechanism.
+	absent := privcount.Spec{Kind: privcount.SpecGeometric, N: 9, Alpha: 0.5}
+	_, err := c.Status(ctx, absent)
+	if !errors.Is(err, client.ErrNotAdmitted) {
+		t.Errorf("Status err = %v, want ErrNotAdmitted", err)
+	}
+	if !errors.As(err, &apiErr) || apiErr.HTTPStatus != 404 {
+		t.Errorf("remote error = %v, want HTTPStatus 404", err)
+	}
+	if _, err := c.WaitReady(ctx, absent); !errors.Is(err, client.ErrNotAdmitted) {
+		t.Errorf("WaitReady on absent = %v, want ErrNotAdmitted", err)
+	}
+
+	// Remote: request-level over_limit on an oversized batch.
+	ops := make([]client.Op, client.MaxQueryOps+1)
+	gm := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}
+	for i := range ops {
+		ops[i] = client.SampleOp(gm, 1)
+	}
+	if _, err := c.Query(ctx, ops); !errors.Is(err, client.ErrOverLimit) {
+		t.Errorf("oversized query err = %v, want ErrOverLimit", err)
+	}
+
+	// Remote: per-op error does not fail the batch.
+	results, err := c.Query(ctx, []client.Op{
+		client.SampleOp(gm, 2),
+		{Op: client.OpSample, ID: "bogus", Count: 1},
+	})
+	if err != nil {
+		t.Fatalf("Query with one bad op: %v", err)
+	}
+	if results[0].Err() != nil {
+		t.Errorf("good op failed: %v", results[0].Err())
+	}
+	if !errors.Is(results[1].Err(), client.ErrSpecInvalid) {
+		t.Errorf("bad op err = %v, want ErrSpecInvalid", results[1].Err())
+	}
+}
+
+// TestWaitReadyHonoursContext pins that polling stops when the caller's
+// context dies mid-build.
+func TestWaitReadyHonoursContext(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 32, Seed: 7})
+	slow := privcount.Spec{Kind: privcount.SpecLPMinimax, N: service.MaxLPMinimaxN, Alpha: 0.9}
+	if _, err := c.Create(context.Background(), slow); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.WaitReady(ctx, slow)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitReady = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("WaitReady took %v to notice a dead context", time.Since(start))
+	}
+}
+
+// TestNewRejectsBadURLs pins constructor validation.
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, u := range []string{"", "not a url", "localhost:8080"} {
+		if _, err := client.New(u); err == nil {
+			t.Errorf("New(%q) succeeded", u)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"privcount"
+	"privcount/client"
+	"privcount/internal/httpapi"
+	"privcount/internal/service"
+)
+
+// Example walks the v2 protocol end to end: name a mechanism by its
+// canonical spec, create it asynchronously, wait for the build, then
+// answer several questions in one multiplexed round trip. The server
+// here is in-process; point New at a real privcountd in production.
+func Example() {
+	svc := service.New(service.Config{Seed: 1}) // seeded for a stable example
+	defer svc.Close()
+	srv := httptest.NewServer(httpapi.NewMux(svc))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A spec names its mechanism: equivalent property sets share one ID.
+	spec := privcount.Spec{Kind: privcount.SpecChoose, N: 8, Alpha: 0.8,
+		Props: privcount.Fairness}
+	fmt.Println("id:", spec.ID())
+
+	// Create admits the build to the server's background pool;
+	// WaitReady polls with backoff until it is servable.
+	if _, err := c.Create(ctx, spec); err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.WaitReady(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mechanism:", st.Mechanism.Name, "rule:", st.Mechanism.Rule)
+
+	// One round trip, three operations: a reproducible batch of noisy
+	// releases plus the debiased decode of some observed outputs.
+	results, err := c.Query(ctx, []client.Op{
+		client.BatchOp(spec, []int{0, 4, 8}, ptr(uint64(7))),
+		client.EstimateOp(spec, []int{4, 4, 4}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("noisy:", results[0].Outputs)
+	fmt.Printf("debiased mean: %.2f\n", *results[1].Mean)
+
+	// Output:
+	// id: choose:n=8:a=0.8:F
+	// mechanism: EM rule: fairness => EM
+	// noisy: [3 3 7]
+	// debiased mean: 4.00
+}
+
+func ptr[T any](v T) *T { return &v }

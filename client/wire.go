@@ -1,0 +1,261 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"privcount"
+)
+
+// This file is the v2 wire vocabulary, shared verbatim by the server
+// (internal/httpapi marshals these exact structs) and the SDK (Client
+// unmarshals them), so the protocol cannot drift between the two sides
+// without a compile error or a golden-fixture failure.
+
+// Code is a machine-readable error category carried in every v2 error
+// envelope: {"error": {"code": "...", "message": "..."}}.
+type Code string
+
+// The error taxonomy. Servers only ever emit these codes; clients turn
+// them back into typed errors (see Error and the Err* sentinels).
+const (
+	// CodeSpecInvalid: the request names a malformed spec or mechanism
+	// ID, or the request body itself does not parse. Not retryable.
+	CodeSpecInvalid Code = "spec_invalid"
+	// CodeNotAdmitted: the mechanism ID is well-formed but has never
+	// been admitted (or was evicted); PUT it first.
+	CodeNotAdmitted Code = "not_admitted"
+	// CodeBuildCanceled: the mechanism's build was cut short (abandoned
+	// request, cache eviction, server shutdown). Retryable — re-PUT the
+	// mechanism to re-arm the build.
+	CodeBuildCanceled Code = "build_canceled"
+	// CodeBuildFailed: the build itself failed deterministically (e.g.
+	// an infeasible constraint set). Retrying fails the same way.
+	CodeBuildFailed Code = "build_failed"
+	// CodeOverLimit: the spec is beyond a serving admission bound, or
+	// the request exceeds a protocol limit (e.g. too many query ops).
+	CodeOverLimit Code = "over_limit"
+)
+
+// Error is a typed API error: the decoded wire envelope on the client
+// side, the envelope payload on the server side. It matches the
+// sentinel of its code under errors.Is, so
+//
+//	errors.Is(err, client.ErrBuildCanceled)
+//
+// holds for any error that crossed the wire as {"code":"build_canceled"}.
+type Error struct {
+	// Code is the machine-readable category.
+	Code Code `json:"code"`
+	// Message is the human-readable detail from the server.
+	Message string `json:"message"`
+	// HTTPStatus is the HTTP status the envelope arrived under (0 for
+	// errors synthesised client-side, e.g. an invalid spec caught before
+	// any request was made). It is not part of the wire form.
+	HTTPStatus int `json:"-"`
+}
+
+// Error renders "code: message".
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return string(e.Code)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Is matches any *Error carrying the same code, which is what makes the
+// Err* sentinels work across the wire.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Sentinel errors, one per taxonomy code: compare with errors.Is, or
+// errors.As into *Error for the message and HTTP status.
+var (
+	ErrSpecInvalid   error = &Error{Code: CodeSpecInvalid, Message: "invalid mechanism spec"}
+	ErrNotAdmitted   error = &Error{Code: CodeNotAdmitted, Message: "mechanism not admitted"}
+	ErrBuildCanceled error = &Error{Code: CodeBuildCanceled, Message: "mechanism build canceled"}
+	ErrBuildFailed   error = &Error{Code: CodeBuildFailed, Message: "mechanism build failed"}
+	ErrOverLimit     error = &Error{Code: CodeOverLimit, Message: "request over serving limits"}
+)
+
+// Envelope is the uniform v2 error body.
+type Envelope struct {
+	Error *Error `json:"error"`
+}
+
+// localError types a client-side failure (no wire round trip) with the
+// taxonomy, so SDK callers handle local and remote failures uniformly.
+func localError(err error) error {
+	var apiErr *Error
+	if errors.As(err, &apiErr) {
+		return err
+	}
+	code := CodeSpecInvalid
+	switch {
+	case errors.Is(err, privcount.ErrOverLimit):
+		code = CodeOverLimit
+	case errors.Is(err, privcount.ErrNotAdmitted):
+		code = CodeNotAdmitted
+	case errors.Is(err, privcount.ErrBuildFailed):
+		code = CodeBuildFailed
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
+
+// MechanismInfo describes a ready mechanism: what the spec resolved to.
+type MechanismInfo struct {
+	// Name is the mechanism family ("GM", "EM", "UM", "WM", "LP", ...).
+	Name string `json:"name"`
+	// N and Alpha echo the spec's group size and privacy level.
+	N     int     `json:"n"`
+	Alpha float64 `json:"alpha"`
+	// Rule describes how the mechanism was selected (for kind choose,
+	// the Figure 5 flowchart path taken).
+	Rule string `json:"rule"`
+	// Properties is the closed §IV-A property set the served mechanism
+	// guarantees — possibly a strict superset of the request.
+	Properties string `json:"properties"`
+	// L0 is the rescaled wrong-answer probability (Eq 1).
+	L0 float64 `json:"l0"`
+	// Debiasable reports whether the unbiased estimator exists.
+	Debiasable bool `json:"debiasable"`
+}
+
+// MechanismStatus is the v2 resource document for one mechanism — what
+// PUT/GET /v2/mechanisms/{id} return and GET /v2/mechanisms lists.
+type MechanismStatus struct {
+	// ID is the canonical wire token; equivalent specs share one ID.
+	ID string `json:"id"`
+	// Spec is the canonical spec behind the ID.
+	Spec privcount.Spec `json:"spec"`
+	// State is the build state: "pending", "building", "ready", "failed".
+	State string `json:"state"`
+	// BuildSeconds is the wall time of the last settled build attempt.
+	BuildSeconds float64 `json:"build_seconds"`
+	// Error carries the taxonomy error of a failed build.
+	Error *Error `json:"error,omitempty"`
+	// Mechanism is populated once State is "ready".
+	Mechanism *MechanismInfo `json:"mechanism,omitempty"`
+}
+
+// Ready reports whether the mechanism is built and serving.
+func (s *MechanismStatus) Ready() bool { return s.State == "ready" }
+
+// Err returns the status's build error as a typed error (nil unless
+// State is "failed").
+func (s *MechanismStatus) Err() error {
+	if s.Error == nil {
+		return nil
+	}
+	return s.Error
+}
+
+// MechanismList is the GET /v2/mechanisms response body.
+type MechanismList struct {
+	Mechanisms []MechanismStatus `json:"mechanisms"`
+}
+
+// Op names for the multiplexed query protocol.
+const (
+	OpSample   = "sample"
+	OpBatch    = "batch"
+	OpEstimate = "estimate"
+)
+
+// Op is one operation in a multiplexed POST /v2/query batch. Build one
+// with SampleOp, BatchOp, or EstimateOp.
+type Op struct {
+	// Op is the operation kind: "sample", "batch", or "estimate".
+	Op string `json:"op"`
+	// ID is the canonical wire token of the target mechanism.
+	ID string `json:"id"`
+	// Count is the true count for a sample op.
+	Count int `json:"count,omitempty"`
+	// Counts are the true counts for a batch op.
+	Counts []int `json:"counts,omitempty"`
+	// Seed, if set, makes a batch op's draws reproducible.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Outputs are the observed releases for an estimate op.
+	Outputs []int `json:"outputs,omitempty"`
+}
+
+// SampleOp draws one noisy release for true count under spec.
+func SampleOp(spec privcount.Spec, count int) Op {
+	return Op{Op: OpSample, ID: spec.ID(), Count: count}
+}
+
+// BatchOp draws one noisy release per true count under spec. A non-nil
+// seed makes the draws reproducible.
+func BatchOp(spec privcount.Spec, counts []int, seed *uint64) Op {
+	return Op{Op: OpBatch, ID: spec.ID(), Counts: counts, Seed: seed}
+}
+
+// EstimateOp decodes observed outputs under spec: per-output MLE inputs
+// plus the debiased aggregate.
+func EstimateOp(spec privcount.Spec, outputs []int) Op {
+	return Op{Op: OpEstimate, ID: spec.ID(), Outputs: outputs}
+}
+
+// OpResult is the positional result of one query op: exactly one of the
+// payload groups is set, or Error.
+type OpResult struct {
+	// Output is a sample op's noisy release.
+	Output *int `json:"output,omitempty"`
+	// Outputs are a batch op's noisy releases.
+	Outputs []int `json:"outputs,omitempty"`
+	// MLE/Sum/Mean/Unbiased are an estimate op's decode (see Estimate).
+	MLE      []int    `json:"mle,omitempty"`
+	Sum      *float64 `json:"sum,omitempty"`
+	Mean     *float64 `json:"mean,omitempty"`
+	Unbiased *bool    `json:"unbiased,omitempty"`
+	// Error is the op's taxonomy error; the other fields are unset.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Err returns the op's error as a typed error, nil on success.
+func (r *OpResult) Err() error {
+	if r.Error == nil {
+		return nil
+	}
+	return r.Error
+}
+
+// Estimate returns an estimate op's result in struct form (nil if this
+// result is not an estimate or errored).
+func (r *OpResult) Estimate() *Estimate {
+	if r.Error != nil || r.Sum == nil || r.Mean == nil || r.Unbiased == nil {
+		return nil
+	}
+	return &Estimate{MLE: r.MLE, Sum: *r.Sum, Mean: *r.Mean, Unbiased: *r.Unbiased}
+}
+
+// Estimate is the decoded result of a batch of observed noisy releases.
+type Estimate struct {
+	// MLE holds the maximum-likelihood input for each observed output.
+	MLE []int
+	// Sum estimates the total of the true counts; when Unbiased it is
+	// the debiasing estimator's sum with E[Sum] = Σ true counts exactly.
+	Sum float64
+	// Mean is Sum divided by the batch size.
+	Mean float64
+	// Unbiased reports whether the debiasing estimator existed.
+	Unbiased bool
+}
+
+// QueryRequest is the POST /v2/query body.
+type QueryRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// QueryResponse carries one OpResult per request op, positionally.
+type QueryResponse struct {
+	Results []OpResult `json:"results"`
+}
+
+// MaxQueryOps bounds how many operations one multiplexed query may
+// carry; longer batches are refused with CodeOverLimit. It keeps a
+// single request from monopolising a handler while still amortising
+// hundreds of round trips.
+const MaxQueryOps = 256

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"privcount"
+)
+
+// TestErrorRendering pins the error type's message forms.
+func TestErrorRendering(t *testing.T) {
+	e := &Error{Code: CodeOverLimit, Message: "too big"}
+	if got := e.Error(); got != "over_limit: too big" {
+		t.Errorf("Error() = %q", got)
+	}
+	bare := &Error{Code: CodeNotAdmitted}
+	if got := bare.Error(); got != "not_admitted" {
+		t.Errorf("bare Error() = %q", got)
+	}
+}
+
+// TestErrorIsMatchesByCode pins cross-wire matching: a decoded envelope
+// matches the sentinel of its code and no other, including through
+// wrapping.
+func TestErrorIsMatchesByCode(t *testing.T) {
+	var decoded Envelope
+	if err := json.Unmarshal([]byte(`{"error":{"code":"build_canceled","message":"cut short"}}`), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	err := fmt.Errorf("request failed: %w", decoded.Error)
+	if !errors.Is(err, ErrBuildCanceled) {
+		t.Error("decoded build_canceled does not match ErrBuildCanceled")
+	}
+	if errors.Is(err, ErrBuildFailed) || errors.Is(err, ErrSpecInvalid) {
+		t.Error("decoded build_canceled matches a foreign sentinel")
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Message != "cut short" {
+		t.Errorf("errors.As = %+v", apiErr)
+	}
+}
+
+// TestLocalErrorClassification pins the taxonomy of client-side
+// failures: the facade sentinels map onto wire codes before any
+// request is made.
+func TestLocalErrorClassification(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{fmt.Errorf("x: %w", privcount.ErrOverLimit), ErrOverLimit},
+		{fmt.Errorf("x: %w", privcount.ErrSpecInvalid), ErrSpecInvalid},
+		{fmt.Errorf("x: %w", privcount.ErrNotAdmitted), ErrNotAdmitted},
+		{fmt.Errorf("x: %w", privcount.ErrBuildFailed), ErrBuildFailed},
+		{errors.New("anything else"), ErrSpecInvalid},
+	}
+	for _, c := range cases {
+		got := localError(c.in)
+		if !errors.Is(got, c.want) {
+			t.Errorf("localError(%v) = %v, want class %v", c.in, got, c.want)
+		}
+		var apiErr *Error
+		if !errors.As(got, &apiErr) || apiErr.HTTPStatus != 0 {
+			t.Errorf("localError(%v) HTTPStatus = %v, want 0", c.in, got)
+		}
+	}
+	// An error already typed passes through untouched.
+	typed := &Error{Code: CodeBuildCanceled, Message: "m", HTTPStatus: 503}
+	if got := localError(typed); got != typed {
+		t.Errorf("localError(typed) = %v, want identity", got)
+	}
+}
+
+// TestOpConstructors pins the canonical-ID embedding and payload
+// wiring of the op helpers.
+func TestOpConstructors(t *testing.T) {
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}
+	if op := SampleOp(spec, 3); op.Op != OpSample || op.ID != "gm:n=8:a=0.5" || op.Count != 3 {
+		t.Errorf("SampleOp = %+v", op)
+	}
+	seed := uint64(9)
+	if op := BatchOp(spec, []int{1, 2}, &seed); op.Op != OpBatch || op.Seed == nil || len(op.Counts) != 2 {
+		t.Errorf("BatchOp = %+v", op)
+	}
+	if op := EstimateOp(spec, []int{1}); op.Op != OpEstimate || len(op.Outputs) != 1 {
+		t.Errorf("EstimateOp = %+v", op)
+	}
+}
+
+// TestOpResultAccessors pins the result helpers' nil-safety.
+func TestOpResultAccessors(t *testing.T) {
+	errRes := OpResult{Error: &Error{Code: CodeSpecInvalid, Message: "bad"}}
+	if errRes.Err() == nil || errRes.Estimate() != nil {
+		t.Errorf("error result accessors: err=%v est=%v", errRes.Err(), errRes.Estimate())
+	}
+	out := 3
+	if r := (OpResult{Output: &out}); r.Err() != nil || r.Estimate() != nil {
+		t.Errorf("sample result accessors misbehave: %+v", r)
+	}
+	sum, mean, unb := 6.0, 2.0, true
+	est := OpResult{MLE: []int{1, 2, 3}, Sum: &sum, Mean: &mean, Unbiased: &unb}
+	got := est.Estimate()
+	if got == nil || got.Sum != 6 || got.Mean != 2 || !got.Unbiased || len(got.MLE) != 3 {
+		t.Errorf("Estimate() = %+v", got)
+	}
+}
+
+// TestStatusAccessors pins MechanismStatus helpers.
+func TestStatusAccessors(t *testing.T) {
+	ready := MechanismStatus{State: "ready"}
+	if !ready.Ready() || ready.Err() != nil {
+		t.Errorf("ready accessors: %v %v", ready.Ready(), ready.Err())
+	}
+	failed := MechanismStatus{State: "failed", Error: &Error{Code: CodeBuildCanceled}}
+	if failed.Ready() || !errors.Is(failed.Err(), ErrBuildCanceled) {
+		t.Errorf("failed accessors: %v %v", failed.Ready(), failed.Err())
+	}
+}
+
+// TestOptionsApply pins the functional options.
+func TestOptionsApply(t *testing.T) {
+	hc := &http.Client{Timeout: time.Second}
+	c, err := New("http://localhost:1", WithHTTPClient(hc), WithPollInterval(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.hc != hc {
+		t.Error("WithHTTPClient not applied")
+	}
+	if c.pollInitial != time.Millisecond || c.pollMax != 2*time.Millisecond {
+		t.Error("WithPollInterval not applied")
+	}
+	// Nothing listens on port 1: transport errors surface as plain
+	// errors, not envelopes.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := c.List(ctx); err == nil {
+		t.Error("List against a dead server succeeded")
+	}
+}

@@ -9,52 +9,41 @@
 //
 //	privcountd -addr :8080 -capacity 256 -shards 8 -build-workers 4
 //
-// Endpoints (request bodies are JSON):
+// The route set lives in internal/httpapi. The v2 API is organised
+// around mechanism identity — the canonical spec token (e.g.
+// "lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0") is the resource ID:
 //
 //	GET  /healthz              liveness probe
-//	GET  /v1/stats             cache + build-pipeline statistics
-//	POST /v1/mechanism         describe the mechanism a spec resolves to;
-//	                           "wait": false admits asynchronously and
-//	                           returns 202 plus a build-status document
-//	GET  /v1/mechanism/status  poll build state for a spec (query params)
-//	POST /v1/sample            one noisy release for one true count
-//	POST /v1/batch             noisy releases for a batch of true counts
-//	POST /v1/estimate          MLE decode + debiased aggregate for observed outputs
+//	GET  /v2/stats             cache + build-pipeline statistics
+//	PUT  /v2/mechanisms/{id}   admit a mechanism for background build
+//	GET  /v2/mechanisms/{id}   build status + mechanism detail when ready
+//	GET  /v2/mechanisms        list every cached mechanism
+//	POST /v2/query             multiplexed sample/batch/estimate batch
 //
-// A spec is the JSON object embedded in every request:
-//
-//	{"mechanism": "choose", "n": 64, "alpha": 0.5, "properties": "WH+CM"}
-//
-// mechanism is one of choose (default; the paper's Figure 5 procedure),
-// gm, em, um, lp, lp-minimax; properties uses the core property codes
-// (RH, RM, CH, CM, F, WH, S, ODP); objective_p selects the O_{p,Σ}
-// exponent for the LP kinds. Batch requests may carry a "seed" for
-// reproducible draws; omitting it uses the server's pooled randomness.
+// plus the deprecated v1 shims (/v1/sample, /v1/batch, /v1/estimate,
+// /v1/mechanism, /v1/mechanism/status, /v1/stats), which keep their
+// original body-embedded-spec wire form. The package client is the
+// typed Go SDK for the v2 surface.
 //
 // Expensive builds are a managed background workload, not request-scoped
 // work: a synchronous request whose client disconnects mid-build cancels
-// the build (unless a prior async admission pinned it), an asynchronous
-// admission ("wait": false) survives its originating request and is
-// polled via /v1/mechanism/status, and SIGINT/SIGTERM drain the build
-// pool before the process exits.
+// the build (unless a prior async admission pinned it), a PUT admission
+// survives its originating request and is polled via GET, and
+// SIGINT/SIGTERM drain the build pool before the process exits.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
-	"net/url"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
-	"privcount/internal/core"
+	"privcount/internal/httpapi"
 	"privcount/internal/service"
 )
 
@@ -76,6 +65,12 @@ func main() {
 	}
 }
 
+// newMux wires the HTTP routes to svc; the handlers live in
+// internal/httpapi so tests and in-process embedders share them.
+func newMux(svc *service.Service) http.Handler {
+	return httpapi.NewMux(svc)
+}
+
 // run starts the server and blocks until ctx is cancelled (SIGINT or
 // SIGTERM in production), then shuts down gracefully: the listener
 // closes, in-flight handlers get shutdownGrace to finish, and the
@@ -90,11 +85,11 @@ func run(ctx context.Context, addr string, cfg service.Config, ready chan<- stri
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// No handler blocks on an LP solve anymore — synchronous
-		// mechanism requests wait on the build pool but their clients can
-		// (and should) use async admission + status polling for anything
-		// slow — so the write deadline is a serving deadline, not a
-		// solver budget. A client that hangs up mid-build cancels the
-		// build instead of leaving it to warm the cache for nobody.
+		// requests wait on the build pool but their clients can (and
+		// should) use PUT admission + status polling for anything slow —
+		// so the write deadline is a serving deadline, not a solver
+		// budget. A client that hangs up mid-build cancels the build
+		// instead of leaving it to warm the cache for nobody.
 		WriteTimeout: 30 * time.Second,
 		BaseContext:  func(net.Listener) context.Context { return ctx },
 	}
@@ -135,271 +130,3 @@ func run(ctx context.Context, addr string, cfg service.Config, ready chan<- stri
 // shutdownGrace bounds how long in-flight handlers may run after a
 // termination signal before the server gives up on them.
 const shutdownGrace = 10 * time.Second
-
-// specRequest is the wire form of a service.Spec, embedded in every
-// request body.
-type specRequest struct {
-	Mechanism  string  `json:"mechanism"`
-	N          int     `json:"n"`
-	Alpha      float64 `json:"alpha"`
-	Properties string  `json:"properties"`
-	ObjectiveP float64 `json:"objective_p"`
-}
-
-// spec parses the wire form into a service.Spec.
-func (r specRequest) spec() (service.Spec, error) {
-	kind, err := service.ParseKind(r.Mechanism)
-	if err != nil {
-		return service.Spec{}, err
-	}
-	props, err := core.ParseProperties(r.Properties)
-	if err != nil {
-		return service.Spec{}, err
-	}
-	return service.Spec{Kind: kind, N: r.N, Alpha: r.Alpha, Props: props, ObjectiveP: r.ObjectiveP}, nil
-}
-
-// specFromQuery parses a spec from URL query parameters (the GET status
-// endpoint has no body): mechanism, n, alpha, properties, objective_p.
-func specFromQuery(q url.Values) (service.Spec, error) {
-	var r specRequest
-	r.Mechanism = q.Get("mechanism")
-	r.Properties = q.Get("properties")
-	if v := q.Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid n %q: %w", v, err)
-		}
-		r.N = n
-	}
-	if v := q.Get("alpha"); v != "" {
-		a, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid alpha %q: %w", v, err)
-		}
-		r.Alpha = a
-	}
-	if v := q.Get("objective_p"); v != "" {
-		p, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid objective_p %q: %w", v, err)
-		}
-		r.ObjectiveP = p
-	}
-	return r.spec()
-}
-
-// statusDoc renders a build-status snapshot for the async endpoints.
-func statusDoc(info service.BuildInfo) map[string]any {
-	doc := map[string]any{
-		"state":         info.State.String(),
-		"build_seconds": info.BuildSeconds,
-	}
-	if info.Err != nil {
-		doc["error"] = info.Err.Error()
-	}
-	return doc
-}
-
-// newMux wires the HTTP routes to svc; split from main for testing.
-func newMux(svc *service.Service) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		st := svc.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"entries": st.Entries, "hits": st.Hits,
-			"misses": st.Misses, "evictions": st.Evictions,
-			"build_queue_depth": st.QueueDepth,
-			"builds_in_flight":  st.InFlight,
-			"builds":            st.Builds,
-			"build_failures":    st.BuildFailures,
-			"build_cancels":     st.BuildCancels,
-			"build_seconds":     st.BuildSeconds,
-		})
-	})
-	mux.HandleFunc("POST /v1/mechanism", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			specRequest
-			Wait *bool `json:"wait"`
-		}
-		spec, ok := decodeSpec(w, r, &req)
-		if !ok {
-			return
-		}
-		if req.Wait != nil && !*req.Wait {
-			// Async admission: hand the build to the background pool and
-			// answer immediately. The build is detached — it outlives this
-			// request — and its progress is polled via GET
-			// /v1/mechanism/status. 202 signals "admitted, not ready";
-			// an already-ready spec falls through to the full document.
-			info, err := svc.Start(spec)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			if info.State != service.BuildReady {
-				writeJSON(w, http.StatusAccepted, statusDoc(info))
-				return
-			}
-		}
-		e, err := svc.GetCtx(r.Context(), spec)
-		if err != nil {
-			writeError(w, statusForBuildErr(err), err)
-			return
-		}
-		m := e.Mechanism()
-		_, debiasErr := e.Debias()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"name":       m.Name(),
-			"n":          m.N(),
-			"alpha":      m.Alpha(),
-			"rule":       e.Rule(),
-			"properties": core.PropertySetString(e.Props()),
-			"l0":         m.L0(),
-			"debiasable": debiasErr == nil,
-		})
-	})
-	mux.HandleFunc("GET /v1/mechanism/status", func(w http.ResponseWriter, r *http.Request) {
-		spec, err := specFromQuery(r.URL.Query())
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		info, err := svc.Status(spec)
-		if errors.Is(err, service.ErrNotAdmitted) {
-			writeJSON(w, http.StatusNotFound, map[string]any{
-				"state": "absent", "error": err.Error(),
-			})
-			return
-		}
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, statusDoc(info))
-	})
-	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			specRequest
-			Count int `json:"count"`
-		}
-		spec, ok := decodeSpec(w, r, &req)
-		if !ok {
-			return
-		}
-		// The request context rides into a cold spec's build, so a
-		// client that disconnects mid-build releases (and, when it was
-		// the only interest, cancels) the build; on a warm entry the
-		// sample is a table read that never consults it.
-		out, err := svc.SampleCtx(r.Context(), spec, req.Count)
-		if err != nil {
-			writeError(w, statusForBuildErr(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"output": out})
-	})
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			specRequest
-			Counts []int   `json:"counts"`
-			Seed   *uint64 `json:"seed"`
-		}
-		spec, ok := decodeSpec(w, r, &req)
-		if !ok {
-			return
-		}
-		if len(req.Counts) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
-			return
-		}
-		var outs []int
-		var err error
-		if req.Seed != nil {
-			outs, err = svc.SampleBatchSeededCtx(r.Context(), spec, *req.Seed, req.Counts, nil)
-		} else {
-			outs, err = svc.SampleBatchCtx(r.Context(), spec, req.Counts, nil)
-		}
-		if err != nil {
-			writeError(w, statusForBuildErr(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
-	})
-	mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			specRequest
-			Outputs []int `json:"outputs"`
-		}
-		spec, ok := decodeSpec(w, r, &req)
-		if !ok {
-			return
-		}
-		if len(req.Outputs) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
-			return
-		}
-		est, err := svc.EstimateCtx(r.Context(), spec, req.Outputs)
-		if err != nil {
-			writeError(w, statusForBuildErr(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"mle": est.MLE, "sum": est.Sum, "mean": est.Mean, "unbiased": est.Unbiased,
-		})
-	})
-	return mux
-}
-
-// statusForBuildErr maps a lookup failure to an HTTP status: client
-// mistakes (validation, deterministic build errors) are 400s, while a
-// build cut short by cancellation or shutdown is a 503 the client may
-// retry — the entry is rebuildable.
-func statusForBuildErr(err error) int {
-	if errors.Is(err, service.ErrClosed) ||
-		errors.Is(err, service.ErrBuildAbandoned) ||
-		errors.Is(err, service.ErrEvicted) ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusBadRequest
-}
-
-// specCarrier lets decodeSpec extract the embedded specRequest from each
-// request shape.
-type specCarrier interface{ carriedSpec() specRequest }
-
-func (r specRequest) carriedSpec() specRequest { return r }
-
-// decodeSpec decodes the JSON body into dst (which embeds specRequest)
-// and parses the spec, writing an HTTP error and returning ok=false on
-// failure.
-func decodeSpec(w http.ResponseWriter, r *http.Request, dst specCarrier) (service.Spec, bool) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
-		return service.Spec{}, false
-	}
-	spec, err := dst.carriedSpec().spec()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return service.Spec{}, false
-	}
-	return spec, true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("privcountd: encoding response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error()})
-}

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"privcount/client"
+)
+
+// doReq performs one request with an optional JSON body and decodes the
+// JSON response generically.
+func doReq(t *testing.T, ts, method, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, ts+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s %s response: %v", method, path, err)
+	}
+	return resp, out
+}
+
+// waitReadyV2 polls GET /v2/mechanisms/{id} until the build settles.
+func waitReadyV2(t *testing.T, ts, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, doc := doReq(t, ts, http.MethodGet, "/v2/mechanisms/"+url.PathEscape(id), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status poll for %s returned %d: %v", id, resp.StatusCode, doc)
+		}
+		switch doc["state"] {
+		case "ready":
+			return doc
+		case "failed":
+			t.Fatalf("build of %s failed: %v", id, doc)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("build of %s never became ready: %v", id, doc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestV1ShimEqualsV2 pins that the deprecated v1 routes and the v2
+// surface are one implementation for one spec: the same seeded batch,
+// the same estimate, the same mechanism document — and that v1 (only)
+// answers with the deprecation headers.
+func TestV1ShimEqualsV2(t *testing.T) {
+	ts := testServer(t)
+	spec := map[string]any{"mechanism": "gm", "n": 10, "alpha": 0.6}
+	const id = "gm:n=10:a=0.6"
+	counts := []int{0, 5, 10, 3}
+	seed := uint64(7)
+
+	// Seeded batch: v1 body-embedded spec vs v2 multiplexed op.
+	code, v1batch := post(t, ts, "/v1/batch", merge(spec, map[string]any{"counts": counts, "seed": seed}))
+	if code != http.StatusOK {
+		t.Fatalf("v1 batch: %d %v", code, v1batch)
+	}
+	resp, v2out := doReq(t, ts.URL, http.MethodPost, "/v2/query", client.QueryRequest{Ops: []client.Op{
+		{Op: "batch", ID: id, Counts: counts, Seed: &seed},
+		{Op: "estimate", ID: id, Outputs: []int{4, 4, 4}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 query: %d %v", resp.StatusCode, v2out)
+	}
+	results := v2out["results"].([]any)
+	v2batch := results[0].(map[string]any)
+	if !reflect.DeepEqual(v1batch["outputs"], v2batch["outputs"]) {
+		t.Errorf("seeded batch diverged: v1 %v, v2 %v", v1batch["outputs"], v2batch["outputs"])
+	}
+
+	// Estimate: v1 endpoint vs the v2 op.
+	code, v1est := post(t, ts, "/v1/estimate", merge(spec, map[string]any{"outputs": []int{4, 4, 4}}))
+	if code != http.StatusOK {
+		t.Fatalf("v1 estimate: %d %v", code, v1est)
+	}
+	v2est := results[1].(map[string]any)
+	for _, k := range []string{"mle", "sum", "mean", "unbiased"} {
+		if !reflect.DeepEqual(v1est[k], v2est[k]) {
+			t.Errorf("estimate field %q diverged: v1 %v, v2 %v", k, v1est[k], v2est[k])
+		}
+	}
+
+	// Mechanism document: v1 POST /v1/mechanism vs the v2 resource's
+	// mechanism detail.
+	code, v1mech := post(t, ts, "/v1/mechanism", spec)
+	if code != http.StatusOK {
+		t.Fatalf("v1 mechanism: %d %v", code, v1mech)
+	}
+	resp, v2doc := doReq(t, ts.URL, http.MethodGet, "/v2/mechanisms/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 mechanism: %d %v", resp.StatusCode, v2doc)
+	}
+	if !reflect.DeepEqual(v1mech, v2doc["mechanism"]) {
+		t.Errorf("mechanism document diverged:\n v1 %v\n v2 %v", v1mech, v2doc["mechanism"])
+	}
+
+	// Deprecation marking: v1 carries the headers, v2 does not.
+	r1, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if !strings.HasPrefix(r1.Header.Get("Deprecation"), "@") || r1.Header.Get("Link") == "" {
+		t.Errorf("v1 response missing deprecation headers: %v", r1.Header)
+	}
+	r2, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.Header.Get("Deprecation") != "" {
+		t.Error("v2 response carries a Deprecation header")
+	}
+}
+
+// ---- golden wire fixtures ----
+
+var update = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// goldenCase is one recorded request/response exchange.
+type goldenCase struct {
+	Name     string          `json:"name"`
+	Method   string          `json:"method"`
+	Path     string          `json:"path"`
+	Body     json.RawMessage `json:"body,omitempty"`
+	Status   int             `json:"status"`
+	Response json.RawMessage `json:"response"`
+}
+
+// scrubVolatile zeroes fields whose values depend on wall time so the
+// fixtures pin protocol shape and deterministic payloads only.
+func scrubVolatile(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, vv := range x {
+			if k == "build_seconds" {
+				x[k] = 0.0
+				continue
+			}
+			x[k] = scrubVolatile(vv)
+		}
+		return x
+	case []any:
+		for i, vv := range x {
+			x[i] = scrubVolatile(vv)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// canonicalJSON re-marshals with sorted keys for comparison.
+func canonicalJSON(t *testing.T, raw []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("canonicalising %s: %v", raw, err)
+	}
+	b, err := json.MarshalIndent(scrubVolatile(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestV2GoldenWire replays the recorded v2 exchanges against a seeded
+// server and requires byte-identical (canonicalised, volatility-
+// scrubbed) protocol output, pinning the request/response and
+// error-taxonomy JSON against silent drift. Run with -update after an
+// intentional protocol change.
+func TestV2GoldenWire(t *testing.T) {
+	ts := testServer(t)
+	// Warm the one mechanism the fixtures rely on, so every recorded
+	// exchange is deterministic (em is closed-form: instant build).
+	waitReadyV2(t, ts.URL, mustPutV2(t, ts.URL, "em:n=8:a=0.8"))
+
+	path := filepath.Join("testdata", "v2_wire.json")
+	raw, err := os.ReadFile(path)
+	if err != nil && !*update {
+		t.Fatalf("reading fixtures (run with -update to record): %v", err)
+	}
+	var cases []goldenCase
+	if err == nil {
+		if err := json.Unmarshal(raw, &cases); err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+	}
+	if *update {
+		cases = goldenScript()
+	}
+
+	for i := range cases {
+		c := &cases[i]
+		t.Run(c.Name, func(t *testing.T) {
+			var body io.Reader = bytes.NewReader(nil)
+			if len(c.Body) > 0 {
+				body = bytes.NewReader(c.Body)
+			}
+			req, err := http.NewRequest(c.Method, ts.URL+c.Path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				c.Status = resp.StatusCode
+				c.Response = json.RawMessage(canonicalJSON(t, got))
+				return
+			}
+			if resp.StatusCode != c.Status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, c.Status, got)
+			}
+			if g, w := canonicalJSON(t, got), canonicalJSON(t, c.Response); g != w {
+				t.Errorf("wire drift on %s %s:\n got: %s\nwant: %s", c.Method, c.Path, g, w)
+			}
+		})
+	}
+
+	if *update {
+		b, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", path, len(cases))
+	}
+}
+
+// mustPutV2 PUTs the id and returns it.
+func mustPutV2(t *testing.T, ts, id string) string {
+	t.Helper()
+	resp, doc := doReq(t, ts, http.MethodPut, "/v2/mechanisms/"+url.PathEscape(id), nil)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT %s: %d %v", id, resp.StatusCode, doc)
+	}
+	return id
+}
+
+// goldenScript is the protocol surface the fixtures record: resource
+// reads, deterministic query ops, and every reachable error envelope.
+func goldenScript() []goldenCase {
+	q := func(v any) json.RawMessage {
+		b, _ := json.Marshal(v)
+		return b
+	}
+	seed := uint64(99)
+	return []goldenCase{
+		{Name: "get_ready_mechanism", Method: "GET", Path: "/v2/mechanisms/em:n=8:a=0.8"},
+		{Name: "get_equivalent_id", Method: "GET", Path: "/v2/mechanisms/em:n=8:a=0.80:WH"},
+		{Name: "put_ready_mechanism", Method: "PUT", Path: "/v2/mechanisms/em:n=8:a=0.8"},
+		{Name: "list_mechanisms", Method: "GET", Path: "/v2/mechanisms"},
+		{Name: "query_seeded_batch_and_estimate", Method: "POST", Path: "/v2/query",
+			Body: q(client.QueryRequest{Ops: []client.Op{
+				{Op: "batch", ID: "em:n=8:a=0.8", Counts: []int{0, 4, 8}, Seed: &seed},
+				{Op: "estimate", ID: "em:n=8:a=0.8", Outputs: []int{4, 4, 4}},
+			}})},
+		{Name: "query_per_op_errors", Method: "POST", Path: "/v2/query",
+			Body: q(client.QueryRequest{Ops: []client.Op{
+				{Op: "sample", ID: "em:n=8:a=0.8", Count: 99},
+				{Op: "transmogrify", ID: "em:n=8:a=0.8"},
+				{Op: "sample", ID: "not-a-kind:n=8", Count: 1},
+			}})},
+		{Name: "error_not_admitted", Method: "GET", Path: "/v2/mechanisms/gm:n=11:a=0.5"},
+		{Name: "error_spec_invalid", Method: "PUT", Path: "/v2/mechanisms/em:n=8:a=1.5"},
+		{Name: "error_over_limit", Method: "PUT", Path: "/v2/mechanisms/lp-minimax:n=256:a=0.5:none:p=0"},
+		{Name: "error_empty_ops", Method: "POST", Path: "/v2/query", Body: q(client.QueryRequest{})},
+		{Name: "error_malformed_body", Method: "POST", Path: "/v2/query", Body: json.RawMessage(`{"ops": 3}`)},
+	}
+}

@@ -1,77 +1,159 @@
-// Telemetry demonstrates the local-DP corner of the paper (§II-B): each
-// user perturbs their own one-bit report with randomized response (the
-// n = 1 mechanism, as in RAPPOR-style telemetry), and the collector
-// debiases the aggregate. No trusted aggregator is needed.
+// Telemetry demonstrates the local-DP corner of the paper (§II-B)
+// served through the v2 API and its typed client SDK: each user
+// perturbs their own one-bit report with the n = 1 geometric mechanism
+// (classic randomized response, as in RAPPOR-style telemetry), the
+// reports flow through a privcount server in multiplexed batches — one
+// Query round trip carries every collector's batch — and the collector
+// debiases the aggregate with one estimate call. No trusted aggregator
+// sees a raw bit.
+//
+// By default the example boots an in-process server so it is
+// self-contained; point it at a live daemon with -server:
 //
 //	go run ./examples/telemetry -users 100000 -rate 0.13 -alpha 0.8
+//	go run ./examples/telemetry -server http://localhost:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net"
+	"net/http"
 
 	"privcount"
+	"privcount/client"
+	"privcount/internal/httpapi"
+	"privcount/internal/service"
 )
 
 func main() {
 	var (
-		users = flag.Int("users", 100000, "number of reporting users")
-		rate  = flag.Float64("rate", 0.13, "true fraction of users with the sensitive bit set")
-		alpha = flag.Float64("alpha", 0.8, "per-user privacy parameter")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		users      = flag.Int("users", 100000, "number of reporting users")
+		rate       = flag.Float64("rate", 0.13, "true fraction of users with the sensitive bit set")
+		alpha      = flag.Float64("alpha", 0.8, "per-user privacy parameter")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		server     = flag.String("server", "", "privcountd base URL; empty boots an in-process server")
+		collectors = flag.Int("collectors", 4, "report batches multiplexed into one query")
 	)
 	flag.Parse()
-
-	// Randomized response: report truth with probability 1/(1+alpha).
-	rr, err := privcount.NewRandomizedResponse(*alpha)
-	if err != nil {
-		log.Fatal(err)
+	if *collectors < 1 || *users < 1 {
+		log.Fatalf("need -collectors >= 1 and -users >= 1 (got %d, %d)", *collectors, *users)
 	}
-	pTruth := rr.Prob(1, 1)
-	fmt.Printf("randomized response: truth kept with probability %.4f (alpha=%.2f)\n", pTruth, *alpha)
+	ctx := context.Background()
 
-	sampler, err := privcount.NewSampler(rr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	src := privcount.NewRand(*seed)
-
-	// Each user holds a private bit and reports through the mechanism.
-	trueOnes := 0
-	reportedOnes := 0
-	for u := 0; u < *users; u++ {
-		bit := 0
-		if src.Float64() < *rate {
-			bit = 1
+	baseURL := *server
+	if baseURL == "" {
+		var stop func()
+		var err error
+		baseURL, stop, err = startInProcess(*seed)
+		if err != nil {
+			log.Fatal(err)
 		}
-		trueOnes += bit
-		reportedOnes += sampler.Sample(src, bit)
+		defer stop()
+		fmt.Printf("in-process privcountd at %s\n", baseURL)
 	}
-
-	// Debias: E[report] = p·bit + (1−p)·(1−bit), so
-	// bits ≈ (reports − (1−p)·users) / (2p − 1).
-	p := pTruth
-	estimate := (float64(reportedOnes) - (1-p)*float64(*users)) / (2*p - 1)
-
-	// The same estimator via the library's mechanism-level debiasing.
-	est, err := rr.UnbiasedEstimator()
+	c, err := client.New(baseURL)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("unbiased per-report estimator: report 0 -> %+.4f, report 1 -> %+.4f\n", est[0], est[1])
 
-	fmt.Printf("\nusers:            %d\n", *users)
-	fmt.Printf("true ones:        %d (rate %.4f)\n", trueOnes, float64(trueOnes)/float64(*users))
-	fmt.Printf("reported ones:    %d (raw rate %.4f — biased toward 1/2)\n",
+	// The n = 1 geometric mechanism is randomized response: each user
+	// holds one bit and the released bit keeps the truth with
+	// probability 1/(1+alpha). The spec token is the mechanism's wire
+	// identity — create it once, then every query names it by ID.
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 1, Alpha: *alpha}
+	fmt.Printf("mechanism id: %s\n", spec.ID())
+	if _, err := c.Create(ctx, spec); err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.WaitReady(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pTruth := 1 / (1 + *alpha)
+	fmt.Printf("mechanism: %s (truth kept with probability %.4f, alpha=%.2f)\n",
+		st.Mechanism.Name, pTruth, *alpha)
+
+	// Simulate the user population: each holds a private bit.
+	src := privcount.NewRand(*seed)
+	bits := make([]int, *users)
+	trueOnes := 0
+	for u := range bits {
+		if src.Float64() < *rate {
+			bits[u] = 1
+		}
+		trueOnes += bits[u]
+	}
+
+	// Each collector perturbs its users' bits server-side in one batch
+	// op; the ops for every collector share a single multiplexed round
+	// trip. Seeded draws keep the run reproducible.
+	ops := make([]client.Op, 0, *collectors)
+	per := (*users + *collectors - 1) / *collectors
+	for i := 0; i < *collectors; i++ {
+		lo, hi := i*per, min((i+1)*per, *users)
+		if lo >= hi {
+			break
+		}
+		s := *seed + uint64(i+1)
+		ops = append(ops, client.BatchOp(spec, bits[lo:hi], &s))
+	}
+	results, err := c.Query(ctx, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports := make([]int, 0, *users)
+	for i, r := range results {
+		if err := r.Err(); err != nil {
+			log.Fatalf("collector %d: %v", i, err)
+		}
+		reports = append(reports, r.Outputs...)
+	}
+	reportedOnes := 0
+	for _, b := range reports {
+		reportedOnes += b
+	}
+
+	// Decode: the server's unbiased estimator inverts the mechanism, so
+	// E[estimate] equals the true total exactly.
+	est, err := c.Estimate(ctx, spec, reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nusers:             %d across %d collectors\n", *users, len(ops))
+	fmt.Printf("true ones:         %d (rate %.4f)\n", trueOnes, float64(trueOnes)/float64(*users))
+	fmt.Printf("reported ones:     %d (raw rate %.4f — biased toward 1/2)\n",
 		reportedOnes, float64(reportedOnes)/float64(*users))
-	fmt.Printf("debiased estimate: %.0f (rate %.4f, error %.2f%%)\n",
-		estimate, estimate/float64(*users),
-		100*math.Abs(estimate-float64(trueOnes))/float64(trueOnes))
+	fmt.Printf("debiased estimate: %.0f (rate %.4f, error %.2f%%, unbiased=%v)\n",
+		est.Sum, est.Sum/float64(*users),
+		100*math.Abs(est.Sum-float64(trueOnes))/float64(trueOnes), est.Unbiased)
 
 	// Sanity: the standard error of the debiased estimate.
-	se := math.Sqrt(float64(*users)*p*(1-p)) / math.Abs(2*p-1)
+	se := math.Sqrt(float64(*users)*pTruth*(1-pTruth)) / math.Abs(2*pTruth-1)
 	fmt.Printf("expected standard error: ±%.0f users (observed error within ~2 SE: %v)\n",
-		se, math.Abs(estimate-float64(trueOnes)) < 2.5*se)
+		se, math.Abs(est.Sum-float64(trueOnes)) < 2.5*se)
+}
+
+// startInProcess boots the real privcountd route set over a fresh
+// service on a loopback port, returning its base URL and a shutdown
+// func — the same wiring cmd/privcountd uses, minus the process
+// lifecycle.
+func startInProcess(seed uint64) (string, func(), error) {
+	svc := service.New(service.Config{Capacity: 16, Seed: seed})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: httpapi.NewMux(svc)}
+	go srv.Serve(ln)
+	stop := func() {
+		srv.Close()
+		svc.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
 }

@@ -101,6 +101,25 @@ func ParseProperties(s string) (PropertySet, error) {
 	return ps, nil
 }
 
+// MarshalText renders the set in the canonical wire form produced by
+// PropertySetString ("RH+CM+WH"; the empty set is "none"), so a
+// PropertySet embeds directly in text-based protocols (the serving
+// layer's Spec tokens and JSON documents use it).
+func (p Property) MarshalText() ([]byte, error) {
+	return []byte(PropertySetString(p)), nil
+}
+
+// UnmarshalText parses the wire form accepted by ParseProperties
+// ("+"/","-separated codes, "all", "none", "").
+func (p *Property) UnmarshalText(text []byte) error {
+	ps, err := ParseProperties(string(text))
+	if err != nil {
+		return err
+	}
+	*p = ps
+	return nil
+}
+
 // Closure expands ps with all properties implied by it, following §IV-A:
 // RM ⇒ RH, CM ⇒ CH, CH ⇒ WH, F∧RH ⇒ CH, and F∧CH ⇒ RH. The result is the
 // least fixed point, so cost-equivalent property requests normalise to the

@@ -1,0 +1,592 @@
+// Package httpapi is privcountd's HTTP/JSON surface over a
+// service.Service, mountable in any http.Server (cmd/privcountd in
+// production, httptest and in-process examples elsewhere).
+//
+// The v2 API is organised around mechanism identity: the canonical Spec
+// wire token (service.Spec.ID) is the resource ID, so equivalent specs
+// — property sets with the same §IV-A closure, fields the kind ignores
+// — name one resource, one cache entry, one build.
+//
+//	PUT  /v2/mechanisms/{id}  admit the mechanism for background build
+//	                          (idempotent; 202 until ready, then 200)
+//	GET  /v2/mechanisms/{id}  status document; mechanism detail when ready
+//	GET  /v2/mechanisms       list every cached mechanism's status
+//	POST /v2/query            multiplexed batch of sample/batch/estimate
+//	                          ops against any number of mechanism IDs
+//	GET  /v2/stats            cache + build-pipeline statistics
+//	GET  /healthz             liveness probe
+//
+// Every v2 error is a machine-readable envelope —
+// {"error":{"code":"spec_invalid"|"not_admitted"|"build_canceled"|
+// "build_failed"|"over_limit","message":...}} — marshalled from the
+// same client.Error struct the SDK decodes, so typed errors survive the
+// wire (see package client).
+//
+// The v1 routes (/v1/sample, /v1/batch, /v1/estimate, /v1/mechanism,
+// /v1/mechanism/status, /v1/stats) are deprecated shims over the same
+// internals: they parse through the same Spec constructor and call the
+// same service methods, keep their original flat wire shapes
+// ({"error":"message"}), and answer with an RFC 9745 "Deprecation" header
+// plus a Link to their v2 successor.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"privcount/client"
+	"privcount/internal/core"
+	"privcount/internal/service"
+)
+
+// api binds the handlers to one service.
+type api struct {
+	svc *service.Service
+}
+
+// NewMux wires the full v1+v2 route set over svc.
+func NewMux(svc *service.Service) *http.ServeMux {
+	a := &api{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	// v2: mechanism identity + multiplexed query.
+	mux.HandleFunc("PUT /v2/mechanisms/{id}", a.putMechanism)
+	mux.HandleFunc("GET /v2/mechanisms/{id}", a.getMechanism)
+	mux.HandleFunc("GET /v2/mechanisms", a.listMechanisms)
+	mux.HandleFunc("POST /v2/query", a.postQuery)
+	mux.HandleFunc("GET /v2/stats", a.getStats)
+
+	// v1: deprecated shims over the same internals.
+	mux.HandleFunc("GET /v1/stats", deprecated("/v2/stats", a.getStats))
+	mux.HandleFunc("POST /v1/mechanism", deprecated("/v2/mechanisms", a.v1Mechanism))
+	mux.HandleFunc("GET /v1/mechanism/status", deprecated("/v2/mechanisms", a.v1MechanismStatus))
+	mux.HandleFunc("POST /v1/sample", deprecated("/v2/query", a.v1Sample))
+	mux.HandleFunc("POST /v1/batch", deprecated("/v2/query", a.v1Batch))
+	mux.HandleFunc("POST /v1/estimate", deprecated("/v2/query", a.v1Estimate))
+	return mux
+}
+
+// v1DeprecationDate is when the v1 routes were deprecated (the v2
+// release), in the RFC 9745 structured-field date form the Deprecation
+// header carries: a past date means "already deprecated".
+const v1DeprecationDate = "@1785369600" // 2026-07-30T00:00Z
+
+// deprecated marks a v1 handler's responses with the RFC 9745
+// Deprecation header and a Link pointing at the v2 successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", v1DeprecationDate)
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// ---- error taxonomy ----
+
+// taxonomy classifies any service/parse error into its wire code and
+// HTTP status. Classification is errors.Is on the service sentinels —
+// never string matching — so it cannot desync from the pipeline.
+func taxonomy(err error) (client.Code, int) {
+	switch {
+	case errors.Is(err, service.ErrNotAdmitted):
+		return client.CodeNotAdmitted, http.StatusNotFound
+	case errors.Is(err, service.ErrOverLimit):
+		return client.CodeOverLimit, http.StatusBadRequest
+	case errors.Is(err, service.ErrSpecInvalid):
+		return client.CodeSpecInvalid, http.StatusBadRequest
+	case service.IsRetryable(err):
+		// Cut-short builds: abandonment, eviction, shutdown, dead client
+		// contexts. 503 invites a retry; the entry is rebuildable.
+		return client.CodeBuildCanceled, http.StatusServiceUnavailable
+	case errors.Is(err, service.ErrBuildFailed):
+		// Deterministic construction failure: the spec parsed but cannot
+		// be built (infeasible constraints, solver limits).
+		return client.CodeBuildFailed, http.StatusUnprocessableEntity
+	default:
+		// Everything else is a request-shape mistake (bad JSON, counts
+		// out of range, unknown op).
+		return client.CodeSpecInvalid, http.StatusBadRequest
+	}
+}
+
+// wireError converts err into the shared wire error struct.
+func wireError(err error) *client.Error {
+	code, status := taxonomy(err)
+	return &client.Error{Code: code, Message: err.Error(), HTTPStatus: status}
+}
+
+// writeV2Error writes the uniform v2 error envelope for err.
+func writeV2Error(w http.ResponseWriter, err error) {
+	e := wireError(err)
+	writeJSON(w, e.HTTPStatus, client.Envelope{Error: e})
+}
+
+// ---- v2 handlers ----
+
+// pathSpec parses the {id} path segment into a canonical spec.
+func pathSpec(r *http.Request) (service.Spec, error) {
+	var spec service.Spec
+	if err := spec.UnmarshalText([]byte(r.PathValue("id"))); err != nil {
+		return service.Spec{}, err
+	}
+	return spec, nil
+}
+
+// statusDoc renders a build-status snapshot as the shared v2 resource
+// document. Failed builds carry their taxonomy error inline.
+func statusDoc(info service.BuildInfo) client.MechanismStatus {
+	doc := client.MechanismStatus{
+		ID:           info.Spec.ID(),
+		Spec:         info.Spec,
+		State:        info.State.String(),
+		BuildSeconds: info.BuildSeconds,
+	}
+	if info.State == service.BuildFailed && info.Err != nil {
+		doc.Error = wireError(info.Err)
+	}
+	return doc
+}
+
+// mechanismInfo renders a ready entry's mechanism detail.
+func mechanismInfo(e *service.Entry) *client.MechanismInfo {
+	m := e.Mechanism()
+	_, debiasErr := e.Debias()
+	return &client.MechanismInfo{
+		Name:       m.Name(),
+		N:          m.N(),
+		Alpha:      m.Alpha(),
+		Rule:       e.Rule(),
+		Properties: core.PropertySetString(e.Props()),
+		L0:         m.L0(),
+		Debiasable: debiasErr == nil,
+	}
+}
+
+// putMechanism admits the mechanism named by {id} onto the background
+// build pool and answers immediately: 202 with the status document
+// while the build is in progress (pending, running, or a re-armed
+// cancellation), 200 with the full document once the resource is
+// settled — ready, or deterministically failed (the document carries
+// the build_failed taxonomy error; re-PUTting cannot revive it). It is
+// idempotent — re-PUTting a ready mechanism is a status read,
+// re-PUTting a cancelled one re-arms it.
+func (a *api) putMechanism(w http.ResponseWriter, r *http.Request) {
+	spec, err := pathSpec(r)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	info, err := a.svc.Start(spec)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	// Serve the document from one entry snapshot so state and detail
+	// cannot disagree. If LRU eviction removed the entry in the window
+	// since Start, report the admission as pending — the next touch
+	// re-admits — rather than a "ready" document with no detail.
+	var mech *client.MechanismInfo
+	if e, perr := a.svc.Peek(spec); perr == nil {
+		info = e.Info()
+		if info.State == service.BuildReady {
+			mech = mechanismInfo(e)
+		}
+	} else {
+		info = service.BuildInfo{Spec: spec, State: service.BuildPending}
+	}
+	doc := statusDoc(info)
+	doc.Mechanism = mech
+	status := http.StatusAccepted
+	switch {
+	case info.State == service.BuildReady:
+		status = http.StatusOK
+	case info.State == service.BuildFailed && !service.IsRetryable(info.Err):
+		// Settled for good: 202's "admitted, in progress" promise would
+		// invite a client to poll a build that will never run again.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, doc)
+}
+
+// getMechanism reports the status of the mechanism named by {id}
+// without admitting anything; ready mechanisms include their detail.
+func (a *api) getMechanism(w http.ResponseWriter, r *http.Request) {
+	spec, err := pathSpec(r)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	e, err := a.svc.Peek(spec)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	// Gate the detail on the snapshot's state, not a second State()
+	// read: a build finishing between the two would otherwise produce a
+	// document claiming "building" while carrying mechanism detail.
+	info := e.Info()
+	doc := statusDoc(info)
+	if info.State == service.BuildReady {
+		doc.Mechanism = mechanismInfo(e)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// listMechanisms lists every cached mechanism's status, sorted by ID.
+func (a *api) listMechanisms(w http.ResponseWriter, _ *http.Request) {
+	infos := a.svc.Entries()
+	docs := make([]client.MechanismStatus, len(infos))
+	for i, info := range infos {
+		docs[i] = statusDoc(info)
+	}
+	writeJSON(w, http.StatusOK, client.MechanismList{Mechanisms: docs})
+}
+
+// postQuery executes a multiplexed batch of operations in one round
+// trip. Request-level failures (malformed body, empty or oversized
+// batch) fail the whole call with an envelope; per-op failures land in
+// that op's result slot so the rest of the batch still answers. Ops run
+// concurrently — the cache hot path is lock-free and sampling draws
+// from per-shard RNG pools, and a batch touching several cold
+// mechanisms admits every build up front so the worker pool overlaps
+// them (the batch waits for the slowest build, not the sum).
+func (a *api) postQuery(w http.ResponseWriter, r *http.Request) {
+	var req client.QueryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeV2Error(w, fmt.Errorf("%w: empty ops", service.ErrSpecInvalid))
+		return
+	}
+	if len(req.Ops) > client.MaxQueryOps {
+		writeV2Error(w, fmt.Errorf("%w: %d query ops, max %d", service.ErrOverLimit, len(req.Ops), client.MaxQueryOps))
+		return
+	}
+	resp := client.QueryResponse{Results: make([]client.OpResult, len(req.Ops))}
+	var wg sync.WaitGroup
+	for i, op := range req.Ops {
+		wg.Add(1)
+		go func(i int, op client.Op) {
+			defer wg.Done()
+			resp.Results[i] = a.runOp(r.Context(), op)
+		}(i, op)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runOp executes one query op. Cold mechanisms are admitted and awaited
+// under ctx, exactly like the v1 data plane — so cheap closed-form
+// specs work without a prior PUT, while a dead client cancels any build
+// it alone was waiting on.
+func (a *api) runOp(ctx context.Context, op client.Op) client.OpResult {
+	var spec service.Spec
+	if err := spec.UnmarshalText([]byte(op.ID)); err != nil {
+		return client.OpResult{Error: wireError(err)}
+	}
+	switch op.Op {
+	case client.OpSample:
+		out, err := a.svc.SampleCtx(ctx, spec, op.Count)
+		if err != nil {
+			return client.OpResult{Error: wireError(err)}
+		}
+		return client.OpResult{Output: &out}
+	case client.OpBatch:
+		if len(op.Counts) == 0 {
+			return client.OpResult{Error: wireError(fmt.Errorf("%w: empty counts", service.ErrSpecInvalid))}
+		}
+		var outs []int
+		var err error
+		if op.Seed != nil {
+			outs, err = a.svc.SampleBatchSeededCtx(ctx, spec, *op.Seed, op.Counts, nil)
+		} else {
+			outs, err = a.svc.SampleBatchCtx(ctx, spec, op.Counts, nil)
+		}
+		if err != nil {
+			return client.OpResult{Error: wireError(err)}
+		}
+		return client.OpResult{Outputs: outs}
+	case client.OpEstimate:
+		if len(op.Outputs) == 0 {
+			return client.OpResult{Error: wireError(fmt.Errorf("%w: empty outputs", service.ErrSpecInvalid))}
+		}
+		est, err := a.svc.EstimateCtx(ctx, spec, op.Outputs)
+		if err != nil {
+			return client.OpResult{Error: wireError(err)}
+		}
+		return client.OpResult{
+			MLE: est.MLE, Sum: &est.Sum, Mean: &est.Mean, Unbiased: &est.Unbiased,
+		}
+	default:
+		return client.OpResult{Error: wireError(fmt.Errorf("%w: unknown op %q (want sample, batch, or estimate)", service.ErrSpecInvalid, op.Op))}
+	}
+}
+
+// getStats serves the cache + build-pipeline gauges (v1 and v2 share
+// the document).
+func (a *api) getStats(w http.ResponseWriter, _ *http.Request) {
+	st := a.svc.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries": st.Entries, "hits": st.Hits,
+		"misses": st.Misses, "evictions": st.Evictions,
+		"build_queue_depth": st.QueueDepth,
+		"builds_in_flight":  st.InFlight,
+		"builds":            st.Builds,
+		"build_failures":    st.BuildFailures,
+		"build_cancels":     st.BuildCancels,
+		"build_seconds":     st.BuildSeconds,
+	})
+}
+
+// ---- v1 shims ----
+
+// specRequest is the v1 wire form of a spec, embedded flat in every v1
+// request body.
+type specRequest struct {
+	Mechanism  string  `json:"mechanism"`
+	N          int     `json:"n"`
+	Alpha      float64 `json:"alpha"`
+	Properties string  `json:"properties"`
+	ObjectiveP float64 `json:"objective_p"`
+}
+
+// spec parses the v1 wire form through the canonical constructor.
+func (r specRequest) spec() (service.Spec, error) {
+	return service.NewSpec(r.Mechanism, r.N, r.Alpha, r.Properties, r.ObjectiveP)
+}
+
+// specFromQuery parses a spec from URL query parameters (the v1 GET
+// status endpoint has no body): mechanism, n, alpha, properties,
+// objective_p.
+func specFromQuery(q url.Values) (service.Spec, error) {
+	var r specRequest
+	r.Mechanism = q.Get("mechanism")
+	r.Properties = q.Get("properties")
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid n %q: %w", v, err)
+		}
+		r.N = n
+	}
+	if v := q.Get("alpha"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid alpha %q: %w", v, err)
+		}
+		r.Alpha = a
+	}
+	if v := q.Get("objective_p"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return service.Spec{}, fmt.Errorf("invalid objective_p %q: %w", v, err)
+		}
+		r.ObjectiveP = p
+	}
+	return r.spec()
+}
+
+// v1StatusDoc renders a build-status snapshot in the v1 flat shape.
+func v1StatusDoc(info service.BuildInfo) map[string]any {
+	doc := map[string]any{
+		"state":         info.State.String(),
+		"build_seconds": info.BuildSeconds,
+	}
+	if info.Err != nil {
+		doc["error"] = info.Err.Error()
+	}
+	return doc
+}
+
+// v1Mechanism describes the mechanism a spec resolves to; "wait": false
+// admits asynchronously and returns 202 plus a build-status document.
+func (a *api) v1Mechanism(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		specRequest
+		Wait *bool `json:"wait"`
+	}
+	spec, ok := a.decodeSpec(w, r, &req)
+	if !ok {
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		// Async admission: hand the build to the background pool and
+		// answer immediately; progress is polled via /v1/mechanism/status
+		// (or GET /v2/mechanisms/{id}). An already-ready spec falls
+		// through to the full document.
+		info, err := a.svc.Start(spec)
+		if err != nil {
+			writeV1Error(w, http.StatusBadRequest, err)
+			return
+		}
+		if info.State != service.BuildReady {
+			writeJSON(w, http.StatusAccepted, v1StatusDoc(info))
+			return
+		}
+	}
+	e, err := a.svc.GetCtx(r.Context(), spec)
+	if err != nil {
+		writeV1Error(w, statusForBuildErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mechanismInfo(e))
+}
+
+// v1MechanismStatus polls build state for a query-param spec.
+func (a *api) v1MechanismStatus(w http.ResponseWriter, r *http.Request) {
+	spec, err := specFromQuery(r.URL.Query())
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := a.svc.Status(spec)
+	if errors.Is(err, service.ErrNotAdmitted) {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"state": "absent", "error": err.Error(),
+		})
+		return
+	}
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v1StatusDoc(info))
+}
+
+// v1Sample serves one noisy release. The request context rides into a
+// cold spec's build, so a client that disconnects mid-build releases
+// (and, when it was the only interest, cancels) the build.
+func (a *api) v1Sample(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		specRequest
+		Count int `json:"count"`
+	}
+	spec, ok := a.decodeSpec(w, r, &req)
+	if !ok {
+		return
+	}
+	out, err := a.svc.SampleCtx(r.Context(), spec, req.Count)
+	if err != nil {
+		writeV1Error(w, statusForBuildErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"output": out})
+}
+
+// v1Batch serves a batch of noisy releases, optionally seeded.
+func (a *api) v1Batch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		specRequest
+		Counts []int   `json:"counts"`
+		Seed   *uint64 `json:"seed"`
+	}
+	spec, ok := a.decodeSpec(w, r, &req)
+	if !ok {
+		return
+	}
+	if len(req.Counts) == 0 {
+		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
+		return
+	}
+	var outs []int
+	var err error
+	if req.Seed != nil {
+		outs, err = a.svc.SampleBatchSeededCtx(r.Context(), spec, *req.Seed, req.Counts, nil)
+	} else {
+		outs, err = a.svc.SampleBatchCtx(r.Context(), spec, req.Counts, nil)
+	}
+	if err != nil {
+		writeV1Error(w, statusForBuildErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
+}
+
+// v1Estimate decodes observed outputs.
+func (a *api) v1Estimate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		specRequest
+		Outputs []int `json:"outputs"`
+	}
+	spec, ok := a.decodeSpec(w, r, &req)
+	if !ok {
+		return
+	}
+	if len(req.Outputs) == 0 {
+		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
+		return
+	}
+	est, err := a.svc.EstimateCtx(r.Context(), spec, req.Outputs)
+	if err != nil {
+		writeV1Error(w, statusForBuildErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mle": est.MLE, "sum": est.Sum, "mean": est.Mean, "unbiased": est.Unbiased,
+	})
+}
+
+// statusForBuildErr maps a lookup failure to a v1 HTTP status: client
+// mistakes (validation, deterministic build errors) are 400s, while a
+// build cut short by cancellation or shutdown is a 503 the client may
+// retry — the entry is rebuildable.
+func statusForBuildErr(err error) int {
+	if service.IsRetryable(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// specCarrier lets decodeSpec extract the embedded specRequest from
+// each v1 request shape.
+type specCarrier interface{ carriedSpec() specRequest }
+
+func (r specRequest) carriedSpec() specRequest { return r }
+
+// decodeSpec decodes the JSON body into dst (which embeds specRequest)
+// and parses the spec, writing a v1 HTTP error and returning ok=false
+// on failure.
+func (a *api) decodeSpec(w http.ResponseWriter, r *http.Request, dst specCarrier) (service.Spec, bool) {
+	if err := decodeJSON(w, r, dst); err != nil {
+		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return service.Spec{}, false
+	}
+	spec, err := dst.carriedSpec().spec()
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, err)
+		return service.Spec{}, false
+	}
+	return spec, true
+}
+
+// decodeJSON decodes a bounded, strict JSON request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+	}
+}
+
+// writeV1Error writes the v1 flat error shape {"error": "message"}.
+func writeV1Error(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1121,7 +1121,7 @@ func (bv *bounded) run() (*Solution, error) {
 		case StatusCanceled:
 			return &Solution{Status: StatusCanceled, Iterations: bv.iters}, canceledErr(bv.opts.ctx)
 		case StatusIterLimit:
-			return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterLimit
+			return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterationLimit
 		case StatusUnbounded:
 			return &Solution{Status: StatusInfeasible, Iterations: bv.iters},
 				errors.Join(ErrInfeasible, errors.New("phase 1 reported unbounded"))
@@ -1150,7 +1150,7 @@ func (bv *bounded) run() (*Solution, error) {
 	case StatusCanceled:
 		return &Solution{Status: StatusCanceled, Iterations: bv.iters}, canceledErr(bv.opts.ctx)
 	case StatusIterLimit:
-		return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterLimit
+		return &Solution{Status: StatusIterLimit, Iterations: bv.iters}, ErrIterationLimit
 	case StatusUnbounded:
 		return &Solution{Status: StatusUnbounded, Iterations: bv.iters}, ErrUnbounded
 	}

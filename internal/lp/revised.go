@@ -633,7 +633,7 @@ func (rv *revised) run() (*Solution, error) {
 		case StatusCanceled:
 			return &Solution{Status: StatusCanceled, Iterations: rv.iters}, canceledErr(rv.opts.ctx)
 		case StatusIterLimit:
-			return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterLimit
+			return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterationLimit
 		case StatusUnbounded:
 			return &Solution{Status: StatusInfeasible, Iterations: rv.iters},
 				fmt.Errorf("%w: phase 1 reported unbounded", ErrInfeasible)
@@ -662,7 +662,7 @@ func (rv *revised) run() (*Solution, error) {
 	case StatusCanceled:
 		return &Solution{Status: StatusCanceled, Iterations: rv.iters}, canceledErr(rv.opts.ctx)
 	case StatusIterLimit:
-		return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterLimit
+		return &Solution{Status: StatusIterLimit, Iterations: rv.iters}, ErrIterationLimit
 	case StatusUnbounded:
 		return &Solution{Status: StatusUnbounded, Iterations: rv.iters}, ErrUnbounded
 	}

@@ -237,7 +237,7 @@ func (m *Model) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
 // SolveWith optimises the model. The default back end is the sparse
 // revised simplex (see revised.go); the dense two-phase tableau remains
 // as an independent oracle and fallback. It returns ErrInfeasible,
-// ErrUnbounded, or ErrIterLimit for those outcomes (with a Solution
+// ErrUnbounded, or ErrIterationLimit for those outcomes (with a Solution
 // carrying the matching Status), and nil for an optimal solution.
 //
 // The mechanism-design LPs are massively degenerate (hundreds of
@@ -841,7 +841,7 @@ func (t *tableau) solve(opts Options) (*Solution, error) {
 		case StatusCanceled:
 			return &Solution{Status: StatusCanceled, Iterations: iters}, canceledErr(opts.ctx)
 		case StatusIterLimit:
-			return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterLimit
+			return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterationLimit
 		case StatusUnbounded:
 			// Phase 1 is bounded below by 0; numeric trouble if we land here.
 			return &Solution{Status: StatusInfeasible, Iterations: iters},
@@ -869,7 +869,7 @@ func (t *tableau) solve(opts Options) (*Solution, error) {
 	case StatusCanceled:
 		return &Solution{Status: StatusCanceled, Iterations: iters}, canceledErr(opts.ctx)
 	case StatusIterLimit:
-		return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterLimit
+		return &Solution{Status: StatusIterLimit, Iterations: iters}, ErrIterationLimit
 	case StatusUnbounded:
 		return &Solution{Status: StatusUnbounded, Iterations: iters}, ErrUnbounded
 	}

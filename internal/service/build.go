@@ -76,7 +76,21 @@ var (
 	// ErrNotAdmitted is returned by Status for specs never admitted (or
 	// already evicted).
 	ErrNotAdmitted = errors.New("service: spec not admitted")
+	// ErrBuildFailed marks deterministic construction failures — an
+	// infeasible LP, an iteration-limit abort, a numerically singular
+	// estimator. Lookup errors for such builds wrap it (alongside the
+	// underlying cause), so transports can classify "the build itself is
+	// broken" apart from "the build was cut short and may be retried"
+	// (IsRetryable) with errors.Is.
+	ErrBuildFailed = errors.New("service: mechanism build failed")
 )
+
+// IsRetryable reports whether a build error is cancellation-class: the
+// build was cut short (abandoned request, eviction, shutdown, context
+// death) rather than deterministically failed, so re-requesting the
+// same spec re-arms the build and may well succeed. It is the exported
+// face of the rebuildable classification the pipeline itself uses.
+func IsRetryable(err error) bool { return rebuildable(err) }
 
 // rebuildable reports whether a failed build may be retried: every
 // cancellation-class failure is, deterministic construction errors are
@@ -92,10 +106,27 @@ func rebuildable(err error) bool {
 }
 
 // buildError is the single point wrapping construction failures for
-// callers, so every path reports them identically.
+// callers, so every path reports them identically. Deterministic
+// failures additionally match ErrBuildFailed; cancellation-class ones
+// keep their sentinels (and IsRetryable).
 func buildError(spec Spec, err error) error {
+	if err == nil {
+		return nil
+	}
+	if !rebuildable(err) {
+		err = &failedBuildError{err}
+	}
 	return fmt.Errorf("service: building %s: %w", spec, err)
 }
+
+// failedBuildError tags a deterministic build failure so it matches
+// both ErrBuildFailed and its underlying cause under errors.Is, without
+// disturbing the message.
+type failedBuildError struct{ err error }
+
+func (e *failedBuildError) Error() string { return e.err.Error() }
+
+func (e *failedBuildError) Unwrap() []error { return []error{ErrBuildFailed, e.err} }
 
 // worker drains the build queue until Close closes it. Long solves are
 // interrupted by their entry context (cancelled on abandonment,
@@ -391,7 +422,7 @@ func (s *Service) Start(spec Spec) (BuildInfo, error) {
 	if err := spec.Validate(); err != nil {
 		return BuildInfo{}, err
 	}
-	spec = spec.canonical()
+	spec = spec.Canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	e := sh.get(spec, 0)
 	if e.State() != BuildReady {
@@ -410,7 +441,7 @@ func (s *Service) Status(spec Spec) (BuildInfo, error) {
 	if err := spec.Validate(); err != nil {
 		return BuildInfo{}, err
 	}
-	spec = spec.canonical()
+	spec = spec.Canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	e := (*sh.entries.Load())[spec]
 	if e == nil {

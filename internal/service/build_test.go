@@ -246,7 +246,7 @@ func TestCloseDrainsInFlightBuilds(t *testing.T) {
 func TestAbandonedPendingBuildIsRebuildable(t *testing.T) {
 	svc := New(Config{})
 	defer svc.Close()
-	spec := Spec{Kind: KindUniform, N: 9}.canonical()
+	spec := Spec{Kind: KindUniform, N: 9}.Canonical()
 	sh := svc.shards[spec.hash()&svc.mask]
 	e := sh.get(spec, 0)
 	e.mu.Lock()
@@ -278,7 +278,7 @@ func TestAbandonedPendingBuildIsRebuildable(t *testing.T) {
 func TestEvictionCancelsUnwatchedBuild(t *testing.T) {
 	svc := New(Config{})
 	defer svc.Close()
-	spec := Spec{Kind: KindUniform, N: 7}.canonical()
+	spec := Spec{Kind: KindUniform, N: 7}.Canonical()
 	sh := svc.shards[spec.hash()&svc.mask]
 	e := sh.get(spec, 0)
 	e.mu.Lock()
@@ -293,7 +293,7 @@ func TestEvictionCancelsUnwatchedBuild(t *testing.T) {
 
 	// A detached entry is cancelled too: once evicted, nobody can ever
 	// reach the result its Start admission pinned.
-	spec2 := Spec{Kind: KindUniform, N: 8}.canonical()
+	spec2 := Spec{Kind: KindUniform, N: 8}.Canonical()
 	e2 := sh.get(spec2, 0)
 	e2.mu.Lock()
 	e2.armLocked(svc.build.root)
@@ -307,7 +307,7 @@ func TestEvictionCancelsUnwatchedBuild(t *testing.T) {
 	}
 
 	// A waiter keeps the build alive across eviction.
-	spec4 := Spec{Kind: KindUniform, N: 10}.canonical()
+	spec4 := Spec{Kind: KindUniform, N: 10}.Canonical()
 	e4 := sh.get(spec4, 0)
 	e4.mu.Lock()
 	e4.armLocked(svc.build.root)
@@ -323,7 +323,7 @@ func TestEvictionCancelsUnwatchedBuild(t *testing.T) {
 	e4.refs--
 	e4.mu.Unlock()
 	// Ready entries are never touched.
-	spec3 := Spec{Kind: KindUniform, N: 6}.canonical()
+	spec3 := Spec{Kind: KindUniform, N: 6}.Canonical()
 	if _, err := svc.Get(spec3); err != nil {
 		t.Fatal(err)
 	}

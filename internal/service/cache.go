@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -118,14 +119,21 @@ func (e *Entry) abandonIfUnwatched(cause error) (settledPending bool) {
 // safe from any goroutine.
 func (e *Entry) State() BuildState { return BuildState(e.state.Load()) }
 
-// Info returns a consistent snapshot of the entry's build status.
+// Info returns a consistent snapshot of the entry's build status. A
+// deterministic failure's Err matches ErrBuildFailed (cancellation-
+// class failures keep their own sentinels and IsRetryable), so status
+// surfaces classify settled builds the same way the lookup paths do.
 func (e *Entry) Info() BuildInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	err := e.buildErr
+	if err != nil && !rebuildable(err) && !errors.Is(err, ErrBuildFailed) {
+		err = &failedBuildError{err}
+	}
 	return BuildInfo{
 		Spec:         e.spec,
 		State:        BuildState(e.state.Load()),
-		Err:          e.buildErr,
+		Err:          err,
 		BuildSeconds: e.buildDur,
 	}
 }

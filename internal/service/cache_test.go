@@ -85,7 +85,7 @@ func TestNoCollisionsAcrossPropertySets(t *testing.T) {
 			t.Fatalf("request %s served %s, which fails the property check",
 				core.PropertySetString(bits), e.Mechanism().Name())
 		}
-		key := spec.canonical()
+		key := spec.Canonical()
 		if prev, ok := byCanonical[key]; ok {
 			if prev != e {
 				t.Fatalf("canonical spec %s maps to two distinct entries", key)
@@ -125,9 +125,9 @@ func TestLRUEvictionOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := *svc.shards[0].entries.Load()
-	_, has2 := snap[mk(2).canonical()]
-	_, has3 := snap[mk(3).canonical()]
-	_, has4 := snap[mk(4).canonical()]
+	_, has2 := snap[mk(2).Canonical()]
+	_, has3 := snap[mk(3).Canonical()]
+	_, has4 := snap[mk(4).Canonical()]
 	if !has2 || has3 || !has4 {
 		t.Errorf("after eviction: n=2 cached %v (want true), n=3 cached %v (want false), n=4 cached %v (want true)",
 			has2, has3, has4)

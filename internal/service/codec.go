@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"privcount/internal/core"
+)
+
+// This file is the single wire codec for Spec: the canonical text token
+// that names a mechanism (the v2 HTTP resource ID), the JSON object
+// form embedded in request and status documents, and the one
+// constructor every transport parses through. The paper's Figure 5
+// procedure makes a mechanism fully determined by its spec, so the
+// canonicalised spec *is* the mechanism's identity — two requests whose
+// property sets close to the same set produce one token, one cache
+// entry, one build.
+//
+// Token grammar (all segments ":"-separated, URL-safe as a path
+// segment — letters, digits, and ":=+.-" only):
+//
+//	id     = kind ":n=" int [":a=" float] [":" props] [":p=" float]
+//	kind   = "choose" | "gm" | "em" | "um" | "lp" | "lp-minimax"
+//	props  = property codes joined by "+" (core.ParseProperties), or "none"
+//
+// Segments a kind ignores are omitted: um carries only n; gm and em add
+// a; choose adds its (closed) property set; the LP kinds carry all five
+// fields. Examples:
+//
+//	um:n=64
+//	gm:n=64:a=0.5
+//	choose:n=64:a=0.5:CH+CM+WH
+//	lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0
+//
+// MarshalText always emits the canonical form; UnmarshalText accepts
+// any well-formed token (extra precision in floats, unclosed property
+// sets, segments the kind ignores) and lands on the canonical spec, so
+// equivalent tokens resolve to the same identity.
+
+// MarshalText renders the spec as its canonical wire token (see ID).
+// It fails on specs that do not validate, so an invalid spec can never
+// acquire a wire identity.
+func (s Spec) MarshalText() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(s.ID()), nil
+}
+
+// ID returns the spec's canonical wire token — the mechanism's resource
+// identity in the v2 HTTP API. Equivalent specs (same kind after
+// canonicalisation, property sets with equal closure) share one ID.
+// Unlike MarshalText it does not validate; use it for display and map
+// keys, MarshalText when emitting onto the wire.
+func (s Spec) ID() string {
+	c := s.Canonical()
+	var b strings.Builder
+	b.WriteString(c.Kind.String())
+	b.WriteString(":n=")
+	b.WriteString(strconv.Itoa(c.N))
+	if c.Kind != KindUniform {
+		b.WriteString(":a=")
+		b.WriteString(strconv.FormatFloat(c.Alpha, 'g', -1, 64))
+	}
+	switch c.Kind {
+	case KindChoose, KindLP, KindLPMinimax:
+		b.WriteByte(':')
+		b.WriteString(core.PropertySetString(c.Props))
+	}
+	if c.Kind == KindLP || c.Kind == KindLPMinimax {
+		b.WriteString(":p=")
+		b.WriteString(strconv.FormatFloat(c.ObjectiveP, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// UnmarshalText parses a wire token, validates it, and canonicalises,
+// so the result always equals the spec a fresh MarshalText would name.
+// Unknown or duplicate segments are rejected; parse failures wrap
+// ErrSpecInvalid and admission-bound failures ErrOverLimit.
+func (s *Spec) UnmarshalText(text []byte) error {
+	spec, err := ParseSpec(string(text))
+	if err != nil {
+		return err
+	}
+	*s = spec
+	return nil
+}
+
+// ParseSpec parses a mechanism wire token (the grammar above) into its
+// canonical, validated Spec. It is the inverse of Spec.ID for every
+// valid spec, and tolerant on input: non-canonical but well-formed
+// tokens land on the same canonical spec as their canonical sibling.
+func ParseSpec(token string) (Spec, error) {
+	segs := strings.Split(token, ":")
+	kind, err := ParseKind(segs[0])
+	if err != nil || segs[0] == "" {
+		return Spec{}, fmt.Errorf("%w: token %q: unknown mechanism kind %q", ErrSpecInvalid, token, segs[0])
+	}
+	spec := Spec{Kind: kind}
+	var sawN, sawA, sawP, sawProps bool
+	for _, seg := range segs[1:] {
+		switch {
+		case strings.HasPrefix(seg, "n="):
+			if sawN {
+				return Spec{}, fmt.Errorf("%w: token %q: duplicate n segment", ErrSpecInvalid, token)
+			}
+			sawN = true
+			n, err := strconv.Atoi(seg[2:])
+			if err != nil {
+				return Spec{}, fmt.Errorf("%w: token %q: bad group size %q", ErrSpecInvalid, token, seg)
+			}
+			spec.N = n
+		case strings.HasPrefix(seg, "a="):
+			if sawA {
+				return Spec{}, fmt.Errorf("%w: token %q: duplicate a segment", ErrSpecInvalid, token)
+			}
+			sawA = true
+			a, err := strconv.ParseFloat(seg[2:], 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("%w: token %q: bad alpha %q", ErrSpecInvalid, token, seg)
+			}
+			spec.Alpha = a
+		case strings.HasPrefix(seg, "p="):
+			if sawP {
+				return Spec{}, fmt.Errorf("%w: token %q: duplicate p segment", ErrSpecInvalid, token)
+			}
+			sawP = true
+			p, err := strconv.ParseFloat(seg[2:], 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("%w: token %q: bad objective exponent %q", ErrSpecInvalid, token, seg)
+			}
+			spec.ObjectiveP = p
+		default:
+			if sawProps {
+				return Spec{}, fmt.Errorf("%w: token %q: duplicate property segment", ErrSpecInvalid, token)
+			}
+			sawProps = true
+			props, err := core.ParseProperties(seg)
+			if err != nil {
+				return Spec{}, fmt.Errorf("%w: token %q: %v", ErrSpecInvalid, token, err)
+			}
+			spec.Props = props
+		}
+	}
+	if !sawN {
+		return Spec{}, fmt.Errorf("%w: token %q: missing n segment", ErrSpecInvalid, token)
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("token %q: %w", token, err)
+	}
+	return spec.Canonical(), nil
+}
+
+// MarshalText renders the kind as its wire name.
+func (k Kind) MarshalText() ([]byte, error) {
+	if _, ok := kindNames[k]; !ok {
+		return nil, fmt.Errorf("%w: invalid kind %d", ErrSpecInvalid, k)
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses a wire name as accepted by ParseKind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	kind, err := ParseKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = kind
+	return nil
+}
+
+// specJSON is the JSON object form of a Spec — the same field set every
+// privcountd request body embeds, so one wire vocabulary covers bodies,
+// documents, and the SDK.
+type specJSON struct {
+	Mechanism  string  `json:"mechanism"`
+	N          int     `json:"n"`
+	Alpha      float64 `json:"alpha"`
+	Properties string  `json:"properties"`
+	ObjectiveP float64 `json:"objective_p"`
+}
+
+// MarshalJSON renders the canonical spec as its JSON object form, e.g.
+// {"mechanism":"lp","n":64,"alpha":0.5,"properties":"RH+RM+CH+CM+WH",
+// "objective_p":0}. All five fields are always present; ignored fields
+// are their canonical zeros (alpha 0, properties "none", objective_p 0).
+func (s Spec) MarshalJSON() ([]byte, error) {
+	c := s.Canonical()
+	return json.Marshal(specJSON{
+		Mechanism:  c.Kind.String(),
+		N:          c.N,
+		Alpha:      c.Alpha,
+		Properties: core.PropertySetString(c.Props),
+		ObjectiveP: c.ObjectiveP,
+	})
+}
+
+// UnmarshalJSON parses the JSON object form, validates, and
+// canonicalises — the JSON counterpart of UnmarshalText. Unknown fields
+// are rejected so protocol drift fails loudly rather than silently
+// dropping a constraint.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var w specJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("%w: %v", ErrSpecInvalid, err)
+	}
+	spec, err := NewSpec(w.Mechanism, w.N, w.Alpha, w.Properties, w.ObjectiveP)
+	if err != nil {
+		return err
+	}
+	*s = spec
+	return nil
+}
+
+// NewSpec is the one constructor every transport funnels through: it
+// parses the wire-level kind and property strings, validates the
+// assembled spec, and canonicalises it. The HTTP layer's JSON bodies,
+// query parameters, and the Spec JSON codec all call it, so a spec
+// cannot mean different things on different routes.
+func NewSpec(mechanism string, n int, alpha float64, properties string, objectiveP float64) (Spec, error) {
+	kind, err := ParseKind(mechanism)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrSpecInvalid, err)
+	}
+	props, err := core.ParseProperties(properties)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrSpecInvalid, err)
+	}
+	spec := Spec{Kind: kind, N: n, Alpha: alpha, Props: props, ObjectiveP: objectiveP}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec.Canonical(), nil
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"privcount/internal/core"
+)
+
+// TestSpecTokenRoundTrip drives the text codec over the full kind ×
+// property-lattice grid: for every servable spec, spec → token → spec
+// lands exactly on the canonical spec, and re-marshalling the parsed
+// spec reproduces the token (the token is a fixed point).
+func TestSpecTokenRoundTrip(t *testing.T) {
+	kinds := []Kind{KindChoose, KindGeometric, KindExplicitFair, KindUniform, KindLP, KindLPMinimax}
+	objectives := map[Kind][]float64{
+		KindLP:        {0, 1, 2.5},
+		KindLPMinimax: {0, 0.125},
+	}
+	n := 0
+	for _, kind := range kinds {
+		ps := objectives[kind]
+		if ps == nil {
+			ps = []float64{0}
+		}
+		for _, props := range core.EnumerateSubsets() {
+			for _, p := range ps {
+				spec := Spec{Kind: kind, N: 16, Alpha: 0.5, Props: props, ObjectiveP: p}
+				if err := spec.Validate(); err != nil {
+					continue // e.g. grid points the kind rejects
+				}
+				n++
+				want := spec.Canonical()
+				token, err := spec.MarshalText()
+				if err != nil {
+					t.Fatalf("MarshalText(%v): %v", spec, err)
+				}
+				var got Spec
+				if err := got.UnmarshalText(token); err != nil {
+					t.Fatalf("UnmarshalText(%q): %v", token, err)
+				}
+				if got != want {
+					t.Errorf("token %q parsed to %+v, want canonical %+v", token, got, want)
+				}
+				if got.ID() != string(token) {
+					t.Errorf("re-ID of %q = %q, want fixed point", token, got.ID())
+				}
+			}
+		}
+	}
+	if n < 400 {
+		t.Fatalf("grid exercised only %d specs; the lattice sweep is broken", n)
+	}
+}
+
+// TestSpecJSONRoundTrip checks the JSON object form lands on the same
+// canonical spec as the text form, over the same grid.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{KindChoose, KindGeometric, KindExplicitFair, KindUniform, KindLP, KindLPMinimax} {
+		for _, props := range core.EnumerateSubsets() {
+			spec := Spec{Kind: kind, N: 12, Alpha: 0.75, Props: props, ObjectiveP: 0}
+			if spec.Validate() != nil {
+				continue
+			}
+			want := spec.Canonical()
+			b, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("Marshal(%v): %v", spec, err)
+			}
+			var got Spec
+			if err := json.Unmarshal(b, &got); err != nil {
+				t.Fatalf("Unmarshal(%s): %v", b, err)
+			}
+			if got != want {
+				t.Errorf("JSON %s parsed to %+v, want canonical %+v", b, got, want)
+			}
+		}
+	}
+}
+
+// TestSpecIDEquivalence pins that equivalent specs share one wire
+// identity: property sets with the same closure, fields the kind
+// ignores, and non-canonical tokens all resolve to one ID.
+func TestSpecIDEquivalence(t *testing.T) {
+	cm := Spec{Kind: KindLP, N: 16, Alpha: 0.5, Props: core.ColumnMonotone}
+	cmch := Spec{Kind: KindLP, N: 16, Alpha: 0.5, Props: core.ColumnMonotone | core.ColumnHonesty}
+	if cm.ID() != cmch.ID() {
+		t.Errorf("CM id %q != CM+CH id %q; closure-equivalent specs must share identity", cm.ID(), cmch.ID())
+	}
+	um := Spec{Kind: KindUniform, N: 9, Alpha: 0.7, Props: core.Fairness, ObjectiveP: 3}
+	if got, want := um.ID(), "um:n=9"; got != want {
+		t.Errorf("um ID = %q, want %q (ignored fields dropped)", got, want)
+	}
+	// A non-canonical but well-formed token parses to the canonical spec.
+	got, err := ParseSpec("lp:n=16:a=0.500:CM")
+	if err != nil {
+		t.Fatalf("ParseSpec tolerant form: %v", err)
+	}
+	if got != cm.Canonical() {
+		t.Errorf("tolerant token parsed to %+v, want %+v", got, cm.Canonical())
+	}
+	if got.ID() != cm.ID() {
+		t.Errorf("tolerant token re-IDs to %q, want %q", got.ID(), cm.ID())
+	}
+}
+
+// TestParseSpecRejects pins the failure modes of the token grammar and
+// their error classes.
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		token string
+		class error
+	}{
+		{"", ErrSpecInvalid},
+		{"nope:n=8:a=0.5", ErrSpecInvalid},
+		{"gm:a=0.5", ErrSpecInvalid},                      // missing n
+		{"gm:n=8", ErrSpecInvalid},                        // missing alpha for a kind that needs it
+		{"gm:n=x:a=0.5", ErrSpecInvalid},                  // malformed n
+		{"gm:n=8:a=zz", ErrSpecInvalid},                   // malformed alpha
+		{"gm:n=8:a=0.5:a=0.6", ErrSpecInvalid},            // duplicate segment
+		{"lp:n=8:a=0.5:CM:CM", ErrSpecInvalid},            // duplicate property segment
+		{"lp:n=8:a=0.5:XX:p=0", ErrSpecInvalid},           // unknown property code
+		{"lp:n=8:a=0.5:CM:p=-1", ErrSpecInvalid},          // negative objective
+		{"choose:n=8:a=0.5:ODP", ErrSpecInvalid},          // Figure 5 does not cover ODP
+		{"gm:n=8:a=1.5", ErrSpecInvalid},                  // alpha out of range
+		{"gm:n=99999:a=0.5", ErrOverLimit},                // beyond MaxN
+		{"lp:n=4096:a=0.5:CM:p=0", ErrOverLimit},          // beyond MaxLPN
+		{"lp-minimax:n=512:a=0.5:none:p=0", ErrOverLimit}, // beyond MaxLPMinimaxN
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.token)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error class %v", c.token, c.class)
+			continue
+		}
+		if !errors.Is(err, c.class) {
+			t.Errorf("ParseSpec(%q) = %v, want errors.Is %v", c.token, err, c.class)
+		}
+	}
+}
+
+// TestSpecMarshalInvalid pins that an invalid spec cannot acquire a
+// wire identity, while ID (display-only) still renders something.
+func TestSpecMarshalInvalid(t *testing.T) {
+	bad := Spec{Kind: KindGeometric, N: 8, Alpha: 1.5}
+	if _, err := bad.MarshalText(); !errors.Is(err, ErrSpecInvalid) {
+		t.Errorf("MarshalText on invalid spec = %v, want ErrSpecInvalid", err)
+	}
+	if bad.ID() == "" {
+		t.Error("ID() should render even for invalid specs (display use)")
+	}
+	over := Spec{Kind: KindLP, N: MaxLPN + 1, Alpha: 0.5}
+	if _, err := over.MarshalText(); !errors.Is(err, ErrOverLimit) {
+		t.Errorf("MarshalText over limit = %v, want ErrOverLimit", err)
+	}
+}
+
+// TestKindTextMarshalling round-trips every kind and rejects unknowns.
+func TestKindTextMarshalling(t *testing.T) {
+	for k := range kindNames {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("Kind(%d).MarshalText: %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(b); err != nil || back != k {
+			t.Errorf("kind %q round-tripped to %v (err %v)", b, back, err)
+		}
+	}
+	if _, err := Kind(200).MarshalText(); err == nil {
+		t.Error("MarshalText on unknown kind succeeded")
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("UnmarshalText of unknown kind succeeded")
+	}
+}
+
+// TestSpecJSONStrict pins that unknown JSON fields are rejected rather
+// than silently dropped — a misspelled constraint must fail loudly.
+func TestSpecJSONStrict(t *testing.T) {
+	var s Spec
+	err := json.Unmarshal([]byte(`{"mechanism":"gm","n":8,"alpha":0.5,"propertees":"CM"}`), &s)
+	if !errors.Is(err, ErrSpecInvalid) {
+		t.Errorf("unknown JSON field: err = %v, want ErrSpecInvalid", err)
+	}
+}
+
+// TestPropertySetTextMarshalling covers the core-level reuse the spec
+// codec builds on.
+func TestPropertySetTextMarshalling(t *testing.T) {
+	ps := core.RowMonotone | core.ColumnMonotone
+	b, err := ps.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "RM") || !strings.Contains(string(b), "CM") {
+		t.Errorf("MarshalText = %q, want RM and CM codes", b)
+	}
+	var back core.PropertySet
+	if err := back.UnmarshalText(b); err != nil || back != ps {
+		t.Errorf("round trip = %v (err %v), want %v", back, err, ps)
+	}
+	var empty core.PropertySet
+	b, _ = empty.MarshalText()
+	if string(b) != "none" {
+		t.Errorf("empty set marshals to %q, want none", b)
+	}
+	if err := back.UnmarshalText([]byte("XQ")); err == nil {
+		t.Error("unknown property code accepted")
+	}
+}
+
+// TestEntriesListing pins Service.Entries: sorted by ID, one entry per
+// canonical spec.
+func TestEntriesListing(t *testing.T) {
+	s := New(Config{Capacity: 16, Seed: 1})
+	defer s.Close()
+	specs := []Spec{
+		{Kind: KindGeometric, N: 12, Alpha: 0.5},
+		{Kind: KindExplicitFair, N: 8, Alpha: 0.8},
+		{Kind: KindChoose, N: 8, Alpha: 0.8, Props: core.ColumnMonotone},
+		{Kind: KindChoose, N: 8, Alpha: 0.8, Props: core.ColumnMonotone | core.ColumnHonesty}, // same canonical
+	}
+	for _, sp := range specs {
+		if _, err := s.Get(sp); err != nil {
+			t.Fatalf("Get(%v): %v", sp, err)
+		}
+	}
+	entries := s.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("Entries() = %d entries, want 3 (closure-equivalent specs collapse)", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Spec.ID() >= entries[i].Spec.ID() {
+			t.Errorf("Entries not sorted: %q >= %q", entries[i-1].Spec.ID(), entries[i].Spec.ID())
+		}
+	}
+	for _, info := range entries {
+		if info.State != BuildReady {
+			t.Errorf("entry %s state %v, want ready", info.Spec.ID(), info.State)
+		}
+	}
+}
+
+// TestPeek pins the non-admitting lookup: absent specs return
+// ErrNotAdmitted and Peek itself never warms the cache.
+func TestPeek(t *testing.T) {
+	s := New(Config{Capacity: 8, Seed: 1})
+	defer s.Close()
+	spec := Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}
+	if _, err := s.Peek(spec); !errors.Is(err, ErrNotAdmitted) {
+		t.Fatalf("Peek before admission = %v, want ErrNotAdmitted", err)
+	}
+	if got := s.Stats().Entries; got != 0 {
+		t.Fatalf("Peek admitted an entry: %d cached", got)
+	}
+	if _, err := s.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Peek(spec)
+	if err != nil {
+		t.Fatalf("Peek after admission: %v", err)
+	}
+	if e.State() != BuildReady {
+		t.Errorf("peeked state %v, want ready", e.State())
+	}
+	// Equivalent spec reaches the same entry.
+	e2, err := s.Peek(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5, Props: core.Fairness})
+	if err != nil || e2 != e {
+		t.Errorf("Peek(equivalent) = %v, %v; want the same entry", e2, err)
+	}
+}
+
+// TestBuildFailedClass pins that deterministic build failures match
+// ErrBuildFailed while staying distinguishable from cancellations.
+func TestBuildFailedClass(t *testing.T) {
+	err := buildError(Spec{Kind: KindLP, N: 8, Alpha: 0.5}, errors.New("lp: infeasible"))
+	if !errors.Is(err, ErrBuildFailed) {
+		t.Errorf("deterministic build error %v does not match ErrBuildFailed", err)
+	}
+	if IsRetryable(err) {
+		t.Error("deterministic build error classified retryable")
+	}
+	cancelErr := buildError(Spec{Kind: KindLP, N: 8, Alpha: 0.5}, ErrBuildAbandoned)
+	if errors.Is(cancelErr, ErrBuildFailed) {
+		t.Error("cancellation matches ErrBuildFailed; taxonomy split broken")
+	}
+	if !IsRetryable(cancelErr) {
+		t.Error("cancellation not classified retryable")
+	}
+}
+
+// TestInfoTagsDeterministicFailures pins that status snapshots carry
+// the same failure classification the lookup paths do: a deterministic
+// build error surfaces from Info matching ErrBuildFailed (message
+// untouched), while cancellation-class errors keep their sentinels.
+func TestInfoTagsDeterministicFailures(t *testing.T) {
+	det := newEntry(Spec{Kind: KindLP, N: 8, Alpha: 0.5})
+	det.buildErr = errors.New("lp: problem is infeasible")
+	det.state.Store(int32(BuildFailed))
+	info := det.Info()
+	if !errors.Is(info.Err, ErrBuildFailed) {
+		t.Errorf("Info().Err = %v, want to match ErrBuildFailed", info.Err)
+	}
+	if IsRetryable(info.Err) {
+		t.Error("deterministic failure reported retryable")
+	}
+	if info.Err.Error() != "lp: problem is infeasible" {
+		t.Errorf("tagging changed the message: %q", info.Err.Error())
+	}
+
+	canceled := newEntry(Spec{Kind: KindLP, N: 8, Alpha: 0.5})
+	canceled.buildErr = ErrBuildAbandoned
+	canceled.state.Store(int32(BuildFailed))
+	info = canceled.Info()
+	if errors.Is(info.Err, ErrBuildFailed) {
+		t.Errorf("cancellation tagged as ErrBuildFailed: %v", info.Err)
+	}
+	if !IsRetryable(info.Err) {
+		t.Error("cancellation not reported retryable")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -128,7 +129,7 @@ func (s *Service) lookup(ctx context.Context, spec Spec, stripe uint64) (*Entry,
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
-	spec = spec.canonical()
+	spec = spec.Canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	e := sh.get(spec, stripe)
 	if err := s.ready(ctx, e); err != nil {
@@ -166,6 +167,49 @@ func (s *Service) GetCtx(ctx context.Context, spec Spec) (*Entry, error) {
 	return e, err
 }
 
+// Peek returns the cache entry for spec without admitting it: specs
+// never admitted (or since evicted) return ErrNotAdmitted, invalid
+// specs their validation error. Unlike Get it never queues a build, so
+// it is safe for status surfaces that must not warm the cache as a side
+// effect. The returned entry may be in any build state; gate on
+// Entry.State before touching serving tables.
+func (s *Service) Peek(spec Spec) (*Entry, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.Canonical()
+	sh := s.shards[spec.hash()&s.mask]
+	e := (*sh.entries.Load())[spec]
+	if e == nil {
+		return nil, ErrNotAdmitted
+	}
+	return e, nil
+}
+
+// Entries snapshots the build status of every cached mechanism, sorted
+// by canonical wire ID for stable listings. It reads the lock-free map
+// snapshots, so it is cheap enough for a status endpoint to call per
+// request.
+func (s *Service) Entries() []BuildInfo {
+	type keyed struct {
+		id   string
+		info BuildInfo
+	}
+	var all []keyed
+	for _, sh := range s.shards {
+		for _, e := range *sh.entries.Load() {
+			info := e.Info()
+			all = append(all, keyed{info.Spec.ID(), info})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]BuildInfo, len(all))
+	for i, k := range all {
+		out[i] = k.info
+	}
+	return out
+}
+
 // Sample draws one noisy release for true count j under spec. Randomness
 // comes from the owning shard's pool, so concurrent callers do not
 // contend on a shared generator.
@@ -180,7 +224,7 @@ func (s *Service) SampleCtx(ctx context.Context, spec Spec, j int) (int, error) 
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
-	spec = spec.canonical()
+	spec = spec.Canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	r := sh.pool.Get()
 	e := sh.get(spec, r.StreamID())
@@ -210,7 +254,7 @@ func (s *Service) SampleBatchCtx(ctx context.Context, spec Spec, js []int, dst [
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	spec = spec.canonical()
+	spec = spec.Canonical()
 	sh := s.shards[spec.hash()&s.mask]
 	r := sh.pool.Get()
 	e := sh.get(spec, r.StreamID())

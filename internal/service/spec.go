@@ -24,6 +24,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -136,33 +137,50 @@ const MaxLPN = 512
 // tolerable window rather than the old synchronous n=64 ceiling.
 const MaxLPMinimaxN = 128
 
+// Validation failure classes. Every Validate error wraps exactly one of
+// them, so callers (the HTTP error taxonomy in particular) can classify
+// with errors.Is instead of string matching.
+var (
+	// ErrSpecInvalid marks specs that are malformed in themselves: an
+	// unknown kind, an alpha outside (0, 1), unknown property bits, a
+	// negative objective exponent.
+	ErrSpecInvalid = errors.New("service: invalid spec")
+	// ErrOverLimit marks specs that are well-formed but exceed a serving
+	// admission bound (MaxN, MaxLPN, MaxLPMinimaxN). The request might be
+	// servable by a deployment with different limits; it is refused here.
+	ErrOverLimit = errors.New("service: spec exceeds serving limits")
+)
+
 // Validate reports whether the spec describes a servable scenario.
 func (s Spec) Validate() error {
 	if _, ok := kindNames[s.Kind]; !ok {
-		return fmt.Errorf("service: invalid kind %d", s.Kind)
+		return fmt.Errorf("%w: invalid kind %d", ErrSpecInvalid, s.Kind)
 	}
-	if s.N < 1 || s.N > MaxN {
-		return fmt.Errorf("service: group size n=%d, want in [1, %d]", s.N, MaxN)
+	if s.N < 1 {
+		return fmt.Errorf("%w: group size n=%d, want >= 1", ErrSpecInvalid, s.N)
+	}
+	if s.N > MaxN {
+		return fmt.Errorf("%w: group size n=%d, want <= %d", ErrOverLimit, s.N, MaxN)
 	}
 	if s.Kind != KindUniform {
 		if !(s.Alpha > 0 && s.Alpha < 1) || math.IsNaN(s.Alpha) {
-			return fmt.Errorf("service: alpha=%v, want in (0, 1)", s.Alpha)
+			return fmt.Errorf("%w: alpha=%v, want in (0, 1)", ErrSpecInvalid, s.Alpha)
 		}
 	}
 	if s.Props&^(core.AllProperties|core.OutputDP) != 0 {
-		return fmt.Errorf("service: unknown property bits in %#x", uint(s.Props))
+		return fmt.Errorf("%w: unknown property bits in %#x", ErrSpecInvalid, uint(s.Props))
 	}
 	if s.Kind == KindChoose && s.Props&core.OutputDP != 0 {
-		return fmt.Errorf("service: the Figure 5 procedure does not cover OutputDP; use kind lp")
+		return fmt.Errorf("%w: the Figure 5 procedure does not cover OutputDP; use kind lp", ErrSpecInvalid)
 	}
 	if s.Kind == KindLPMinimax && s.N > MaxLPMinimaxN {
-		return fmt.Errorf("service: group size n=%d needs a cold minimax LP solve, want n <= %d", s.N, MaxLPMinimaxN)
+		return fmt.Errorf("%w: group size n=%d needs a cold minimax LP solve, want n <= %d", ErrOverLimit, s.N, MaxLPMinimaxN)
 	}
 	if s.lpBacked() && s.N > MaxLPN {
-		return fmt.Errorf("service: group size n=%d needs an LP-designed mechanism, want n <= %d", s.N, MaxLPN)
+		return fmt.Errorf("%w: group size n=%d needs an LP-designed mechanism, want n <= %d", ErrOverLimit, s.N, MaxLPN)
 	}
 	if s.ObjectiveP < 0 || math.IsNaN(s.ObjectiveP) {
-		return fmt.Errorf("service: objective exponent p=%v, want >= 0", s.ObjectiveP)
+		return fmt.Errorf("%w: objective exponent p=%v, want >= 0", ErrSpecInvalid, s.ObjectiveP)
 	}
 	return nil
 }
@@ -181,12 +199,13 @@ func (s Spec) lpBacked() bool {
 	return false
 }
 
-// canonical folds equivalent specs onto one cache key: fields a kind
+// Canonical folds equivalent specs onto one identity: fields a kind
 // ignores are zeroed, and property sets are closed under the §IV-A
 // implications (for KindChoose additionally dropping Symmetry, which
 // Theorem 1 grants for free), so e.g. requesting CM and requesting CM+CH
-// hit the same cache entry.
-func (s Spec) canonical() Spec {
+// hit the same cache entry — and, via ID/MarshalText, share one wire
+// identity.
+func (s Spec) Canonical() Spec {
 	switch s.Kind {
 	case KindUniform:
 		s.Alpha, s.Props, s.ObjectiveP = 0, 0, 0

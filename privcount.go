@@ -34,7 +34,9 @@
 //   - a concurrent serving layer (NewService) that caches constructed
 //     mechanisms with precomputed sampling and estimation tables and
 //     serves Sample/SampleBatch/Estimate traffic from many goroutines —
-//     cmd/privcountd exposes it over HTTP/JSON.
+//     cmd/privcountd exposes it over HTTP/JSON, with mechanisms named
+//     by their canonical spec token (Spec.ID, ParseSpec) and a typed
+//     Go SDK in package privcount/client.
 //
 // # Quick start
 //
@@ -302,9 +304,48 @@ type ServiceConfig = service.Config
 // ServiceStats is a snapshot of the mechanism cache's behaviour.
 type ServiceStats = service.Stats
 
-// Spec identifies one servable mechanism scenario — the cache key of the
-// serving layer.
+// Spec identifies one servable mechanism scenario — the cache key of
+// the serving layer and, through its canonical wire token (Spec.ID,
+// MarshalText), the resource identity of the v2 HTTP API. Equivalent
+// specs — property sets with the same §IV-A closure, fields the kind
+// ignores — share one canonical form (Spec.Canonical) and one ID.
 type Spec = service.Spec
+
+// ParseSpec parses a canonical mechanism wire token like
+// "lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0" (see Spec.ID for the grammar) into
+// its validated, canonical Spec.
+func ParseSpec(token string) (Spec, error) {
+	return service.ParseSpec(token)
+}
+
+// NewSpec assembles and validates a Spec from wire-level strings — the
+// same constructor every privcountd transport parses through.
+func NewSpec(mechanism string, n int, alpha float64, properties string, objectiveP float64) (Spec, error) {
+	return service.NewSpec(mechanism, n, alpha, properties, objectiveP)
+}
+
+// Spec and build failure classes, matchable with errors.Is against any
+// error the serving layer returns.
+var (
+	// ErrSpecInvalid marks malformed specs (unknown kind, alpha outside
+	// (0,1), unknown properties, negative objective exponent).
+	ErrSpecInvalid = service.ErrSpecInvalid
+	// ErrOverLimit marks well-formed specs beyond a serving admission
+	// bound (service.MaxN, MaxLPN, MaxLPMinimaxN).
+	ErrOverLimit = service.ErrOverLimit
+	// ErrBuildFailed marks deterministic mechanism-construction
+	// failures; retrying the same spec fails the same way.
+	ErrBuildFailed = service.ErrBuildFailed
+	// ErrNotAdmitted is returned by status lookups for specs never
+	// admitted (or since evicted).
+	ErrNotAdmitted = service.ErrNotAdmitted
+)
+
+// IsRetryableBuild reports whether a serving-layer error is
+// cancellation-class — the build was cut short (abandoned request,
+// eviction, shutdown) rather than deterministically failed — so
+// re-requesting the same spec re-arms it.
+func IsRetryableBuild(err error) bool { return service.IsRetryable(err) }
 
 // SpecKind selects how a Spec's mechanism is constructed.
 type SpecKind = service.Kind
