@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -123,6 +124,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
 		}
 		env.Error.HTTPStatus = resp.StatusCode
+		// Prefer the envelope's advice; fall back to the Retry-After
+		// header for servers that only set the header.
+		if env.Error.RetryAfterSeconds == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				env.Error.RetryAfterSeconds = float64(secs)
+			}
+		}
 		return env.Error
 	}
 	if out == nil {

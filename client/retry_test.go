@@ -1,0 +1,46 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestIsRetryable pins the SDK's retry classification: cut-short builds
+// and transient load-shed over_limit errors (503 or explicit advice)
+// are retryable; static refusals and every other code are not.
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"not an api error", errors.New("dial tcp: refused"), false},
+		{"build canceled", &Error{Code: CodeBuildCanceled}, true},
+		{"wrapped build canceled", fmt.Errorf("op 3: %w", &Error{Code: CodeBuildCanceled}), true},
+		{"build failed", &Error{Code: CodeBuildFailed, HTTPStatus: 422}, false},
+		{"spec invalid", &Error{Code: CodeSpecInvalid, HTTPStatus: 400}, false},
+		{"not admitted", &Error{Code: CodeNotAdmitted, HTTPStatus: 404}, false},
+		{"static over limit (400, no advice)", &Error{Code: CodeOverLimit, HTTPStatus: 400}, false},
+		{"shed over limit by status", &Error{Code: CodeOverLimit, HTTPStatus: http.StatusServiceUnavailable}, true},
+		{"shed over limit by advice (per-op, no status)", &Error{Code: CodeOverLimit, RetryAfterSeconds: 1.5}, true},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.want {
+			t.Errorf("%s: IsRetryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfter pins the advice accessor's unit conversion.
+func TestRetryAfter(t *testing.T) {
+	if d := (&Error{}).RetryAfter(); d != 0 {
+		t.Errorf("no advice: RetryAfter = %v, want 0", d)
+	}
+	if d := (&Error{RetryAfterSeconds: 2.5}).RetryAfter(); d != 2500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 2.5s", d)
+	}
+}

@@ -3,6 +3,8 @@ package client
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"time"
 
 	"privcount"
 )
@@ -49,10 +51,23 @@ type Error struct {
 	Code Code `json:"code"`
 	// Message is the human-readable detail from the server.
 	Message string `json:"message"`
+	// RetryAfterSeconds is the server's back-off advice for transient
+	// over_limit errors (load-shed build admissions): wait this long and
+	// the same request is likely admissible. Zero means no advice. It
+	// rides in the envelope so per-op errors inside a query response
+	// carry it too; top-level errors also surface it as an HTTP
+	// Retry-After header.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 	// HTTPStatus is the HTTP status the envelope arrived under (0 for
 	// errors synthesised client-side, e.g. an invalid spec caught before
 	// any request was made). It is not part of the wire form.
 	HTTPStatus int `json:"-"`
+}
+
+// RetryAfter returns the server's back-off advice as a duration (0 when
+// the error carries none).
+func (e *Error) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterSeconds * float64(time.Second))
 }
 
 // Error renders "code: message".
@@ -83,6 +98,28 @@ var (
 // Envelope is the uniform v2 error body.
 type Envelope struct {
 	Error *Error `json:"error"`
+}
+
+// IsRetryable reports whether err is worth retrying against the same
+// server: a cut-short build (CodeBuildCanceled — re-PUT re-arms it), or
+// a transient over_limit — a load-shed admission, recognisable by its
+// 503 status or by explicit Retry-After advice (per-op errors carry the
+// advice but no status). Static over_limit refusals (a spec beyond the
+// server's ceilings) and every other code are not retryable: they fail
+// the same way every time. Pair with (*Error).RetryAfter for how long
+// to back off.
+func IsRetryable(err error) bool {
+	var e *Error
+	if !errors.As(err, &e) {
+		return false
+	}
+	switch e.Code {
+	case CodeBuildCanceled:
+		return true
+	case CodeOverLimit:
+		return e.HTTPStatus == http.StatusServiceUnavailable || e.RetryAfterSeconds > 0
+	}
+	return false
 }
 
 // localError types a client-side failure (no wire round trip) with the

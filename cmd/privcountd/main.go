@@ -14,6 +14,7 @@
 // "lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0") is the resource ID:
 //
 //	GET  /healthz              liveness probe
+//	GET  /metrics              Prometheus text exposition
 //	GET  /v2/stats             cache + build-pipeline statistics
 //	PUT  /v2/mechanisms/{id}   admit a mechanism for background build
 //	GET  /v2/mechanisms/{id}   build status + mechanism detail when ready
@@ -54,12 +55,26 @@ func main() {
 		shards   = flag.Int("shards", 8, "cache shard count (rounded up to a power of two)")
 		seed     = flag.Uint64("seed", 0, "RNG pool seed; 0 seeds from the OS CSPRNG")
 		workers  = flag.Int("build-workers", 0, "background mechanism-build workers (0 = GOMAXPROCS, capped at 8)")
+
+		maxQueueDepth = flag.Int("max-queue-depth", 0,
+			"shed new build admissions when this many are already queued (0 = build queue capacity, negative = unlimited)")
+		maxInFlightSecs = flag.Float64("max-inflight-build-seconds", 0,
+			"shed new build admissions while running builds have spent this many summed wall seconds (0 = unlimited)")
+		shedRetryAfter = flag.Duration("shed-retry-after", 0,
+			"Retry-After advice attached to shed responses (0 = 1s)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	cfg := service.Config{Capacity: *capacity, Shards: *shards, Seed: *seed, BuildWorkers: *workers}
+	cfg := service.Config{
+		Capacity: *capacity, Shards: *shards, Seed: *seed, BuildWorkers: *workers,
+		Admission: service.AdmissionConfig{
+			MaxQueueDepth:      *maxQueueDepth,
+			MaxInFlightSeconds: *maxInFlightSecs,
+			RetryAfter:         *shedRetryAfter,
+		},
+	}
 	if err := run(ctx, *addr, cfg, nil); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,131 @@
+// Package costtest enforces the cost envelopes that internal/service
+// declares for its mechanism kinds (service.CostEnvelope). The idiom
+// follows starlark's startest harness: a declaration (MemSafe/CPUSafe
+// there, a CostEnvelope here) is only worth anything if a test measures
+// against it, so CheckEnvelope builds a representative spec of each
+// kind under wall-clock, heap, and allocation measurement and fails
+// when the kind spends more than its envelope's classes allow. The
+// envelope table and this harness hold each other honest: a new kind
+// added without an envelope fails here (its zero envelope admits
+// nothing), and an envelope loosened without the behaviour to match is
+// a visible diff in one file rather than silent drift.
+package costtest
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"privcount/internal/core"
+	"privcount/internal/service"
+)
+
+// Representative returns the spec CheckEnvelope measures for kind:
+// large enough that the construction exercises its real cost class
+// (dense table fills, a warm-start simplex solve, a cold epigraph
+// solve), small enough that the whole harness stays a unit test.
+func Representative(kind service.Kind) service.Spec {
+	switch kind {
+	case service.KindChoose:
+		// WH+CM routes Figure 5 to an LP design — choose's declared
+		// worst-case class — rather than a closed form.
+		return service.Spec{Kind: kind, N: 32, Alpha: 0.5, Props: core.WeakHonesty | core.ColumnMonotone}
+	case service.KindGeometric, service.KindExplicitFair:
+		return service.Spec{Kind: kind, N: 64, Alpha: 0.5}
+	case service.KindUniform:
+		return service.Spec{Kind: kind, N: 64}
+	case service.KindLP:
+		return service.Spec{Kind: kind, N: 24, Alpha: 0.5, Props: core.WeakHonesty | core.ColumnMonotone}
+	case service.KindLPMinimax:
+		return service.Spec{Kind: kind, N: 16, Alpha: 0.5}
+	}
+	return service.Spec{Kind: kind}
+}
+
+// classBudget maps a declared cost class to the concrete budget the
+// harness holds a representative build to. The curves are deliberately
+// generous — they exist to catch order-of-magnitude regressions (an
+// accidentally quadratic allocation pattern, a lost crash basis turning
+// a warm solve cold), not to flake on a loaded CI machine.
+func classBudget(c service.CostClass) (maxSeconds float64, maxBytes uint64) {
+	switch c {
+	case service.CostTable:
+		return 5, 64 << 20
+	case service.CostLP:
+		return 30, 256 << 20
+	case service.CostLPMinimax:
+		return 120, 512 << 20
+	}
+	return 0, 0 // unknown class: admits nothing
+}
+
+// CheckEnvelope verifies that spec's kind lives within env, reporting
+// every violation via tb.Errorf (never Fatalf, so a recording TB can
+// collect them). It checks, in order:
+//
+//  1. Coupling: the spec itself is admissible, and one past the
+//     envelope's MaxN is refused by Validate with ErrOverLimit — so the
+//     declared ceiling and the admission gate cannot desync.
+//  2. Build cost: constructing the mechanism stays inside the wall-clock
+//     and heap budgets of the declared BuildCPU and BuildMem classes.
+//  3. Serving cost: one cached Sample draw performs at most
+//     env.SampleAllocs heap allocations (measured by
+//     testing.AllocsPerRun).
+func CheckEnvelope(tb testing.TB, spec service.Spec, env service.CostEnvelope) {
+	tb.Helper()
+
+	// Static coupling between the declaration and admission control.
+	if spec.N > env.MaxN {
+		tb.Errorf("%s: representative spec n=%d is over the declared MaxN=%d", spec, spec.N, env.MaxN)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		tb.Errorf("%s: representative spec does not validate: %v", spec, err)
+		return
+	}
+	over := spec
+	over.N = env.MaxN + 1
+	if err := over.Validate(); !errors.Is(err, service.ErrOverLimit) {
+		tb.Errorf("%s: n=%d (one past declared MaxN) not refused with ErrOverLimit, got: %v", spec, over.N, err)
+	}
+
+	// Build under measurement. The service is fresh so the build is
+	// cold, and created before the baseline read so its own setup does
+	// not count against the kind.
+	svc := service.New(service.Config{Capacity: 4, Shards: 1})
+	defer svc.Close()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	_, err := svc.Get(spec)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		tb.Errorf("%s: build failed: %v", spec, err)
+		return
+	}
+	maxSeconds, _ := classBudget(env.BuildCPU)
+	if raceEnabled {
+		maxSeconds *= 10 // the race detector slows solves well over 2×
+	}
+	if wall > maxSeconds {
+		tb.Errorf("%s: build took %.2fs, over the %s class budget of %.0fs", spec, wall, env.BuildCPU, maxSeconds)
+	}
+	_, maxBytes := classBudget(env.BuildMem)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > maxBytes {
+		tb.Errorf("%s: build allocated %d bytes, over the %s class budget of %d", spec, grew, env.BuildMem, maxBytes)
+	}
+
+	// Serving: the hot path's allocation declaration.
+	j := spec.N / 2
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := svc.Sample(spec, j); err != nil {
+			tb.Errorf("%s: sample failed: %v", spec, err)
+		}
+	})
+	if allocs > float64(env.SampleAllocs) {
+		tb.Errorf("%s: Sample performs %.0f allocs per draw, envelope declares at most %d", spec, allocs, env.SampleAllocs)
+	}
+}

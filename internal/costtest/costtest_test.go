@@ -1,0 +1,88 @@
+package costtest
+
+import (
+	"strings"
+	"testing"
+
+	"privcount/internal/service"
+)
+
+// TestAllKindsWithinEnvelope is the enforcement pass: every declared
+// kind's representative build and serving path must stay inside the
+// envelope the service declares for it. A kind added to the enum
+// without an envelope fails here too — its zero envelope admits
+// nothing.
+func TestAllKindsWithinEnvelope(t *testing.T) {
+	for _, kind := range service.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Not parallel: CheckEnvelope's heap measurements are
+			// process-global, so concurrent builds would cross-pollute.
+			CheckEnvelope(t, Representative(kind), service.EnvelopeFor(kind))
+		})
+	}
+}
+
+// recorder captures harness failures instead of failing the real test,
+// so the test below can assert that CheckEnvelope DOES fail when a
+// declaration is broken.
+type recorder struct {
+	testing.TB // promoted for Helper etc.; Errorf overridden below
+	failures   []string
+}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, strings.TrimSpace(strings.ReplaceAll(format, "%v", "")))
+}
+
+func (r *recorder) contains(substr string) bool {
+	for _, f := range r.failures {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBrokenEnvelopeFails demonstrates the harness has teeth: an
+// envelope whose ceilings or declarations a kind does not actually meet
+// is reported, not silently accepted.
+func TestBrokenEnvelopeFails(t *testing.T) {
+	spec := Representative(service.KindGeometric)
+
+	// Ceiling below the representative spec: the static coupling check
+	// must catch the declaration/admission desync.
+	broken := service.EnvelopeFor(service.KindGeometric)
+	broken.MaxN = spec.N - 1
+	rec := &recorder{TB: t}
+	CheckEnvelope(rec, spec, broken)
+	if !rec.contains("over the declared MaxN") {
+		t.Errorf("lowered MaxN not reported; failures: %q", rec.failures)
+	}
+
+	// An impossible allocation declaration: the measured pass must catch
+	// it (zero allocations is still more than minus one).
+	broken = service.EnvelopeFor(service.KindGeometric)
+	broken.SampleAllocs = -1
+	rec = &recorder{TB: t}
+	CheckEnvelope(rec, spec, broken)
+	if !rec.contains("allocs per draw") {
+		t.Errorf("impossible SampleAllocs not reported; failures: %q", rec.failures)
+	}
+}
+
+// TestOverCeilingRefusedWithOverLimit pins the taxonomy end of the
+// coupling: one past every kind's ceiling is refused by Validate with
+// ErrOverLimit specifically (the code the HTTP layer maps to 400
+// over_limit), not a generic invalid-spec error.
+func TestOverCeilingRefusedWithOverLimit(t *testing.T) {
+	for _, kind := range service.Kinds() {
+		spec := Representative(kind)
+		spec.N = service.EnvelopeFor(kind).MaxN + 1
+		err := spec.Validate()
+		rec := &recorder{TB: t}
+		CheckEnvelope(rec, spec, service.EnvelopeFor(kind))
+		if !rec.contains("over the declared MaxN") {
+			t.Errorf("%v: over-ceiling spec not caught by harness (validate err: %v)", kind, err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package costtest
+
+// raceEnabled reports whether this binary runs under the race detector;
+// see race_on.go.
+const raceEnabled = false

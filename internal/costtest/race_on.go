@@ -1,0 +1,8 @@
+//go:build race
+
+package costtest
+
+// raceEnabled reports that this binary runs under the race detector,
+// which slows the LP kernels by an order of magnitude; CheckEnvelope
+// widens its wall-clock budgets accordingly.
+const raceEnabled = true

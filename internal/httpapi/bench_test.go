@@ -1,0 +1,79 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"privcount/client"
+	"privcount/internal/service"
+)
+
+// BenchmarkQueryHeterogeneousBatch measures the multiplexed query
+// endpoint at its protocol ceiling: one POST /v2/query carrying
+// client.MaxQueryOps mixed operations — single samples, seeded batches,
+// and estimate decodes — spread across eight distinct mechanism IDs, the
+// shape a fan-in aggregator produces when it amortises a scrape cycle
+// into one round trip. All mechanisms are prebuilt, so the measurement
+// is serving cost (mux dispatch, JSON decode/encode, per-op routing,
+// cache hits), not build cost.
+func BenchmarkQueryHeterogeneousBatch(b *testing.B) {
+	svc := service.New(service.Config{Capacity: 32, Seed: 1})
+	defer svc.Close()
+	mux := NewMux(svc)
+
+	ids := []string{
+		"gm:n=8:a=0.5", "gm:n=64:a=0.5",
+		"em:n=16:a=0.5", "em:n=64:a=0.8",
+		"um:n=8", "um:n=32",
+		"choose:n=32:a=0.5:WH+CM:p=0",
+		"choose:n=64:a=0.8:RH+RM+CH+CM+WH:p=0",
+	}
+	seed := uint64(7)
+	ops := make([]client.Op, 0, client.MaxQueryOps)
+	for i := 0; len(ops) < client.MaxQueryOps; i++ {
+		id := ids[i%len(ids)]
+		switch i % 3 {
+		case 0:
+			ops = append(ops, client.Op{Op: client.OpSample, ID: id, Count: i % 8})
+		case 1:
+			ops = append(ops, client.Op{Op: client.OpBatch, ID: id, Counts: []int{1, 3, 5, 7}, Seed: &seed})
+		default:
+			ops = append(ops, client.Op{Op: client.OpEstimate, ID: id, Outputs: []int{0, 2, 4}})
+		}
+	}
+	body, err := json.Marshal(client.QueryRequest{Ops: ops})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm every mechanism (first touch builds synchronously) and verify
+	// the batch succeeds end to end before measuring.
+	warm := httptest.NewRecorder()
+	mux.ServeHTTP(warm, httptest.NewRequest(http.MethodPost, "/v2/query", bytes.NewReader(body)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup query status %d: %s", warm.Code, warm.Body.String())
+	}
+	var resp client.QueryResponse
+	if err := json.Unmarshal(warm.Body.Bytes(), &resp); err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if r.Error != nil {
+			b.Fatalf("warmup op %d (%s %s): %v", i, ops[i].Op, ops[i].ID, r.Err())
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v2/query", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("query status %d", rec.Code)
+		}
+	}
+	b.ReportMetric(float64(len(ops)), "ops/op")
+}

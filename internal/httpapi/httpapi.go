@@ -36,44 +36,112 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"privcount/client"
 	"privcount/internal/core"
+	"privcount/internal/metrics"
 	"privcount/internal/service"
 )
 
-// api binds the handlers to one service.
+// api binds the handlers to one service, plus the HTTP-layer
+// instrumentation every handler reports into.
 type api struct {
 	svc *service.Service
+
+	// requests counts finished requests by route pattern and HTTP status
+	// code; latency is the per-route request-duration histogram;
+	// errorCodes counts taxonomy errors by wire code (including per-op
+	// errors inside an otherwise-200 query response, which the
+	// status-code dimension of requests cannot see).
+	requests   *metrics.CounterVec
+	latency    *metrics.HistogramVec
+	errorCodes *metrics.CounterVec
 }
 
-// NewMux wires the full v1+v2 route set over svc.
+// NewMux wires the full v1+v2 route set over svc, with a private
+// metrics registry behind GET /metrics. Use NewMuxWithMetrics to share
+// or inspect the registry.
 func NewMux(svc *service.Service) *http.ServeMux {
-	a := &api{svc: svc}
+	return NewMuxWithMetrics(svc, metrics.NewRegistry())
+}
+
+// NewMuxWithMetrics is NewMux against a caller-owned registry: the
+// service's cache/build/admission series and the HTTP layer's per-route
+// series are registered on reg, and reg's exposition is served at
+// GET /metrics. Each registry can back at most one mux (series names
+// are registered once).
+func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeMux {
+	svc.RegisterMetrics(reg)
+	a := &api{
+		svc: svc,
+		requests: reg.NewCounterVec("privcount_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: reg.NewHistogramVec("privcount_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			metrics.DefaultLatencyBuckets, "route"),
+		errorCodes: reg.NewCounterVec("privcount_http_errors_total",
+			"API errors emitted, by taxonomy code (counts per-op query errors too).",
+			"code"),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, a.instrument(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 
+	// The scrape endpoint itself is deliberately uninstrumented: a
+	// scraper polling it would otherwise dominate the request series.
+	mux.Handle("GET /metrics", reg.Handler())
+
 	// v2: mechanism identity + multiplexed query.
-	mux.HandleFunc("PUT /v2/mechanisms/{id}", a.putMechanism)
-	mux.HandleFunc("GET /v2/mechanisms/{id}", a.getMechanism)
-	mux.HandleFunc("GET /v2/mechanisms", a.listMechanisms)
-	mux.HandleFunc("POST /v2/query", a.postQuery)
-	mux.HandleFunc("GET /v2/stats", a.getStats)
+	handle("PUT /v2/mechanisms/{id}", a.putMechanism)
+	handle("GET /v2/mechanisms/{id}", a.getMechanism)
+	handle("GET /v2/mechanisms", a.listMechanisms)
+	handle("POST /v2/query", a.postQuery)
+	handle("GET /v2/stats", a.getStats)
 
 	// v1: deprecated shims over the same internals.
-	mux.HandleFunc("GET /v1/stats", deprecated("/v2/stats", a.getStats))
-	mux.HandleFunc("POST /v1/mechanism", deprecated("/v2/mechanisms", a.v1Mechanism))
-	mux.HandleFunc("GET /v1/mechanism/status", deprecated("/v2/mechanisms", a.v1MechanismStatus))
-	mux.HandleFunc("POST /v1/sample", deprecated("/v2/query", a.v1Sample))
-	mux.HandleFunc("POST /v1/batch", deprecated("/v2/query", a.v1Batch))
-	mux.HandleFunc("POST /v1/estimate", deprecated("/v2/query", a.v1Estimate))
+	handle("GET /v1/stats", deprecated("/v2/stats", a.getStats))
+	handle("POST /v1/mechanism", deprecated("/v2/mechanisms", a.v1Mechanism))
+	handle("GET /v1/mechanism/status", deprecated("/v2/mechanisms", a.v1MechanismStatus))
+	handle("POST /v1/sample", deprecated("/v2/query", a.v1Sample))
+	handle("POST /v1/batch", deprecated("/v2/query", a.v1Batch))
+	handle("POST /v1/estimate", deprecated("/v2/query", a.v1Estimate))
 	return mux
+}
+
+// instrument wraps a handler with the per-route request counter and
+// latency histogram. The route label is the static mux pattern, never
+// the raw URL, so cardinality is bounded by the route table.
+func (a *api) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		a.requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+		a.latency.With(pattern).Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter captures the status code a handler wrote (200 if it
+// never called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // v1DeprecationDate is when the v1 routes were deprecated (the v2
@@ -100,6 +168,12 @@ func taxonomy(err error) (client.Code, int) {
 	switch {
 	case errors.Is(err, service.ErrNotAdmitted):
 		return client.CodeNotAdmitted, http.StatusNotFound
+	case errors.Is(err, service.ErrShed):
+		// Load-shed build admission: over a limit, but a transient one —
+		// 503 (with Retry-After, see writeV2Error) instead of the static
+		// over-limit 400. Checked before ErrOverLimit: shed errors match
+		// both sentinels.
+		return client.CodeOverLimit, http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrOverLimit):
 		return client.CodeOverLimit, http.StatusBadRequest
 	case errors.Is(err, service.ErrSpecInvalid):
@@ -119,16 +193,52 @@ func taxonomy(err error) (client.Code, int) {
 	}
 }
 
-// wireError converts err into the shared wire error struct.
+// wireError converts err into the shared wire error struct. Shed
+// admissions carry the server's back-off advice in the envelope itself,
+// so it survives contexts with no headers of their own (per-op errors
+// in a query response).
 func wireError(err error) *client.Error {
 	code, status := taxonomy(err)
-	return &client.Error{Code: code, Message: err.Error(), HTTPStatus: status}
+	e := &client.Error{Code: code, Message: err.Error(), HTTPStatus: status}
+	var shed *service.ShedError
+	if errors.As(err, &shed) {
+		e.RetryAfterSeconds = shed.RetryAfter.Seconds()
+	}
+	return e
 }
 
-// writeV2Error writes the uniform v2 error envelope for err.
-func writeV2Error(w http.ResponseWriter, err error) {
+// writeV2Error writes the uniform v2 error envelope for err, counting
+// the taxonomy code and surfacing shed back-off advice as a Retry-After
+// header.
+func (a *api) writeV2Error(w http.ResponseWriter, err error) {
 	e := wireError(err)
+	a.countError(e)
+	setRetryAfter(w, e)
 	writeJSON(w, e.HTTPStatus, client.Envelope{Error: e})
+}
+
+// countError records one emitted taxonomy error in the errorCodes
+// metric.
+func (a *api) countError(e *client.Error) {
+	a.errorCodes.With(string(e.Code)).Inc()
+}
+
+// opError converts a per-op failure into its result slot, counting the
+// taxonomy code (the op rides inside a 200 response, so the request
+// status dimension never sees it).
+func (a *api) opError(err error) client.OpResult {
+	e := wireError(err)
+	a.countError(e)
+	return client.OpResult{Error: e}
+}
+
+// setRetryAfter adds the RFC 9110 Retry-After header when the error
+// carries back-off advice (load-shed admissions), rounded up to whole
+// seconds as the header requires.
+func setRetryAfter(w http.ResponseWriter, e *client.Error) {
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(e.RetryAfterSeconds))))
+	}
 }
 
 // ---- v2 handlers ----
@@ -183,12 +293,12 @@ func mechanismInfo(e *service.Entry) *client.MechanismInfo {
 func (a *api) putMechanism(w http.ResponseWriter, r *http.Request) {
 	spec, err := pathSpec(r)
 	if err != nil {
-		writeV2Error(w, err)
+		a.writeV2Error(w, err)
 		return
 	}
 	info, err := a.svc.Start(spec)
 	if err != nil {
-		writeV2Error(w, err)
+		a.writeV2Error(w, err)
 		return
 	}
 	// Serve the document from one entry snapshot so state and detail
@@ -223,12 +333,12 @@ func (a *api) putMechanism(w http.ResponseWriter, r *http.Request) {
 func (a *api) getMechanism(w http.ResponseWriter, r *http.Request) {
 	spec, err := pathSpec(r)
 	if err != nil {
-		writeV2Error(w, err)
+		a.writeV2Error(w, err)
 		return
 	}
 	e, err := a.svc.Peek(spec)
 	if err != nil {
-		writeV2Error(w, err)
+		a.writeV2Error(w, err)
 		return
 	}
 	// Gate the detail on the snapshot's state, not a second State()
@@ -263,15 +373,15 @@ func (a *api) listMechanisms(w http.ResponseWriter, _ *http.Request) {
 func (a *api) postQuery(w http.ResponseWriter, r *http.Request) {
 	var req client.QueryRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+		a.writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
 		return
 	}
 	if len(req.Ops) == 0 {
-		writeV2Error(w, fmt.Errorf("%w: empty ops", service.ErrSpecInvalid))
+		a.writeV2Error(w, fmt.Errorf("%w: empty ops", service.ErrSpecInvalid))
 		return
 	}
 	if len(req.Ops) > client.MaxQueryOps {
-		writeV2Error(w, fmt.Errorf("%w: %d query ops, max %d", service.ErrOverLimit, len(req.Ops), client.MaxQueryOps))
+		a.writeV2Error(w, fmt.Errorf("%w: %d query ops, max %d", service.ErrOverLimit, len(req.Ops), client.MaxQueryOps))
 		return
 	}
 	resp := client.QueryResponse{Results: make([]client.OpResult, len(req.Ops))}
@@ -294,18 +404,18 @@ func (a *api) postQuery(w http.ResponseWriter, r *http.Request) {
 func (a *api) runOp(ctx context.Context, op client.Op) client.OpResult {
 	var spec service.Spec
 	if err := spec.UnmarshalText([]byte(op.ID)); err != nil {
-		return client.OpResult{Error: wireError(err)}
+		return a.opError(err)
 	}
 	switch op.Op {
 	case client.OpSample:
 		out, err := a.svc.SampleCtx(ctx, spec, op.Count)
 		if err != nil {
-			return client.OpResult{Error: wireError(err)}
+			return a.opError(err)
 		}
 		return client.OpResult{Output: &out}
 	case client.OpBatch:
 		if len(op.Counts) == 0 {
-			return client.OpResult{Error: wireError(fmt.Errorf("%w: empty counts", service.ErrSpecInvalid))}
+			return a.opError(fmt.Errorf("%w: empty counts", service.ErrSpecInvalid))
 		}
 		var outs []int
 		var err error
@@ -315,22 +425,22 @@ func (a *api) runOp(ctx context.Context, op client.Op) client.OpResult {
 			outs, err = a.svc.SampleBatchCtx(ctx, spec, op.Counts, nil)
 		}
 		if err != nil {
-			return client.OpResult{Error: wireError(err)}
+			return a.opError(err)
 		}
 		return client.OpResult{Outputs: outs}
 	case client.OpEstimate:
 		if len(op.Outputs) == 0 {
-			return client.OpResult{Error: wireError(fmt.Errorf("%w: empty outputs", service.ErrSpecInvalid))}
+			return a.opError(fmt.Errorf("%w: empty outputs", service.ErrSpecInvalid))
 		}
 		est, err := a.svc.EstimateCtx(ctx, spec, op.Outputs)
 		if err != nil {
-			return client.OpResult{Error: wireError(err)}
+			return a.opError(err)
 		}
 		return client.OpResult{
 			MLE: est.MLE, Sum: &est.Sum, Mean: &est.Mean, Unbiased: &est.Unbiased,
 		}
 	default:
-		return client.OpResult{Error: wireError(fmt.Errorf("%w: unknown op %q (want sample, batch, or estimate)", service.ErrSpecInvalid, op.Op))}
+		return a.opError(fmt.Errorf("%w: unknown op %q (want sample, batch, or estimate)", service.ErrSpecInvalid, op.Op))
 	}
 }
 
@@ -341,12 +451,14 @@ func (a *api) getStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"entries": st.Entries, "hits": st.Hits,
 		"misses": st.Misses, "evictions": st.Evictions,
-		"build_queue_depth": st.QueueDepth,
-		"builds_in_flight":  st.InFlight,
-		"builds":            st.Builds,
-		"build_failures":    st.BuildFailures,
-		"build_cancels":     st.BuildCancels,
-		"build_seconds":     st.BuildSeconds,
+		"build_queue_depth":      st.QueueDepth,
+		"builds_in_flight":       st.InFlight,
+		"builds":                 st.Builds,
+		"build_failures":         st.BuildFailures,
+		"build_cancels":          st.BuildCancels,
+		"build_seconds":          st.BuildSeconds,
+		"admission_sheds":        st.Sheds,
+		"inflight_build_seconds": st.InFlightBuildSeconds,
 	})
 }
 
@@ -428,7 +540,7 @@ func (a *api) v1Mechanism(w http.ResponseWriter, r *http.Request) {
 		// through to the full document.
 		info, err := a.svc.Start(spec)
 		if err != nil {
-			writeV1Error(w, http.StatusBadRequest, err)
+			a.writeV1Error(w, http.StatusBadRequest, err)
 			return
 		}
 		if info.State != service.BuildReady {
@@ -438,7 +550,7 @@ func (a *api) v1Mechanism(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := a.svc.GetCtx(r.Context(), spec)
 	if err != nil {
-		writeV1Error(w, statusForBuildErr(err), err)
+		a.writeV1Error(w, statusForBuildErr(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, mechanismInfo(e))
@@ -448,7 +560,7 @@ func (a *api) v1Mechanism(w http.ResponseWriter, r *http.Request) {
 func (a *api) v1MechanismStatus(w http.ResponseWriter, r *http.Request) {
 	spec, err := specFromQuery(r.URL.Query())
 	if err != nil {
-		writeV1Error(w, http.StatusBadRequest, err)
+		a.writeV1Error(w, http.StatusBadRequest, err)
 		return
 	}
 	info, err := a.svc.Status(spec)
@@ -459,7 +571,7 @@ func (a *api) v1MechanismStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeV1Error(w, http.StatusBadRequest, err)
+		a.writeV1Error(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v1StatusDoc(info))
@@ -479,7 +591,7 @@ func (a *api) v1Sample(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := a.svc.SampleCtx(r.Context(), spec, req.Count)
 	if err != nil {
-		writeV1Error(w, statusForBuildErr(err), err)
+		a.writeV1Error(w, statusForBuildErr(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"output": out})
@@ -497,7 +609,7 @@ func (a *api) v1Batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Counts) == 0 {
-		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
+		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
 		return
 	}
 	var outs []int
@@ -508,7 +620,7 @@ func (a *api) v1Batch(w http.ResponseWriter, r *http.Request) {
 		outs, err = a.svc.SampleBatchCtx(r.Context(), spec, req.Counts, nil)
 	}
 	if err != nil {
-		writeV1Error(w, statusForBuildErr(err), err)
+		a.writeV1Error(w, statusForBuildErr(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
@@ -525,12 +637,12 @@ func (a *api) v1Estimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Outputs) == 0 {
-		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
+		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
 		return
 	}
 	est, err := a.svc.EstimateCtx(r.Context(), spec, req.Outputs)
 	if err != nil {
-		writeV1Error(w, statusForBuildErr(err), err)
+		a.writeV1Error(w, statusForBuildErr(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -560,12 +672,12 @@ func (r specRequest) carriedSpec() specRequest { return r }
 // on failure.
 func (a *api) decodeSpec(w http.ResponseWriter, r *http.Request, dst specCarrier) (service.Spec, bool) {
 	if err := decodeJSON(w, r, dst); err != nil {
-		writeV1Error(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return service.Spec{}, false
 	}
 	spec, err := dst.carriedSpec().spec()
 	if err != nil {
-		writeV1Error(w, http.StatusBadRequest, err)
+		a.writeV1Error(w, http.StatusBadRequest, err)
 		return service.Spec{}, false
 	}
 	return spec, true
@@ -586,7 +698,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeV1Error writes the v1 flat error shape {"error": "message"}.
-func writeV1Error(w http.ResponseWriter, status int, err error) {
+// writeV1Error writes the v1 flat error shape {"error": "message"},
+// counting the taxonomy code and surfacing shed back-off advice as a
+// Retry-After header (the flat body cannot carry it).
+func (a *api) writeV1Error(w http.ResponseWriter, status int, err error) {
+	e := wireError(err)
+	a.countError(e)
+	setRetryAfter(w, e)
 	writeJSON(w, status, map[string]any{"error": err.Error()})
 }

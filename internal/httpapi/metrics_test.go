@@ -1,0 +1,363 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privcount"
+	"privcount/client"
+	"privcount/internal/metrics"
+	"privcount/internal/service"
+)
+
+var updateMetrics = flag.Bool("update", false, "rewrite the /metrics exposition golden file")
+
+// newTestAPI builds an api wired exactly as NewMuxWithMetrics does,
+// for tests that need to drive its error writers directly.
+func newTestAPI(t *testing.T) *api {
+	t.Helper()
+	svc := service.New(service.Config{Capacity: 8, Seed: 7})
+	t.Cleanup(svc.Close)
+	reg := metrics.NewRegistry()
+	a := &api{
+		svc:        svc,
+		requests:   reg.NewCounterVec("privcount_http_requests_total", "t", "route", "code"),
+		latency:    reg.NewHistogramVec("privcount_http_request_seconds", "t", nil, "route"),
+		errorCodes: reg.NewCounterVec("privcount_http_errors_total", "t", "code"),
+	}
+	return a
+}
+
+// TestShedWireMapping pins the whole shed contract across the layers:
+// a service ShedError leaves the server as code over_limit under 503
+// with a Retry-After header and envelope advice, and the SDK classifies
+// the decoded error retryable (where a static over-limit refusal stays
+// a non-retryable 400).
+func TestShedWireMapping(t *testing.T) {
+	a := newTestAPI(t)
+	shed := &service.ShedError{Reason: service.ShedQueueDepth, RetryAfter: 2 * time.Second}
+
+	rec := httptest.NewRecorder()
+	a.writeV2Error(rec, shed)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("shed status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	var env client.Envelope
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("decoding shed envelope: %v", err)
+	}
+	env.Error.HTTPStatus = rec.Code
+	if env.Error.Code != client.CodeOverLimit {
+		t.Errorf("shed code = %q, want over_limit", env.Error.Code)
+	}
+	if env.Error.RetryAfterSeconds != 2 {
+		t.Errorf("retry_after_seconds = %v, want 2", env.Error.RetryAfterSeconds)
+	}
+	if !client.IsRetryable(env.Error) {
+		t.Error("SDK does not classify the shed error as retryable")
+	}
+	if env.Error.RetryAfter() != 2*time.Second {
+		t.Errorf("RetryAfter() = %v, want 2s", env.Error.RetryAfter())
+	}
+
+	// Per-op shed errors keep the advice (and retryability) without any
+	// header to carry it.
+	op := a.opError(fmt.Errorf("wrapped: %w", shed))
+	if op.Error == nil || op.Error.RetryAfterSeconds != 2 || !client.IsRetryable(op.Error) {
+		t.Errorf("per-op shed error loses advice or retryability: %+v", op.Error)
+	}
+
+	// Contrast: a static over-limit refusal is 400 and not retryable.
+	rec = httptest.NewRecorder()
+	a.writeV2Error(rec, fmt.Errorf("%w: too big", service.ErrOverLimit))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("static over-limit status = %d, want 400", rec.Code)
+	}
+	var staticEnv client.Envelope
+	if err := json.NewDecoder(rec.Body).Decode(&staticEnv); err != nil || staticEnv.Error == nil {
+		t.Fatalf("decoding static envelope: %v", err)
+	}
+	staticEnv.Error.HTTPStatus = rec.Code
+	if client.IsRetryable(staticEnv.Error) {
+		t.Error("static over-limit refusal must not be retryable")
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("static over-limit carries Retry-After %q", got)
+	}
+}
+
+// TestShedEndToEnd drives a real shed through the full HTTP stack: the
+// service's admission gate refuses a cold build, and the client SDK
+// sees a retryable typed error.
+func TestShedEndToEnd(t *testing.T) {
+	// One build worker, queue budget one: wedge the worker on a slow LP
+	// solve, stack a second build into the queue, and the third
+	// admission must shed — no timing assumptions beyond "a warm n=96
+	// LP solve outlives two HTTP round trips" (skips if not).
+	svc := service.New(service.Config{Capacity: 8, Seed: 7, BuildWorkers: 1,
+		Admission: service.AdmissionConfig{MaxQueueDepth: 1, RetryAfter: 2 * time.Second}})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(NewMux(svc))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge the single build worker on an LP solve and stack a second
+	// build into the queue; the third admission must shed. The first
+	// two are async PUTs so nothing here waits on the solver.
+	slow := privSpec(t, "lp:n=96:a=0.5:WH+CM:p=0")
+	queued := privSpec(t, "lp:n=64:a=0.5:WH+CM:p=0")
+	cold := privSpec(t, "gm:n=8:a=0.5")
+	if _, err := c.Create(context.Background(), slow); err != nil {
+		t.Fatalf("admitting slow build: %v", err)
+	}
+	// Wait until the worker has actually picked the slow build up, so
+	// the next admission sits in the queue rather than racing past it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := svc.Stats(); st.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Skip("slow build finished before it could wedge the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Create(context.Background(), queued); err != nil {
+		// The slow build may have finished already on a fast machine;
+		// then nothing queues and no shed can be forced.
+		t.Fatalf("admitting queued build: %v", err)
+	}
+	if st := svc.Stats(); st.QueueDepth < 1 {
+		t.Skip("worker drained the queue before the shed admission; machine too fast for this fixture")
+	}
+
+	_, err = c.Sample(context.Background(), cold, 3)
+	if err == nil {
+		t.Fatal("cold sample admitted with the pipeline over budget")
+	}
+	if !errors.Is(err, client.ErrOverLimit) {
+		t.Errorf("shed error does not match client.ErrOverLimit: %v", err)
+	}
+	if !client.IsRetryable(err) {
+		t.Errorf("SDK does not classify end-to-end shed as retryable: %v", err)
+	}
+	var apiErr *client.Error
+	if errors.As(err, &apiErr) && apiErr.RetryAfter() != 2*time.Second {
+		t.Errorf("end-to-end RetryAfter = %v, want 2s", apiErr.RetryAfter())
+	}
+}
+
+// privSpec parses a canonical wire token through the public facade.
+func privSpec(t *testing.T, token string) privcount.Spec {
+	t.Helper()
+	spec, err := privcount.ParseSpec(token)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", token, err)
+	}
+	return spec
+}
+
+// TestMetricsGolden pins the /metrics exposition format — family names,
+// help/type lines, label sets, ordering — against a golden file, with
+// sample values normalised (they vary run to run; the shape must not).
+// Regenerate with: go test ./internal/httpapi -run TestMetricsGolden -update
+func TestMetricsGolden(t *testing.T) {
+	svc := service.New(service.Config{Capacity: 32, Seed: 7})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(NewMux(svc))
+	t.Cleanup(ts.Close)
+
+	// A fixed request script so the dynamic series (per-route requests,
+	// error codes) are deterministic. The query builds gm synchronously,
+	// so the PUT that follows observes a ready mechanism (200, never
+	// 202) and the exposition is timing-independent.
+	script := []struct {
+		method, path, body string
+	}{
+		{"POST", "/v2/query", `{"ops":[{"op":"sample","id":"gm:n=8:a=0.5","count":3},{"op":"estimate","id":"gm:n=8:a=0.5","outputs":[1,2]},{"op":"sample","id":"not a spec","count":1}]}`},
+		{"PUT", "/v2/mechanisms/gm:n=8:a=0.5", ""},
+		{"GET", "/v2/mechanisms/gm:n=8:a=0.5", ""},
+		{"GET", "/v2/mechanisms/um:n=4", ""},      // not_admitted
+		{"GET", "/v2/mechanisms/um:n=999999", ""}, // static over_limit
+		{"GET", "/v2/mechanisms", ""},
+		{"GET", "/v2/stats", ""},
+		{"GET", "/healthz", ""},
+	}
+	for _, step := range script {
+		var body io.Reader
+		if step.body != "" {
+			body = strings.NewReader(step.body)
+		}
+		req, err := http.NewRequest(step.method, ts.URL+step.path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", step.method, step.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	got := normalizeExposition(t, resp.Body)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateMetrics {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics exposition drifted from golden; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// normalizeExposition replaces every sample value with "V" so the
+// golden pins names, labels and ordering but not measurements.
+func normalizeExposition(t *testing.T, r io.Reader) string {
+	t.Helper()
+	var b strings.Builder
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || line == "" {
+			b.WriteString(line)
+			b.WriteByte('\n')
+			continue
+		}
+		// "name{labels} value" or "name value": the value is everything
+		// after the last space.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		b.WriteString(line[:i])
+		b.WriteString(" V\n")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestMetricsScrapeNeverBlocksServing soaks the serving hot path while
+// /metrics is scraped concurrently — including by a scraper that stalls
+// without reading its response — under churn (admissions, builds,
+// evictions). Run with -race in CI, this pins both data-safety and the
+// design point that a slow scraper holds no lock the sample path needs.
+func TestMetricsScrapeNeverBlocksServing(t *testing.T) {
+	svc := service.New(service.Config{Capacity: 4, Shards: 1, Seed: 7})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(NewMux(svc))
+	t.Cleanup(ts.Close)
+
+	// A stalled scraper: request /metrics, read one byte, then sit on
+	// the open response while the serving soak runs.
+	stalled, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Body.Close()
+	if _, err := stalled.Body.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var served atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Rotating spec set larger than the cache forces eviction
+			// churn (admissions, cancelled builds) while sampling.
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 4 + (g+i)%8
+				body := fmt.Sprintf(`{"ops":[{"op":"sample","id":"gm:n=%d:a=0.5","count":1},{"op":"sample","id":"um:n=%d","count":1}]}`, n, n)
+				resp, err := http.Post(ts.URL+"/v2/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					select {
+					case <-stop: // shutdown race, not a failure
+						return
+					default:
+						t.Errorf("query: %v", err)
+						return
+					}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				served.Add(1)
+			}
+		}(g)
+	}
+	// Concurrent healthy scrapes during the churn.
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 30; i++ {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-scrapeDone
+
+	// Progress check: serving kept moving while the stalled scraper
+	// held its response open the whole time.
+	before := served.Load()
+	deadline := time.Now().Add(10 * time.Second)
+	for served.Load() < before+10 {
+		if time.Now().After(deadline) {
+			t.Fatal("serving made no progress while a scraper was stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,511 @@
+// Package metrics is privcount's in-process observability substrate: a
+// dependency-free registry of counters, gauges and fixed-bucket
+// histograms rendered in the Prometheus text exposition format
+// (version 0.0.4), servable as GET /metrics.
+//
+// The design constraint is the serving hot path: privcountd draws
+// millions of samples per second from lock-free cache snapshots, and a
+// scrape must never stall that. Two rules enforce it:
+//
+//   - Instrument writes are single atomic operations. Counter.Add and
+//     Histogram.Observe touch only atomics; vector lookups take a
+//     read lock on a map that is write-locked solely when a new label
+//     combination first appears.
+//
+//   - A scrape renders the whole exposition into a private buffer
+//     before the first byte is written to the client, so a slow or
+//     stalled scraper holds no registry or family lock while it drains
+//     the response. Func-backed instruments (CounterFunc, GaugeFunc)
+//     are sampled during that buffered render, which lets subsystems
+//     expose already-maintained atomics (cache hit counters, queue
+//     depths) with zero additional hot-path work.
+//
+// Metric and label names are part of the wire contract: the golden
+// exposition test in internal/httpapi pins them against silent drift.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a metric family's Prometheus type.
+type Type string
+
+// Family types rendered in # TYPE lines.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// Registry holds metric families and renders them in the text
+// exposition format. The zero value is not usable; construct with
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// family is one metric name: its metadata plus every labelled series.
+type family struct {
+	name   string
+	help   string
+	typ    Type
+	labels []string // label names every series must carry, in order
+
+	mu     sync.RWMutex
+	series map[string]renderer // key: rendered label block ("" when unlabelled)
+}
+
+// renderer emits one series' sample lines into the scrape buffer.
+type renderer interface {
+	render(b *strings.Builder, name, labelBlock string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// checkName enforces the Prometheus metric/label name charset; an
+// invalid name is a programming error and panics at registration time,
+// never on the hot path.
+func checkName(name string) {
+	if name == "" {
+		panic("metrics: empty name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid name %q", name))
+		}
+	}
+}
+
+// familyFor returns (creating on first use) the family for name,
+// panicking on metadata mismatch with a prior registration — two
+// subsystems silently sharing one name with different meanings is a
+// bug worth failing fast on.
+func (r *Registry) familyFor(name, help string, typ Type, labels []string) *family {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, typ: typ,
+			labels: append([]string(nil), labels...),
+			series: make(map[string]renderer),
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %s re-registered with conflicting type or labels", name))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("metrics: %s re-registered with conflicting labels", name))
+		}
+	}
+	return f
+}
+
+// add attaches a series to the family under the rendered label block,
+// panicking on duplicates (same name, same labels, two owners).
+func (f *family) add(labelBlock string, s renderer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.series[labelBlock]; dup {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", f.name, labelBlock))
+	}
+	f.series[labelBlock] = s
+}
+
+// labelBlock renders `{a="x",b="y"}` for the family's label names and
+// the given values, escaping values per the exposition format.
+func labelBlock(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("metrics: %d label values for %d label names", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trippable decimal, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- scalar instruments ----
+
+// value is a float64 held in atomic bits — the storage behind Counter
+// and Gauge.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+func (v *value) render(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v.load()))
+	b.WriteByte('\n')
+}
+
+// Counter is a monotonically increasing value. Inc and Add are
+// single-atomic-CAS operations, safe on any hot path.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d, which must be non-negative for the counter contract to
+// hold (not checked — the caller owns the semantics).
+func (c *Counter) Add(d float64) { c.v.add(d) }
+
+// Value returns the current count (for tests; scrapes read it too).
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(x float64) { g.v.set(x) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// funcSeries samples fn at scrape time — the zero-hot-path-cost
+// instrument for subsystems that already maintain their own atomics.
+type funcSeries struct{ fn func() float64 }
+
+func (s funcSeries) render(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.fn()))
+	b.WriteByte('\n')
+}
+
+// ---- registration: scalars ----
+
+// NewCounter registers and returns an unlabelled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	f := r.familyFor(name, help, TypeCounter, nil)
+	f.add("", &c.v)
+	return c
+}
+
+// NewGauge registers and returns an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	f := r.familyFor(name, help, TypeGauge, nil)
+	f.add("", &g.v)
+	return g
+}
+
+// NewCounterFunc registers a counter whose value is fn() sampled at
+// scrape time. fn must be monotonically non-decreasing and safe to call
+// from any goroutine.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.familyFor(name, help, TypeCounter, nil).add("", funcSeries{fn})
+}
+
+// NewGaugeFunc registers a gauge whose value is fn() sampled at scrape
+// time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.familyFor(name, help, TypeGauge, nil).add("", funcSeries{fn})
+}
+
+// NewLabeledCounterFunc registers one labelled series of the counter
+// family name, valued by fn() at scrape time. Call it once per label
+// combination; all calls for one name must pass the same label names in
+// the same order.
+func (r *Registry) NewLabeledCounterFunc(name, help string, labels, values []string, fn func() float64) {
+	f := r.familyFor(name, help, TypeCounter, labels)
+	f.add(labelBlock(f.labels, values), funcSeries{fn})
+}
+
+// NewLabeledGaugeFunc is NewLabeledCounterFunc for a gauge family.
+func (r *Registry) NewLabeledGaugeFunc(name, help string, labels, values []string, fn func() float64) {
+	f := r.familyFor(name, help, TypeGauge, labels)
+	f.add(labelBlock(f.labels, values), funcSeries{fn})
+}
+
+// ---- vectors ----
+
+// CounterVec is a counter family partitioned by labels. With returns
+// the child for one label combination, creating it on first use;
+// callers on hot paths should look their child up once and keep the
+// handle.
+type CounterVec struct {
+	f        *family
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// NewCounterVec registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{
+		f:        r.familyFor(name, help, TypeCounter, labels),
+		children: make(map[string]*Counter),
+	}
+}
+
+// With returns the counter for the given label values (in registration
+// order), creating the series on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelBlock(v.f.labels, values)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	v.f.add(key, &c.v)
+	return c
+}
+
+// ---- histograms ----
+
+// DefaultLatencyBuckets spans sub-millisecond cache hits to the tens of
+// seconds an LP-backed build-and-wait can take, in seconds.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observe is two atomic adds
+// plus one CAS — no locks, safe on any hot path.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    value
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("metrics: histogram buckets not sorted")
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~16) and latencies skew
+	// into the first buckets, so this beats binary search in practice.
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+func (h *Histogram) render(b *strings.Builder, name, labels string) {
+	// labels is `{...}` or ""; the le label joins any existing ones.
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		writeBucket(b, name, labels, formatValue(ub), cum)
+	}
+	writeBucket(b, name, labels, "+Inf", h.count.Load())
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(h.sum.load()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(h.count.Load(), 10))
+	b.WriteByte('\n')
+}
+
+func writeBucket(b *strings.Builder, name, labels, le string, cum uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	if labels == "" {
+		b.WriteString(`{le="`)
+	} else {
+		b.WriteString(labels[:len(labels)-1])
+		b.WriteString(`,le="`)
+	}
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// NewHistogram registers an unlabelled fixed-bucket histogram. A nil
+// buckets slice uses DefaultLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.familyFor(name, help, TypeHistogram, nil).add("", h)
+	return h
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	f        *family
+	buckets  []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// NewHistogramVec registers a labelled histogram family; every child
+// shares the same buckets (nil = DefaultLatencyBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{
+		f:        r.familyFor(name, help, TypeHistogram, labels),
+		buckets:  buckets,
+		children: make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the given label values, creating the
+// series on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelBlock(v.f.labels, values)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[key]; h != nil {
+		return h
+	}
+	h = newHistogram(v.buckets)
+	v.children[key] = h
+	v.f.add(key, h)
+	return h
+}
+
+// ---- exposition ----
+
+// Render returns the full text exposition (format version 0.0.4):
+// families sorted by name, series within a family sorted by label
+// block, one # HELP and # TYPE line per family. The entire output is
+// built in memory before return, so callers can drain it to a slow
+// client without holding any registry lock.
+func (r *Registry) Render() string {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(helpEscaper.Replace(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(string(f.typ))
+		b.WriteByte('\n')
+		for _, k := range keys {
+			f.series[k].render(&b, f.name, k)
+		}
+		f.mu.RUnlock()
+	}
+	return b.String()
+}
+
+// Handler serves the registry as GET /metrics in the text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		body := r.Render()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body))
+	})
+}

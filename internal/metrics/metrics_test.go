@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Operations.")
+	g := r.NewGauge("test_depth", "Depth.")
+	c.Inc()
+	c.Add(2)
+	g.Set(7)
+	g.Add(-3)
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.NewCounterFunc("test_fn_total", "Sampled at scrape.", func() float64 { return n })
+	r.NewGaugeFunc("test_fn_gauge", "Sampled at scrape.", func() float64 { return -n })
+	n = 42
+	out := r.Render()
+	if !strings.Contains(out, "test_fn_total 42\n") || !strings.Contains(out, "test_fn_gauge -42\n") {
+		t.Errorf("func instruments not sampled at scrape:\n%s", out)
+	}
+}
+
+func TestLabeledFuncSeries(t *testing.T) {
+	r := NewRegistry()
+	labels := []string{"kind", "result"}
+	r.NewLabeledCounterFunc("test_builds_total", "Builds.", labels, []string{"gm", "ok"}, func() float64 { return 1 })
+	r.NewLabeledCounterFunc("test_builds_total", "Builds.", labels, []string{"lp", "ok"}, func() float64 { return 2 })
+	out := r.Render()
+	if !strings.Contains(out, `test_builds_total{kind="gm",result="ok"} 1`) ||
+		!strings.Contains(out, `test_builds_total{kind="lp",result="ok"} 2`) {
+		t.Errorf("labelled func series wrong:\n%s", out)
+	}
+	// One family header despite two series.
+	if strings.Count(out, "# TYPE test_builds_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_requests_total", "Requests.", "route", "code")
+	v.With("GET /x", "200").Inc()
+	v.With("GET /x", "200").Inc()
+	v.With("GET /x", "404").Inc()
+	out := r.Render()
+	if !strings.Contains(out, `test_requests_total{route="GET /x",code="200"} 2`) ||
+		!strings.Contains(out, `test_requests_total{route="GET /x",code="404"} 1`) {
+		t.Errorf("counter vec wrong:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 56.05`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecLabelsComposeWithLe(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_route_seconds", "Latency.", []float64{1}, "route")
+	v.With("GET /x").Observe(0.5)
+	out := r.Render()
+	if !strings.Contains(out, `test_route_seconds_bucket{route="GET /x",le="1"} 1`) ||
+		!strings.Contains(out, `test_route_seconds_bucket{route="GET /x",le="+Inf"} 1`) ||
+		!strings.Contains(out, `test_route_seconds_sum{route="GET /x"} 0.5`) {
+		t.Errorf("histogram vec label composition wrong:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_esc_total", "Escapes.", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := r.Render()
+	if !strings.Contains(out, `test_esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("test_inf", "Inf.", func() float64 { return math.Inf(1) })
+	r.NewGaugeFunc("test_neg_inf", "NegInf.", func() float64 { return math.Inf(-1) })
+	r.NewGaugeFunc("test_nan", "NaN.", func() float64 { return math.NaN() })
+	out := r.Render()
+	if !strings.Contains(out, "test_inf +Inf\n") {
+		t.Error("infinity not rendered as +Inf")
+	}
+	if !strings.Contains(out, "test_neg_inf -Inf\n") {
+		t.Error("negative infinity not rendered as -Inf")
+	}
+	if !strings.Contains(out, "test_nan NaN\n") {
+		t.Error("NaN not rendered as NaN")
+	}
+}
+
+func TestGaugeValueAndLabeledGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge_value", "Read back.")
+	g.Set(3)
+	g.Add(-1)
+	if v := g.Value(); v != 2 {
+		t.Errorf("Value = %v, want 2", v)
+	}
+	r.NewLabeledGaugeFunc("test_labeled_gauge", "Labelled.", []string{"shard"}, []string{"0"}, func() float64 { return 7 })
+	if !strings.Contains(r.Render(), `test_labeled_gauge{shard="0"} 7`) {
+		t.Errorf("labelled gauge func series missing:\n%s", r.Render())
+	}
+}
+
+func TestFamiliesSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_total", "Z.")
+	r.NewCounter("aa_total", "A.")
+	out := r.Render()
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if r.Render() != out {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestDuplicateAndConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "T.")
+	for name, f := range map[string]func(){
+		"duplicate series":  func() { r.NewCounter("test_total", "T.") },
+		"conflicting type":  func() { r.NewGauge("test_total", "T.") },
+		"invalid name":      func() { r.NewCounter("bad name", "B.") },
+		"wrong label count": func() { r.NewCounterVec("test_vec_total", "V.", "a").With("x", "y") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "T.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	if !strings.Contains(string(body), "test_total 1\n") {
+		t.Errorf("handler body:\n%s", body)
+	}
+}
+
+// TestConcurrentObserveAndRender hammers every instrument type from many
+// goroutines while scraping, under -race in CI.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_c_total", "C.")
+	v := r.NewCounterVec("test_v_total", "V.", "i")
+	h := r.NewHistogramVec("test_h_seconds", "H.", nil, "i")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := string(rune('a' + g%4))
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				v.With(lbl).Inc()
+				h.With(lbl).Observe(float64(i) / 1000)
+			}
+		}(g)
+	}
+	for s := 0; s < 50; s++ {
+		_ = r.Render()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Errorf("counter = %v, want 16000", got)
+	}
+	out := r.Render()
+	if !strings.Contains(out, `test_h_seconds_count{i="a"} `) {
+		t.Errorf("histogram series missing:\n%s", out)
+	}
+}

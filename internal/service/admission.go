@@ -1,0 +1,142 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Admission control: the static half of the cost story is the per-kind
+// CostEnvelope (envelope.go) enforced by Validate; this file is the
+// dynamic half — a load-shedding gate every build admission passes
+// through before it may enqueue onto the worker pool. When the pipeline
+// is over its configured budget (too many builds queued, or the
+// currently running builds have already been burning CPU for too long),
+// new builds are refused with a ShedError instead of piling on: the
+// HTTP layer maps it to the over_limit taxonomy code with a 503 and a
+// Retry-After, and the SDK classifies it retryable. Serving traffic for
+// already-built mechanisms is never shed — the gate guards the build
+// pipeline, not the lock-free sample hot path.
+
+// AdmissionConfig budgets the build pipeline. The zero value applies
+// the defaults documented on each field.
+type AdmissionConfig struct {
+	// MaxQueueDepth sheds new build admissions while at least this many
+	// admitted builds are waiting for a worker. 0 defaults to the build
+	// queue's capacity (shedding replaces blocking on a full queue);
+	// negative disables the bound.
+	MaxQueueDepth int
+	// MaxInFlightSeconds sheds new build admissions while the builds
+	// currently running have, between them, already spent this many
+	// wall seconds — the signal that the pool is wedged on expensive
+	// LP solves and more admissions would only deepen the convoy.
+	// 0 disables the bound.
+	MaxInFlightSeconds float64
+	// RetryAfter is the back-off advice attached to shed errors (the
+	// HTTP layer surfaces it as a Retry-After header). 0 defaults to
+	// one second.
+	RetryAfter time.Duration
+}
+
+// withDefaults resolves the documented zero-value defaults. queueCap is
+// the configured build-queue capacity.
+func (c AdmissionConfig) withDefaults(queueCap int) AdmissionConfig {
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = queueCap
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// ErrShed marks build admissions refused by the load-shedding gate.
+// Shed errors also match ErrOverLimit (the spec is over a serving
+// limit — a transient one) and IsRetryable reports true for them: the
+// same spec is admissible again once the pipeline drains.
+var ErrShed = errors.New("service: build admission shed: pipeline over budget")
+
+// Shed reasons, carried on ShedError and as the reason label of the
+// privcount_admission_shed_total metric.
+const (
+	// ShedQueueDepth: the admission queue already holds MaxQueueDepth
+	// builds no worker has picked up.
+	ShedQueueDepth = "queue_depth"
+	// ShedBuildSeconds: the running builds' cumulative elapsed wall
+	// time is at or past MaxInFlightSeconds.
+	ShedBuildSeconds = "build_seconds"
+)
+
+// ShedError is the concrete error for a shed admission. It matches
+// ErrShed and ErrOverLimit under errors.Is; use errors.As to read the
+// reason and the server's Retry-After advice.
+type ShedError struct {
+	// Reason is ShedQueueDepth or ShedBuildSeconds.
+	Reason string
+	// RetryAfter advises how long to back off before retrying.
+	RetryAfter time.Duration
+	// detail describes the measured value against its budget.
+	detail string
+}
+
+// Error renders the shed reason and measurement.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v (%s: %s; retry after %v)", ErrShed, e.Reason, e.detail, e.RetryAfter)
+}
+
+// Unwrap makes shed errors match both ErrShed (the load-shedding class)
+// and ErrOverLimit (the over-a-serving-limit taxonomy) under errors.Is.
+func (e *ShedError) Unwrap() []error { return []error{ErrShed, ErrOverLimit} }
+
+// admitBuild is the gate every new build admission passes before it may
+// enqueue. It never blocks: both signals are O(workers) reads of state
+// the pipeline already maintains.
+func (s *Service) admitBuild() error {
+	cfg := &s.admission
+	if cfg.MaxQueueDepth >= 0 {
+		if depth := len(s.build.queue); depth >= cfg.MaxQueueDepth {
+			return s.shed(&ShedError{
+				Reason:     ShedQueueDepth,
+				RetryAfter: cfg.RetryAfter,
+				detail:     fmt.Sprintf("%d builds queued, budget %d", depth, cfg.MaxQueueDepth),
+			})
+		}
+	}
+	if cfg.MaxInFlightSeconds > 0 {
+		if secs := s.inFlightSeconds(); secs >= cfg.MaxInFlightSeconds {
+			return s.shed(&ShedError{
+				Reason:     ShedBuildSeconds,
+				RetryAfter: cfg.RetryAfter,
+				detail:     fmt.Sprintf("%.1fs of in-flight build time, budget %.1fs", secs, cfg.MaxInFlightSeconds),
+			})
+		}
+	}
+	return nil
+}
+
+// shed records the shed in the pipeline counters and returns err.
+func (s *Service) shed(err *ShedError) error {
+	s.build.sheds.Add(1)
+	switch err.Reason {
+	case ShedQueueDepth:
+		s.build.shedQueue.Add(1)
+	case ShedBuildSeconds:
+		s.build.shedSeconds.Add(1)
+	}
+	return err
+}
+
+// inFlightSeconds sums the elapsed wall time of every currently running
+// build — the MaxInFlightSeconds admission signal and the
+// privcount_build_inflight_seconds gauge. The map holds at most
+// BuildWorkers entries, so the walk is a handful of loads.
+func (s *Service) inFlightSeconds() float64 {
+	now := time.Now()
+	s.build.startMu.Lock()
+	defer s.build.startMu.Unlock()
+	var total float64
+	for _, t := range s.build.starts {
+		total += now.Sub(t).Seconds()
+	}
+	return total
+}

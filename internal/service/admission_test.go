@@ -1,0 +1,155 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// overBudget pushes the service's admission gate over its in-flight
+// build-seconds budget without running a real slow build: it plants a
+// synthetic start time an hour in the past, exactly what a wedged LP
+// solve looks like to the gate.
+func overBudget(s *Service) (release func()) {
+	sentinel := &Entry{}
+	s.build.startMu.Lock()
+	s.build.starts[sentinel] = time.Now().Add(-time.Hour)
+	s.build.startMu.Unlock()
+	return func() {
+		s.build.startMu.Lock()
+		delete(s.build.starts, sentinel)
+		s.build.startMu.Unlock()
+	}
+}
+
+func TestShedOnInFlightBuildSeconds(t *testing.T) {
+	svc := New(Config{Admission: AdmissionConfig{
+		MaxInFlightSeconds: 5,
+		RetryAfter:         3 * time.Second,
+	}})
+	defer svc.Close()
+	release := overBudget(svc)
+
+	_, err := svc.Get(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5})
+	if err == nil {
+		t.Fatal("Get admitted a build with the pipeline over budget")
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Errorf("shed error does not match ErrShed: %v", err)
+	}
+	if !errors.Is(err, ErrOverLimit) {
+		t.Errorf("shed error does not match ErrOverLimit: %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Errorf("shed error not retryable: %v", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed error not a *ShedError: %v", err)
+	}
+	if shed.Reason != ShedBuildSeconds {
+		t.Errorf("Reason = %q, want %q", shed.Reason, ShedBuildSeconds)
+	}
+	if shed.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", shed.RetryAfter)
+	}
+	if st := svc.Stats(); st.Sheds != 1 {
+		t.Errorf("Stats.Sheds = %d, want 1", st.Sheds)
+	}
+
+	// Draining the pipeline makes the same spec admissible again: the
+	// shed left the entry untouched.
+	release()
+	if _, err := svc.Get(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}); err != nil {
+		t.Fatalf("Get after drain: %v", err)
+	}
+}
+
+func TestShedOnQueueDepth(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	// Depth budget 0: any new admission is over it. (The config default
+	// is the queue capacity; 0 means "default", so lower it directly.)
+	svc.admission.MaxQueueDepth = 0
+
+	_, err := svc.Start(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5})
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedQueueDepth {
+		t.Fatalf("Start = %v, want ShedError with reason %q", err, ShedQueueDepth)
+	}
+	if st := svc.Stats(); st.Sheds != 1 {
+		t.Errorf("Stats.Sheds = %d, want 1", st.Sheds)
+	}
+}
+
+// TestShedNeverTouchesReadyEntries pins the design point that the gate
+// guards only NEW build admissions: serving a built mechanism — and
+// re-Starting it — keeps working with the pipeline arbitrarily over
+// budget.
+func TestShedNeverTouchesReadyEntries(t *testing.T) {
+	svc := New(Config{Admission: AdmissionConfig{MaxInFlightSeconds: 1}})
+	defer svc.Close()
+	spec := Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}
+	if _, err := svc.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	defer overBudget(svc)()
+	if _, err := svc.Sample(spec, 3); err != nil {
+		t.Errorf("Sample on ready entry shed: %v", err)
+	}
+	if info, err := svc.Start(spec); err != nil || info.State != BuildReady {
+		t.Errorf("Start on ready entry: state %v, err %v", info.State, err)
+	}
+	// A different, cold spec is shed by the same gate right now.
+	if _, err := svc.Get(Spec{Kind: KindGeometric, N: 9, Alpha: 0.5}); !errors.Is(err, ErrShed) {
+		t.Errorf("cold spec not shed: %v", err)
+	}
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	got := AdmissionConfig{}.withDefaults(1024)
+	if got.MaxQueueDepth != 1024 {
+		t.Errorf("default MaxQueueDepth = %d, want queue capacity 1024", got.MaxQueueDepth)
+	}
+	if got.RetryAfter != time.Second {
+		t.Errorf("default RetryAfter = %v, want 1s", got.RetryAfter)
+	}
+	if got.MaxInFlightSeconds != 0 {
+		t.Errorf("default MaxInFlightSeconds = %v, want 0 (unlimited)", got.MaxInFlightSeconds)
+	}
+	// Negative depth disables the bound entirely.
+	unlimited := AdmissionConfig{MaxQueueDepth: -1}.withDefaults(1024)
+	if unlimited.MaxQueueDepth != -1 {
+		t.Errorf("negative MaxQueueDepth resolved to %d, want -1", unlimited.MaxQueueDepth)
+	}
+	svc := New(Config{Admission: AdmissionConfig{MaxQueueDepth: -1}})
+	defer svc.Close()
+	svc.admission.MaxQueueDepth = -1
+	if err := svc.admitBuild(); err != nil {
+		t.Errorf("unlimited gate shed: %v", err)
+	}
+}
+
+func TestPerKindBuildCounters(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	if _, err := svc.Get(Spec{Kind: KindGeometric, N: 8, Alpha: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Get(Spec{Kind: KindUniform, N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.build.byKind[KindGeometric].builds.Load(); got != 1 {
+		t.Errorf("gm builds = %d, want 1", got)
+	}
+	if got := svc.build.byKind[KindUniform].builds.Load(); got != 1 {
+		t.Errorf("um builds = %d, want 1", got)
+	}
+	if got := svc.build.byKind[KindGeometric].nanos.Load(); got <= 0 {
+		t.Errorf("gm build nanos = %d, want > 0", got)
+	}
+	if got := svc.build.byKind[KindLP].builds.Load(); got != 0 {
+		t.Errorf("lp builds = %d, want 0", got)
+	}
+}

@@ -102,7 +102,8 @@ func rebuildable(err error) bool {
 		errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, ErrBuildAbandoned) ||
 		errors.Is(err, ErrEvicted) ||
-		errors.Is(err, ErrClosed)
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrShed) // the pipeline drains; the same spec is admissible later
 }
 
 // buildError is the single point wrapping construction failures for
@@ -141,22 +142,34 @@ func (s *Service) worker() {
 
 // ensureQueued arms the entry's build (re-arming a rebuildable failure)
 // and hands it to the worker pool exactly once per pending generation.
-func (s *Service) ensureQueued(e *Entry) {
+// New admissions pass the load-shedding gate first: a shed returns the
+// ShedError without touching the entry, which stays exactly as it was
+// (ready entries and already-queued builds are never shed — the gate
+// only guards adding NEW work to the pipeline).
+func (s *Service) ensureQueued(e *Entry) error {
 	e.mu.Lock()
 	switch BuildState(e.state.Load()) {
 	case BuildReady, BuildRunning:
 		e.mu.Unlock()
-		return
+		return nil
 	case BuildFailed:
 		if !rebuildable(e.buildErr) {
 			e.mu.Unlock()
-			return
+			return nil
+		}
+		if err := s.admitBuild(); err != nil {
+			e.mu.Unlock()
+			return err
 		}
 		e.rearmLocked(s.build.root)
 	case BuildPending:
 		if e.queued {
 			e.mu.Unlock()
-			return
+			return nil
+		}
+		if err := s.admitBuild(); err != nil {
+			e.mu.Unlock()
+			return err
 		}
 		if e.done == nil {
 			e.armLocked(s.build.root)
@@ -165,6 +178,7 @@ func (s *Service) ensureQueued(e *Entry) {
 	e.queued = true
 	e.mu.Unlock()
 	s.enqueue(e)
+	return nil
 }
 
 // enqueue sends the entry to the worker pool, failing it outright when
@@ -189,9 +203,16 @@ func (s *Service) failPending(e *Entry, cause error) {
 	e.mu.Lock()
 	if st := BuildState(e.state.Load()); st == BuildPending {
 		e.failLocked(cause)
-		s.build.cancels.Add(1)
+		s.recordCancel(e.spec.Kind)
 	}
 	e.mu.Unlock()
+}
+
+// recordCancel counts one cancellation-class settlement in the
+// service-wide and per-kind counters.
+func (s *Service) recordCancel(kind Kind) {
+	s.build.cancels.Add(1)
+	s.build.byKind[kind].cancels.Add(1)
 }
 
 // await blocks until the entry settles or ctx dies, holding a waiter
@@ -223,7 +244,9 @@ func (s *Service) await(ctx context.Context, e *Entry) error {
 			// terminal — re-queueing after Close just re-fails with it —
 			// and our own dead context exits via the select below.
 			if rebuildable(err) && !errors.Is(err, ErrClosed) && ctx.Err() == nil {
-				s.ensureQueued(e)
+				if qerr := s.ensureQueued(e); qerr != nil {
+					return qerr // re-admission shed; the entry stays rebuildable
+				}
 				continue
 			}
 			return err
@@ -232,7 +255,9 @@ func (s *Service) await(ctx context.Context, e *Entry) error {
 		e.mu.Unlock()
 		if done == nil {
 			// Unarmed pending entry: arm it ourselves via the queue path.
-			s.ensureQueued(e)
+			if qerr := s.ensureQueued(e); qerr != nil {
+				return qerr
+			}
 			continue
 		}
 		select {
@@ -256,7 +281,7 @@ func (s *Service) releaseWaiter(e *Entry) {
 			}
 		case BuildPending:
 			e.failLocked(ErrBuildAbandoned)
-			s.build.cancels.Add(1)
+			s.recordCancel(e.spec.Kind)
 		}
 	}
 	e.mu.Unlock()
@@ -272,19 +297,27 @@ func (s *Service) runBuild(e *Entry) {
 	ctx := e.ctx
 	if err := ctxCause(ctx); err != nil {
 		e.failLocked(err)
-		s.build.cancels.Add(1)
+		s.recordCancel(e.spec.Kind)
 		e.mu.Unlock()
 		return
 	}
 	e.state.Store(int32(BuildRunning))
 	e.mu.Unlock()
 
+	kc := &s.build.byKind[e.spec.Kind]
 	s.build.inFlight.Add(1)
 	start := time.Now()
+	s.build.startMu.Lock()
+	s.build.starts[e] = start
+	s.build.startMu.Unlock()
 	res := buildMechanism(ctx, e.spec)
 	dur := time.Since(start)
+	s.build.startMu.Lock()
+	delete(s.build.starts, e)
+	s.build.startMu.Unlock()
 	s.build.inFlight.Add(-1)
 	s.build.nanos.Add(dur.Nanoseconds())
+	kc.nanos.Add(dur.Nanoseconds())
 
 	e.mu.Lock()
 	e.buildDur = dur.Seconds()
@@ -300,8 +333,10 @@ func (s *Service) runBuild(e *Entry) {
 		e.state.Store(int32(BuildFailed))
 		if rebuildable(res.err) {
 			s.build.cancels.Add(1)
+			kc.cancels.Add(1)
 		} else {
 			s.build.failures.Add(1)
+			kc.failures.Add(1)
 		}
 	} else {
 		e.mech = res.mech
@@ -314,6 +349,7 @@ func (s *Service) runBuild(e *Entry) {
 		e.buildErr = nil
 		e.state.Store(int32(BuildReady))
 		s.build.builds.Add(1)
+		kc.builds.Add(1)
 	}
 	if done != nil {
 		close(done)
@@ -417,7 +453,9 @@ func buildMechanism(ctx context.Context, spec Spec) buildResult {
 // entry pushed out of the cache mid-build has no reachable result left,
 // so its build is cancelled unless a blocking waiter holds it.) Start on
 // a ready spec is a cheap status read; Start on a rebuildable failure
-// re-queues it.
+// re-queues it. Admitting new build work may be load-shed (see
+// AdmissionConfig), in which case the ShedError is returned alongside
+// the entry's unchanged status.
 func (s *Service) Start(spec Spec) (BuildInfo, error) {
 	if err := spec.Validate(); err != nil {
 		return BuildInfo{}, err
@@ -429,7 +467,9 @@ func (s *Service) Start(spec Spec) (BuildInfo, error) {
 		e.mu.Lock()
 		e.detached = true
 		e.mu.Unlock()
-		s.ensureQueued(e)
+		if err := s.ensureQueued(e); err != nil {
+			return e.Info(), err
+		}
 	}
 	return e.Info(), nil
 }

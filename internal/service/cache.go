@@ -191,10 +191,10 @@ type shard struct {
 
 	hits              [hitStripes]stripedCounter
 	misses, evictions atomic.Int64
-	// buildCancels points at the service-wide cancel counter, so the
-	// eviction path can record the queued builds it settles (running
-	// builds it cancels are counted by the worker that settles them).
-	buildCancels *atomic.Int64
+	// onCancel records a build the eviction path settled as cancelled in
+	// the service-wide and per-kind counters (running builds it cancels
+	// are counted by the worker that settles them).
+	onCancel func(Kind)
 }
 
 // get returns the entry for spec (already canonical), admitting a
@@ -225,7 +225,7 @@ func (sh *shard) get(spec Spec, stripe uint64) *Entry {
 			if victim != nil {
 				// Outside the shard lock: cancelling takes the entry lock.
 				if victim.abandonIfUnwatched(ErrEvicted) {
-					sh.buildCancels.Add(1)
+					sh.onCancel(victim.spec.Kind)
 				}
 			}
 			return e

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"privcount/internal/rng"
 )
@@ -39,6 +40,19 @@ type Config struct {
 	// workers (default 1024). Enqueueing beyond it blocks the admitting
 	// caller until a worker frees a slot.
 	BuildQueue int
+	// Admission budgets the build pipeline; admissions over budget are
+	// load-shed with a retryable ShedError instead of queueing. See
+	// AdmissionConfig for the zero-value defaults.
+	Admission AdmissionConfig
+}
+
+// kindCounters is the per-kind slice of the build-pipeline counters,
+// feeding the {kind}-labelled series of RegisterMetrics.
+type kindCounters struct {
+	builds   atomic.Int64 // completed successfully
+	failures atomic.Int64 // deterministic build errors
+	cancels  atomic.Int64 // cancellation-class settlements
+	nanos    atomic.Int64 // cumulative wall time spent building
 }
 
 // Service serves differentially private count releases at scale: it
@@ -49,8 +63,9 @@ type Config struct {
 // GetCtx, Start, Warmup, Close); see the package comment for the
 // architecture.
 type Service struct {
-	shards []*shard
-	mask   uint64
+	shards    []*shard
+	mask      uint64
+	admission AdmissionConfig // resolved by New; read-only afterwards
 
 	build struct {
 		root       context.Context         // parent of every build context
@@ -66,6 +81,19 @@ type Service struct {
 		failures atomic.Int64 // deterministic build errors
 		cancels  atomic.Int64 // cancellation-class settlements
 		nanos    atomic.Int64 // cumulative wall time spent building
+
+		byKind [kindCount]kindCounters // the same, sliced per kind
+
+		sheds       atomic.Int64 // admissions refused by the gate
+		shedQueue   atomic.Int64 // … because of queue depth
+		shedSeconds atomic.Int64 // … because of in-flight build time
+
+		// starts tracks when each currently running build began, for
+		// the in-flight-seconds admission signal. At most BuildWorkers
+		// entries; touched only by build workers and the (cold) shed
+		// gate, never by the sample hot path.
+		startMu sync.Mutex
+		starts  map[*Entry]time.Time
 	}
 }
 
@@ -106,11 +134,13 @@ func New(cfg Config) *Service {
 		if seed != 0 {
 			seed += uint64(i)*0x9e3779b97f4a7c15 | 1
 		}
-		sh := &shard{cap: perShard, pool: rng.NewPool(seed), buildCancels: &s.build.cancels}
+		sh := &shard{cap: perShard, pool: rng.NewPool(seed), onCancel: s.recordCancel}
 		empty := make(map[Spec]*Entry, perShard)
 		sh.entries.Store(&empty)
 		s.shards[i] = sh
 	}
+	s.admission = cfg.Admission.withDefaults(cfg.BuildQueue)
+	s.build.starts = make(map[*Entry]time.Time, cfg.BuildWorkers)
 	s.build.root, s.build.cancelRoot = context.WithCancelCause(context.Background())
 	s.build.queue = make(chan *Entry, cfg.BuildQueue)
 	s.build.wg.Add(cfg.BuildWorkers)
@@ -139,12 +169,15 @@ func (s *Service) lookup(ctx context.Context, spec Spec, stripe uint64) (*Entry,
 }
 
 // ready returns nil immediately for a built entry (the hot path: one
-// atomic load) and otherwise queues the build and waits for it.
+// atomic load) and otherwise queues the build — through the admission
+// gate, which may shed it — and waits for it.
 func (s *Service) ready(ctx context.Context, e *Entry) error {
 	if e.State() == BuildReady {
 		return nil
 	}
-	s.ensureQueued(e)
+	if err := s.ensureQueued(e); err != nil {
+		return err
+	}
 	return s.await(ctx, e)
 }
 
@@ -375,6 +408,12 @@ type Stats struct {
 	// BuildSeconds is the cumulative wall time spent constructing
 	// mechanisms, successful or not.
 	BuildSeconds float64
+	// Sheds counts build admissions refused by the load-shedding gate
+	// (see AdmissionConfig).
+	Sheds int64
+	// InFlightBuildSeconds is the summed elapsed wall time of the builds
+	// currently executing — the MaxInFlightSeconds admission signal.
+	InFlightBuildSeconds float64
 }
 
 // Stats returns current cache and build-pipeline statistics.
@@ -392,5 +431,7 @@ func (s *Service) Stats() Stats {
 	st.BuildFailures = s.build.failures.Load()
 	st.BuildCancels = s.build.cancels.Load()
 	st.BuildSeconds = float64(s.build.nanos.Load()) / 1e9
+	st.Sheds = s.build.sheds.Load()
+	st.InFlightBuildSeconds = s.inFlightSeconds()
 	return st
 }

@@ -52,6 +52,9 @@ const (
 	// KindLPMinimax solves the same LP under the worst-input objective
 	// O_{p,max} of Definition 3.
 	KindLPMinimax
+
+	// kindCount bounds the enum, sizing per-kind counter arrays.
+	kindCount = int(iota)
 )
 
 var kindNames = map[Kind]string{
@@ -152,6 +155,9 @@ var (
 )
 
 // Validate reports whether the spec describes a servable scenario.
+// Group-size ceilings come from the kind's declared CostEnvelope (see
+// envelope.go), so admission can never desync from the declarations the
+// costtest harness enforces.
 func (s Spec) Validate() error {
 	if _, ok := kindNames[s.Kind]; !ok {
 		return fmt.Errorf("%w: invalid kind %d", ErrSpecInvalid, s.Kind)
@@ -159,8 +165,9 @@ func (s Spec) Validate() error {
 	if s.N < 1 {
 		return fmt.Errorf("%w: group size n=%d, want >= 1", ErrSpecInvalid, s.N)
 	}
-	if s.N > MaxN {
-		return fmt.Errorf("%w: group size n=%d, want <= %d", ErrOverLimit, s.N, MaxN)
+	env := EnvelopeFor(s.Kind)
+	if s.N > env.MaxN {
+		return fmt.Errorf("%w: group size n=%d exceeds kind %s's cost envelope, want n <= %d", ErrOverLimit, s.N, s.Kind, env.MaxN)
 	}
 	if s.Kind != KindUniform {
 		if !(s.Alpha > 0 && s.Alpha < 1) || math.IsNaN(s.Alpha) {
@@ -173,11 +180,8 @@ func (s Spec) Validate() error {
 	if s.Kind == KindChoose && s.Props&core.OutputDP != 0 {
 		return fmt.Errorf("%w: the Figure 5 procedure does not cover OutputDP; use kind lp", ErrSpecInvalid)
 	}
-	if s.Kind == KindLPMinimax && s.N > MaxLPMinimaxN {
-		return fmt.Errorf("%w: group size n=%d needs a cold minimax LP solve, want n <= %d", ErrOverLimit, s.N, MaxLPMinimaxN)
-	}
-	if s.lpBacked() && s.N > MaxLPN {
-		return fmt.Errorf("%w: group size n=%d needs an LP-designed mechanism, want n <= %d", ErrOverLimit, s.N, MaxLPN)
+	if max := env.LPBackedMaxN; max != 0 && max < env.MaxN && s.N > max && s.lpBacked() {
+		return fmt.Errorf("%w: group size n=%d needs an LP-designed mechanism, over kind %s's cost envelope, want n <= %d", ErrOverLimit, s.N, s.Kind, max)
 	}
 	if s.ObjectiveP < 0 || math.IsNaN(s.ObjectiveP) {
 		return fmt.Errorf("%w: objective exponent p=%v, want >= 0", ErrSpecInvalid, s.ObjectiveP)
