@@ -1,0 +1,316 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func u64ptr(v uint64) *uint64 { return &v }
+
+// opLattice enumerates the op shapes the protocol admits: every
+// opcode, with and without seeds, empty and non-empty vectors, empty
+// and long IDs.
+func opLattice() []Op {
+	long := make([]int, 300)
+	for i := range long {
+		long[i] = i % 65
+	}
+	return []Op{
+		{Op: OpSample, ID: "gm:n=8:a=0.5", Count: 0},
+		{Op: OpSample, ID: "um:n=32", Count: 31},
+		{Op: OpSample, ID: "", Count: 7},
+		{Op: OpBatch, ID: "gm:n=64:a=0.5", Counts: []int{0, 64, 3}},
+		{Op: OpBatch, ID: "em:n=16:a=0.5", Counts: []int{5}, Seed: u64ptr(0)},
+		{Op: OpBatch, ID: "em:n=16:a=0.5", Counts: long, Seed: u64ptr(^uint64(0))},
+		{Op: OpBatch, ID: "choose:n=32:a=0.5:WH+CM:p=0", Counts: nil},
+		{Op: OpBatch, ID: "x", Counts: nil, Seed: u64ptr(42)},
+		{Op: OpEstimate, ID: "gm:n=8:a=0.5", Outputs: []int{1, 2, 3, 8}},
+		{Op: OpEstimate, ID: "um:n=32", Outputs: nil},
+	}
+}
+
+func resultLattice() []OpResult {
+	out := 5
+	sum, mean := 12.25, 4.0833333333333
+	tru, fls := true, false
+	return []OpResult{
+		{Output: &out},
+		{Outputs: []int{0, 1, 2, 64}},
+		{Outputs: nil},
+		{MLE: []int{3, 3, 3}, Sum: &sum, Mean: &mean, Unbiased: &tru},
+		{MLE: nil, Sum: &sum, Mean: &mean, Unbiased: &fls},
+		{Error: &Error{Code: CodeOverLimit, Message: "shed", RetryAfterSeconds: 1.5}},
+		{Error: &Error{Code: CodeSpecInvalid, Message: ""}},
+	}
+}
+
+// jsonNorm round-trips v through the JSON codec, the normal form both
+// transports must agree on (omitempty collapses empty vectors to nil).
+func jsonNorm(t *testing.T, v, into any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryOpRoundTripMatchesJSON(t *testing.T) {
+	for _, op := range opLattice() {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		if err := fw.WriteOp(&op); err != nil {
+			t.Fatalf("%+v: encode: %v", op, err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fr := NewFrameReader(&buf)
+		got, err := fr.ReadOp()
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", op, err)
+		}
+		var want Op
+		jsonNorm(t, op, &want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("binary round trip diverged from JSON normal form:\n got %+v\nwant %+v", got, want)
+		}
+		if _, err := fr.ReadOp(); err != io.EOF {
+			t.Fatalf("after last frame: err = %v, want io.EOF", err)
+		}
+	}
+}
+
+func TestBinaryResultRoundTripMatchesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	results := resultLattice()
+	for i := range results {
+		if err := fw.WriteResult(&results[i]); err != nil {
+			t.Fatalf("%+v: encode: %v", results[i], err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i := range results {
+		got, err := fr.ReadResult()
+		if err != nil {
+			t.Fatalf("result %d: decode: %v", i, err)
+		}
+		var want OpResult
+		jsonNorm(t, results[i], &want)
+		want.Error = nil
+		if results[i].Error != nil {
+			// HTTPStatus is json:"-" so jsonNorm drops it; compare the
+			// wire-visible fields directly.
+			want.Error = &Error{
+				Code:              results[i].Error.Code,
+				Message:           results[i].Error.Message,
+				RetryAfterSeconds: results[i].Error.RetryAfterSeconds,
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("result %d diverged from JSON normal form:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := fr.ReadResult(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestBinaryAbortSurfacesAsTypedError(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	out := 3
+	if err := fw.WriteResult(&OpResult{Output: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteAbort(&Error{Code: CodeOverLimit, Message: "drain", RetryAfterSeconds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	if _, err := fr.ReadResult(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fr.ReadResult()
+	if !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("abort error = %v, want over_limit", err)
+	}
+	if !IsRetryable(err) {
+		t.Error("abort with Retry-After advice should be retryable")
+	}
+}
+
+func TestBinaryTruncationIsNotEOF(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	op := Op{Op: OpBatch, ID: "gm:n=8:a=0.5", Counts: []int{1, 2, 3}}
+	if err := fw.WriteOp(&op); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix that drops the end marker (and possibly more)
+	// must decode to ErrUnexpectedEOF, never a clean io.EOF.
+	for cut := 0; cut < len(full)-1; cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]))
+		var err error
+		for err == nil {
+			_, err = fr.ReadOp()
+		}
+		if err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes decoded as clean EOF", cut, len(full))
+		}
+	}
+}
+
+func TestBinaryRejectsOversizedAndMalformed(t *testing.T) {
+	// Oversized declared frame length must be refused before allocating.
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // uvarint ≫ MaxFrameBytes
+	fr := NewFrameReader(&buf)
+	if _, err := fr.ReadOp(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+
+	// Bad magic.
+	fr = NewFrameReader(bytes.NewReader([]byte("NOPE\x00")))
+	if _, err := fr.ReadOp(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	// Trailing garbage inside a frame payload.
+	var tr bytes.Buffer
+	fw := NewFrameWriter(&tr)
+	if err := fw.WriteOp(&Op{Op: OpSample, ID: "x", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := tr.Bytes()
+	// Splice one extra byte into the frame: bump the length prefix and
+	// append a byte to the payload.
+	idx := len(binaryMagic)
+	mut := append([]byte{}, raw[:idx]...)
+	mut = append(mut, raw[idx]+1)
+	mut = append(mut, raw[idx+1:len(raw)-1]...)
+	mut = append(mut, 0xAA, 0x00)
+	fr = NewFrameReader(bytes.NewReader(mut))
+	if _, err := fr.ReadOp(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("trailing payload bytes: err = %v", err)
+	}
+
+	// Negative counts are not encodable.
+	fw = NewFrameWriter(io.Discard)
+	if err := fw.WriteOp(&Op{Op: OpSample, ID: "x", Count: -1}); err == nil {
+		t.Error("negative count encoded")
+	}
+	if err := fw.WriteOp(&Op{Op: "nope", ID: "x"}); err == nil {
+		t.Error("unknown op encoded")
+	}
+}
+
+func TestBinaryReadOpIntoReusesCapacity(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for i := 0; i < 64; i++ {
+		if err := fw.WriteOp(&Op{Op: OpBatch, ID: "gm:n=8:a=0.5", Counts: []int{1, 2, 3, 4, 5, 6, 7, 8}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	var op Op
+	// Warm the scratch, then the remaining decodes must not allocate
+	// vectors (the seed pointer is per-op and absent here).
+	if err := fr.ReadOpInto(&op); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if err := fr.ReadOpInto(&op); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// string(ID) is one allocation per op; the count vector must reuse.
+	if n > 1 {
+		t.Errorf("ReadOpInto allocated %.1f times per op, want ≤ 1", n)
+	}
+}
+
+// FuzzBinaryOpStream hammers the frame reader with arbitrary bytes: it
+// must never panic or over-allocate, and any stream that decodes
+// cleanly must re-encode to a stream that decodes to the same ops.
+func FuzzBinaryOpStream(f *testing.F) {
+	seed := func(ops ...Op) []byte {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		for i := range ops {
+			if err := fw.WriteOp(&ops[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed())
+	f.Add(seed(opLattice()...))
+	f.Add(seed(Op{Op: OpSample, ID: "gm:n=8:a=0.5", Count: 3}))
+	f.Add([]byte("PCB1"))
+	f.Add([]byte("PCB1\x00"))
+	f.Add([]byte("PCB1\xFF\xFF\xFF\xFF\x7F"))
+	f.Add([]byte("JSON{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		var ops []Op
+		for {
+			op, err := fr.ReadOp()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // malformed input is fine, panics are not
+			}
+			ops = append(ops, op)
+		}
+		// Clean decode: re-encode and decode again, expecting identity.
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		for i := range ops {
+			if err := fw.WriteOp(&ops[i]); err != nil {
+				t.Fatalf("re-encode of decoded op %+v: %v", ops[i], err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fr = NewFrameReader(&buf)
+		for i := range ops {
+			got, err := fr.ReadOp()
+			if err != nil {
+				t.Fatalf("second decode of op %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(got, ops[i]) {
+				t.Fatalf("op %d not stable under re-encode:\n got %+v\nwas %+v", i, got, ops[i])
+			}
+		}
+	})
+}

@@ -20,6 +20,12 @@
 // the SDK turns back into an error matching the package sentinels, so
 // errors.Is(err, client.ErrBuildCanceled) works across the wire. The
 // wire structs in this package are the same ones the server marshals.
+//
+// For high-throughput sampling, QueryStream switches the query exchange
+// to the length-prefixed binary transport (see FrameWriter/FrameReader
+// for the codec): unbounded op streams, positional results, no per-op
+// JSON cost. WithRetry adds capped exponential backoff with jitter for
+// transient failures (load-shed admissions, cut-short builds).
 package client
 
 import (
@@ -41,8 +47,9 @@ import (
 // Client talks to one privcountd base URL. It is safe for concurrent
 // use; the zero value is not usable — construct with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 
 	pollInitial time.Duration
 	pollMax     time.Duration
@@ -96,15 +103,27 @@ func specID(spec privcount.Spec) (string, error) {
 
 // do executes one request and decodes the JSON response into out (when
 // non-nil). Non-2xx responses are decoded as error envelopes and
-// returned as *Error.
+// returned as *Error. Under WithRetry, retryable request-level errors
+// are re-sent with backoff.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var b []byte
 	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		rd = bytes.NewReader(b)
+	}
+	return c.retry.retrying(ctx, func() error {
+		return c.doOnce(ctx, method, path, b, out)
+	})
+}
+
+// doOnce is one attempt of do: body is the pre-encoded JSON request
+// body (nil for bodyless requests).
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -254,16 +273,34 @@ func (c *Client) Query(ctx context.Context, ops []Op) ([]OpResult, error) {
 }
 
 // queryOne runs a single op through the multiplexed endpoint and
-// surfaces its per-op error as the call's error.
+// surfaces its per-op error as the call's error. Since the op is the
+// whole request, WithRetry applies to its per-op error too; the one
+// retry loop here covers both failure levels (bypassing do's request
+// loop), so a call never exceeds MaxAttempts round trips.
 func (c *Client) queryOne(ctx context.Context, op Op) (*OpResult, error) {
-	res, err := c.Query(ctx, []Op{op})
+	body, err := json.Marshal(QueryRequest{Ops: []Op{op}})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out *OpResult
+	err = c.retry.retrying(ctx, func() error {
+		var resp QueryResponse
+		if err := c.doOnce(ctx, http.MethodPost, "/v2/query", body, &resp); err != nil {
+			return err
+		}
+		if len(resp.Results) != 1 {
+			return fmt.Errorf("client: query returned %d results for 1 op", len(resp.Results))
+		}
+		if err := resp.Results[0].Err(); err != nil {
+			return err
+		}
+		out = &resp.Results[0]
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := res[0].Err(); err != nil {
-		return nil, err
-	}
-	return &res[0], nil
+	return out, nil
 }
 
 // Sample draws one noisy release for true count under spec, building

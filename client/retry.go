@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy configures automatic retries of retryable failures (see
+// IsRetryable): transient load-shed admissions and cut-short builds.
+// The zero value disables retries, which is the Client default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// 0 and 1 both mean "no retries".
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k (counting
+	// retries from 1) backs off around BaseDelay·2^(k-1). Defaults to
+	// 100ms when MaxAttempts enables retrying.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 5s.
+	MaxDelay time.Duration
+}
+
+// WithRetry makes the Client retry retryable failures — request-level
+// errors in every call, and per-op errors in the single-op helpers
+// (Sample, SampleBatch, Estimate) — up to p.MaxAttempts attempts with
+// capped exponential backoff and equal jitter. When the server sent
+// explicit Retry-After advice the wait is at least that long. Waits end
+// early when the call's context dies; the last server error is returned
+// either way. Query and QueryStream never retry per-op errors: batch
+// callers see them positionally and decide per op.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts > 1 {
+		if p.BaseDelay <= 0 {
+			p.BaseDelay = 100 * time.Millisecond
+		}
+		if p.MaxDelay <= 0 {
+			p.MaxDelay = 5 * time.Second
+		}
+	}
+	return p
+}
+
+// backoff returns the wait before the attempt-th retry (attempt ≥ 1):
+// the capped exponential with equal jitter — half deterministic, half
+// uniform — so synchronized clients spread out, floored at the server's
+// explicit advice when err carries any.
+func (p RetryPolicy) backoff(attempt int, err error) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 catches shift overflow
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var e *Error
+	if errors.As(err, &e) {
+		if adv := e.RetryAfter(); adv > d {
+			d = adv
+		}
+	}
+	return d
+}
+
+// sleep waits out the backoff for attempt, returning early with false
+// when ctx dies first.
+func (p RetryPolicy) sleep(ctx context.Context, attempt int, err error) bool {
+	timer := time.NewTimer(p.backoff(attempt, err))
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// retrying runs attempt() under the policy: it returns the first
+// success, the first non-retryable error, or — after MaxAttempts tries
+// or a dead context — the last retryable error.
+func (p RetryPolicy) retrying(ctx context.Context, attempt func() error) error {
+	for try := 1; ; try++ {
+		err := attempt()
+		if err == nil || try >= p.MaxAttempts || !IsRetryable(err) {
+			return err
+		}
+		if !p.sleep(ctx, try, err) {
+			return err
+		}
+	}
+}

@@ -1,11 +1,17 @@
 package client
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"privcount"
 )
 
 // TestIsRetryable pins the SDK's retry classification: cut-short builds
@@ -42,5 +48,172 @@ func TestRetryAfter(t *testing.T) {
 	}
 	if d := (&Error{RetryAfterSeconds: 2.5}).RetryAfter(); d != 2500*time.Millisecond {
 		t.Errorf("RetryAfter = %v, want 2.5s", d)
+	}
+}
+
+// flakyServer answers the first fail requests with the given envelope
+// and status, then delegates to ok. It counts total requests.
+func flakyServer(t *testing.T, fail int, status int, e *Error, ok http.HandlerFunc) (*Client, *int64) {
+	t.Helper()
+	var hits int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt64(&hits, 1)
+		if int(n) <= fail {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(Envelope{Error: e})
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &hits
+}
+
+func okList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(MechanismList{})
+}
+
+// TestRetryRequestLevel pins that WithRetry re-sends load-shed
+// requests and succeeds once the server recovers.
+func TestRetryRequestLevel(t *testing.T) {
+	c, hits := flakyServer(t, 2, http.StatusServiceUnavailable,
+		&Error{Code: CodeOverLimit, Message: "shed"}, okList)
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("List after recovery: %v", err)
+	}
+	if *hits != 3 {
+		t.Errorf("request count %d, want 3 (2 shed + 1 ok)", *hits)
+	}
+}
+
+// TestRetryExhausted pins that a persistently shedding server yields
+// the last typed error after exactly MaxAttempts round trips.
+func TestRetryExhausted(t *testing.T) {
+	c, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable,
+		&Error{Code: CodeOverLimit, Message: "shed"}, okList)
+	_, err := c.List(context.Background())
+	if !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("err = %v, want over_limit", err)
+	}
+	if *hits != 4 {
+		t.Errorf("request count %d, want MaxAttempts=4", *hits)
+	}
+}
+
+// TestRetryNonRetryableIsImmediate pins that deterministic failures are
+// not re-sent.
+func TestRetryNonRetryableIsImmediate(t *testing.T) {
+	c, hits := flakyServer(t, 1<<30, http.StatusBadRequest,
+		&Error{Code: CodeSpecInvalid, Message: "bad"}, okList)
+	_, err := c.List(context.Background())
+	if !errors.Is(err, ErrSpecInvalid) {
+		t.Fatalf("err = %v, want spec_invalid", err)
+	}
+	if *hits != 1 {
+		t.Errorf("request count %d, want 1", *hits)
+	}
+}
+
+// TestRetryHonorsContext pins that a dead context cuts the backoff
+// sleep short and surfaces the last server error promptly.
+func TestRetryHonorsContext(t *testing.T) {
+	// Huge advice would otherwise park the retry loop for a minute.
+	c, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable,
+		&Error{Code: CodeOverLimit, Message: "shed", RetryAfterSeconds: 60}, okList)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.List(ctx)
+	if !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("err = %v, want the last server error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop ignored context for %v", elapsed)
+	}
+	if *hits != 1 {
+		t.Errorf("request count %d, want 1 (context died during first backoff)", *hits)
+	}
+}
+
+// TestRetryPerOp pins that the single-op helpers retry a retryable
+// per-op error arriving inside a 200 response.
+func TestRetryPerOp(t *testing.T) {
+	var hits int64
+	out := 9
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt64(&hits, 1)
+		w.Header().Set("Content-Type", "application/json")
+		res := OpResult{Output: &out}
+		if n == 1 {
+			res = OpResult{Error: &Error{Code: CodeBuildCanceled, Message: "evicted mid-build"}}
+		}
+		json.NewEncoder(w).Encode(QueryResponse{Results: []OpResult{res}})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Sample(context.Background(), privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}, 3)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if got != out {
+		t.Errorf("Sample = %d, want %d", got, out)
+	}
+	if hits != 2 {
+		t.Errorf("request count %d, want 2", hits)
+	}
+}
+
+// TestRetryDisabledByDefault pins the zero-config behaviour: one
+// attempt, even for retryable errors.
+func TestRetryDisabledByDefault(t *testing.T) {
+	var hits int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(Envelope{Error: &Error{Code: CodeOverLimit}})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.List(context.Background()); !errors.Is(err, ErrOverLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	if hits != 1 {
+		t.Errorf("request count %d, want 1", hits)
+	}
+}
+
+// TestBackoffEnvelope pins the backoff shape: capped exponential with
+// equal jitter, floored at explicit server advice.
+func TestBackoffEnvelope(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}.withDefaults()
+	for attempt := 1; attempt <= 12; attempt++ {
+		full := p.BaseDelay << (attempt - 1)
+		if full > p.MaxDelay || full <= 0 {
+			full = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, errors.New("x"))
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+	// Server advice dominates a smaller computed backoff.
+	adv := &Error{Code: CodeOverLimit, RetryAfterSeconds: 1}
+	if d := p.backoff(1, adv); d != time.Second {
+		t.Errorf("advised backoff %v, want 1s", d)
 	}
 }

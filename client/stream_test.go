@@ -1,0 +1,192 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"privcount"
+	"privcount/client"
+	"privcount/internal/httpapi"
+	"privcount/internal/service"
+)
+
+// TestQueryStreamEndToEnd drives the SDK's binary stream against the
+// real route set: send a mixed op sequence (beyond the buffered-mode
+// cap, since streams are uncapped), close the send side, and require
+// positional results matching the JSON transport's answers for the
+// deterministic ops.
+func TestQueryStreamEndToEnd(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 16, Seed: 5})
+	ctx := context.Background()
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 10, Alpha: 0.6}
+	seed := uint64(11)
+
+	// JSON reference answers for the deterministic ops.
+	ref, err := c.Query(ctx, []client.Op{
+		client.BatchOp(spec, []int{0, 5, 10}, &seed),
+		client.EstimateOp(spec, []int{4, 4, 4}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := c.QueryStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// More ops than the buffered cap proves streams are uncapped.
+	n := client.MaxQueryOps + 32
+	go func() {
+		for i := 0; i < n; i++ {
+			var op client.Op
+			switch i % 3 {
+			case 0:
+				op = client.BatchOp(spec, []int{0, 5, 10}, &seed)
+			case 1:
+				op = client.EstimateOp(spec, []int{4, 4, 4})
+			default:
+				op = client.SampleOp(spec, i%10)
+			}
+			if err := s.Send(&op); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		if err := s.CloseSend(); err != nil {
+			t.Errorf("close send: %v", err)
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		res, err := s.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("op %d failed: %v", i, err)
+		}
+		switch i % 3 {
+		case 0:
+			if !reflect.DeepEqual(res.Outputs, ref[0].Outputs) {
+				t.Fatalf("op %d: seeded batch %v diverged from JSON transport %v", i, res.Outputs, ref[0].Outputs)
+			}
+		case 1:
+			if !reflect.DeepEqual(res.Estimate(), ref[1].Estimate()) {
+				t.Fatalf("op %d: estimate %+v diverged from JSON transport %+v", i, res.Estimate(), ref[1].Estimate())
+			}
+		default:
+			if res.Output == nil {
+				t.Fatalf("op %d: sample result missing output", i)
+			}
+		}
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("after final result: err = %v, want io.EOF", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestQueryStreamPerOpErrors pins that op failures ride the stream as
+// positional typed errors without ending it.
+func TestQueryStreamPerOpErrors(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 16, Seed: 5})
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}
+
+	s, err := c.QueryStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ops := []client.Op{
+		client.SampleOp(spec, 99), // out of range
+		{Op: client.OpSample, ID: "not-a-kind:n=8", Count: 1},
+		client.SampleOp(spec, 3), // fine
+	}
+	for i := range ops {
+		if err := s.Send(&ops[i]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCodes := []error{client.ErrSpecInvalid, client.ErrSpecInvalid, nil}
+	for i, want := range wantCodes {
+		res, err := s.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if want == nil {
+			if res.Err() != nil || res.Output == nil {
+				t.Fatalf("op %d: %+v, want a sample payload", i, res)
+			}
+			continue
+		}
+		if !errors.Is(res.Err(), want) {
+			t.Fatalf("op %d: err = %v, want %v", i, res.Err(), want)
+		}
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("tail: err = %v, want io.EOF", err)
+	}
+}
+
+// TestQueryStreamRefusedTransport pins that a stream whose request
+// never reaches a live server surfaces the failure from Recv instead
+// of hanging.
+func TestQueryStreamRefusedTransport(t *testing.T) {
+	svc := service.New(service.Config{Capacity: 4, Seed: 1})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(httpapi.NewMux(svc))
+	ts.Close() // immediately: every dial fails
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.QueryStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	op := client.Op{Op: client.OpSample, ID: "gm:n=8:a=0.5", Count: 1}
+	// Send may or may not fail (the pipe buffers); Recv must error.
+	_ = s.Send(&op)
+	_ = s.CloseSend()
+	if _, err := s.Recv(); err == nil || err == io.EOF {
+		t.Fatalf("recv against dead server: err = %v", err)
+	}
+}
+
+// TestQueryStreamCancel pins that context cancellation tears down a
+// stream mid-exchange instead of deadlocking either side.
+func TestQueryStreamCancel(t *testing.T) {
+	c, _ := newTestClient(t, service.Config{Capacity: 16, Seed: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := c.QueryStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}
+	op := client.SampleOp(spec, 1)
+	if err := s.Send(&op); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Without CloseSend the server still holds the op stream open; the
+	// cancelled context must fail Recv rather than park it forever.
+	if _, err := s.Recv(); err == nil {
+		t.Fatal("recv on cancelled stream returned a result")
+	}
+	if err := s.Close(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Logf("close after cancel: %v", err)
+	}
+}

@@ -37,6 +37,14 @@ const (
 	// CodeOverLimit: the spec is beyond a serving admission bound, or
 	// the request exceeds a protocol limit (e.g. too many query ops).
 	CodeOverLimit Code = "over_limit"
+	// CodeGone: the route was retired (the /v1 surface). Not retryable;
+	// the response's Link header names the v2 successor.
+	CodeGone Code = "gone"
+	// CodeUnsupportedMedia: Content-Type/Accept negotiation failed — the
+	// request carried a body type the server does not read (415) or
+	// demanded a response type it does not write (406). Not retryable
+	// without changing the headers.
+	CodeUnsupportedMedia Code = "unsupported_media"
 )
 
 // Error is a typed API error: the decoded wire envelope on the client
@@ -93,6 +101,8 @@ var (
 	ErrBuildCanceled error = &Error{Code: CodeBuildCanceled, Message: "mechanism build canceled"}
 	ErrBuildFailed   error = &Error{Code: CodeBuildFailed, Message: "mechanism build failed"}
 	ErrOverLimit     error = &Error{Code: CodeOverLimit, Message: "request over serving limits"}
+	ErrGone          error = &Error{Code: CodeGone, Message: "route retired"}
+	ErrUnsupported   error = &Error{Code: CodeUnsupportedMedia, Message: "unsupported media type"}
 )
 
 // Envelope is the uniform v2 error body.

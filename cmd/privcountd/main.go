@@ -21,10 +21,12 @@
 //	GET  /v2/mechanisms        list every cached mechanism
 //	POST /v2/query             multiplexed sample/batch/estimate batch
 //
-// plus the deprecated v1 shims (/v1/sample, /v1/batch, /v1/estimate,
-// /v1/mechanism, /v1/mechanism/status, /v1/stats), which keep their
-// original body-embedded-spec wire form. The package client is the
-// typed Go SDK for the v2 surface.
+// POST /v2/query negotiates its transport per direction: JSON by
+// default, or the length-prefixed binary frame stream (Content-Type /
+// Accept "application/x-privcount-batch") for high-throughput batch
+// sampling. The retired v1 surface answers 410 Gone with a Link header
+// naming each route's v2 successor. The package client is the typed Go
+// SDK for the v2 surface, including the binary codec.
 //
 // Expensive builds are a managed background workload, not request-scoped
 // work: a synchronous request whose client disconnects mid-build cancels

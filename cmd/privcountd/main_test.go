@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -26,35 +25,6 @@ func testServer(t *testing.T) *httptest.Server {
 	return ts
 }
 
-func post(t *testing.T, ts *httptest.Server, path string, body any) (int, map[string]any) {
-	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decoding %s response: %v", path, err)
-	}
-	return resp.StatusCode, out
-}
-
-func merge(a, b map[string]any) map[string]any {
-	out := map[string]any{}
-	for k, v := range a {
-		out[k] = v
-	}
-	for k, v := range b {
-		out[k] = v
-	}
-	return out
-}
-
 // TestGracefulShutdownDrains boots the real server loop, serves a
 // request, then delivers the signal-context cancellation and checks run
 // returns cleanly — listener closed, build workers joined — within the
@@ -75,8 +45,8 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatal("server never became ready")
 	}
 
-	resp, err := http.Post("http://"+addr+"/v1/sample", "application/json",
-		bytes.NewReader([]byte(`{"mechanism":"gm","n":8,"alpha":0.5,"count":2}`)))
+	resp, err := http.Post("http://"+addr+"/v2/query", "application/json",
+		bytes.NewReader([]byte(`{"ops":[{"op":"sample","id":"gm:n=8:a=0.5","count":2}]}`)))
 	if err != nil {
 		t.Fatalf("request against live server: %v", err)
 	}

@@ -9,7 +9,6 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
-	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -72,77 +71,41 @@ func waitReadyV2(t *testing.T, ts, id string) map[string]any {
 	}
 }
 
-// TestV1ShimEqualsV2 pins that the deprecated v1 routes and the v2
-// surface are one implementation for one spec: the same seeded batch,
-// the same estimate, the same mechanism document — and that v1 (only)
-// answers with the deprecation headers.
-func TestV1ShimEqualsV2(t *testing.T) {
+// TestV1RetiredAtDaemon pins the daemon wiring's side of the v1
+// retirement: every old route answers 410 Gone with the taxonomy "gone"
+// envelope and a successor Link, and the equivalent v2 call succeeds on
+// the same server. (The full route-by-route matrix lives with the
+// handlers in internal/httpapi; this guards the newMux wiring.)
+func TestV1RetiredAtDaemon(t *testing.T) {
 	ts := testServer(t)
-	spec := map[string]any{"mechanism": "gm", "n": 10, "alpha": 0.6}
-	const id = "gm:n=10:a=0.6"
-	counts := []int{0, 5, 10, 3}
-	seed := uint64(7)
 
-	// Seeded batch: v1 body-embedded spec vs v2 multiplexed op.
-	code, v1batch := post(t, ts, "/v1/batch", merge(spec, map[string]any{"counts": counts, "seed": seed}))
-	if code != http.StatusOK {
-		t.Fatalf("v1 batch: %d %v", code, v1batch)
+	for _, path := range []string{"/v1/sample", "/v1/batch", "/v1/estimate",
+		"/v1/mechanism", "/v1/mechanism/status", "/v1/stats"} {
+		resp, doc := doReq(t, ts.URL, http.MethodPost, path,
+			map[string]any{"mechanism": "gm", "n": 10, "alpha": 0.6, "count": 2})
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("%s: status %d, want 410 (%v)", path, resp.StatusCode, doc)
+		}
+		env, _ := doc["error"].(map[string]any)
+		if env == nil || env["code"] != string(client.CodeGone) {
+			t.Errorf("%s: envelope %v, want code %q", path, doc, client.CodeGone)
+		}
+		if !strings.Contains(resp.Header.Get("Link"), `rel="successor-version"`) {
+			t.Errorf("%s: missing successor Link header: %q", path, resp.Header.Get("Link"))
+		}
+		// v2 does not inherit the tombstone headers.
 	}
-	resp, v2out := doReq(t, ts.URL, http.MethodPost, "/v2/query", client.QueryRequest{Ops: []client.Op{
-		{Op: "batch", ID: id, Counts: counts, Seed: &seed},
-		{Op: "estimate", ID: id, Outputs: []int{4, 4, 4}},
+
+	// The successor surface serves the migrated workload on this server.
+	seed := uint64(7)
+	resp, out := doReq(t, ts.URL, http.MethodPost, "/v2/query", client.QueryRequest{Ops: []client.Op{
+		{Op: "batch", ID: "gm:n=10:a=0.6", Counts: []int{0, 5, 10, 3}, Seed: &seed},
 	}})
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("v2 query: %d %v", resp.StatusCode, v2out)
+		t.Fatalf("v2 query: %d %v", resp.StatusCode, out)
 	}
-	results := v2out["results"].([]any)
-	v2batch := results[0].(map[string]any)
-	if !reflect.DeepEqual(v1batch["outputs"], v2batch["outputs"]) {
-		t.Errorf("seeded batch diverged: v1 %v, v2 %v", v1batch["outputs"], v2batch["outputs"])
-	}
-
-	// Estimate: v1 endpoint vs the v2 op.
-	code, v1est := post(t, ts, "/v1/estimate", merge(spec, map[string]any{"outputs": []int{4, 4, 4}}))
-	if code != http.StatusOK {
-		t.Fatalf("v1 estimate: %d %v", code, v1est)
-	}
-	v2est := results[1].(map[string]any)
-	for _, k := range []string{"mle", "sum", "mean", "unbiased"} {
-		if !reflect.DeepEqual(v1est[k], v2est[k]) {
-			t.Errorf("estimate field %q diverged: v1 %v, v2 %v", k, v1est[k], v2est[k])
-		}
-	}
-
-	// Mechanism document: v1 POST /v1/mechanism vs the v2 resource's
-	// mechanism detail.
-	code, v1mech := post(t, ts, "/v1/mechanism", spec)
-	if code != http.StatusOK {
-		t.Fatalf("v1 mechanism: %d %v", code, v1mech)
-	}
-	resp, v2doc := doReq(t, ts.URL, http.MethodGet, "/v2/mechanisms/"+id, nil)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("v2 mechanism: %d %v", resp.StatusCode, v2doc)
-	}
-	if !reflect.DeepEqual(v1mech, v2doc["mechanism"]) {
-		t.Errorf("mechanism document diverged:\n v1 %v\n v2 %v", v1mech, v2doc["mechanism"])
-	}
-
-	// Deprecation marking: v1 carries the headers, v2 does not.
-	r1, err := http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1.Body.Close()
-	if !strings.HasPrefix(r1.Header.Get("Deprecation"), "@") || r1.Header.Get("Link") == "" {
-		t.Errorf("v1 response missing deprecation headers: %v", r1.Header)
-	}
-	r2, err := http.Get(ts.URL + "/v2/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2.Body.Close()
-	if r2.Header.Get("Deprecation") != "" {
-		t.Error("v2 response carries a Deprecation header")
+	if resp.Header.Get("Link") != "" {
+		t.Error("v2 response carries a tombstone Link header")
 	}
 }
 

@@ -75,6 +75,38 @@ func (s *Sampler) SampleMany(src rng.Source, js []int, dst []int) []int {
 	return dst
 }
 
+// SampleManyInto draws one output for each true count in js, writing
+// into dst[:len(js)] without allocating — the batch-granularity hot
+// path behind the serving layer's zero-alloc sampling budget. It panics
+// if len(dst) < len(js) or any count is out of range, mirroring slice
+// indexing semantics; callers own validation. Draws consume src in the
+// same order as SampleMany, so the two are interchangeable under a
+// seeded source. The alias-table pointer is hoisted across runs of
+// equal counts, which amortises the column lookup for the common
+// all-one-group and sorted-batch shapes.
+func (s *Sampler) SampleManyInto(src rng.Source, js []int, dst []int) {
+	_ = dst[:len(js)]
+	var a *rng.Alias
+	last := -1
+	for i, j := range js {
+		if j != last {
+			a = s.cols[j]
+			last = j
+		}
+		dst[i] = a.Sample(src)
+	}
+}
+
+// SampleBatchInto draws len(dst) independent outputs for the single
+// true count j into dst without allocating: the alias table is looked
+// up once and every draw is O(1).
+func (s *Sampler) SampleBatchInto(src rng.Source, j int, dst []int) {
+	a := s.cols[j]
+	for i := range dst {
+		dst[i] = a.Sample(src)
+	}
+}
+
 // SampleBatch draws k independent outputs for the single true count j,
 // appending to dst (pass nil to allocate). It is the hot path for
 // serving repeated queries against one group.

@@ -81,6 +81,74 @@ func TestSampleManyAppends(t *testing.T) {
 	}
 }
 
+func TestSampleIntoMatchesAllocatingPath(t *testing.T) {
+	m, err := Geometric(8, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs of equal counts exercise the alias-pointer hoist; the mix of
+	// sorted runs and alternation covers both branch outcomes.
+	js := []int{0, 0, 0, 3, 3, 8, 1, 8, 1, 5, 5, 5, 5, 2}
+	want := s.SampleMany(rng.New(17), js, nil)
+	got := make([]int, len(js))
+	s.SampleManyInto(rng.New(17), js, got)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("SampleManyInto draw %d: %d != SampleMany %d", k, got[k], want[k])
+		}
+	}
+
+	wantBatch := s.SampleBatch(rng.New(23), 4, 64, nil)
+	gotBatch := make([]int, 64)
+	s.SampleBatchInto(rng.New(23), 4, gotBatch)
+	for k := range wantBatch {
+		if gotBatch[k] != wantBatch[k] {
+			t.Fatalf("SampleBatchInto draw %d: %d != SampleBatch %d", k, gotBatch[k], wantBatch[k])
+		}
+	}
+}
+
+func TestSampleIntoDoesNotAllocate(t *testing.T) {
+	m, err := Geometric(8, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	js := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 8, 8, 8}
+	dst := make([]int, len(js))
+	if n := testing.AllocsPerRun(100, func() { s.SampleManyInto(src, js, dst) }); n != 0 {
+		t.Errorf("SampleManyInto allocated %.1f times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.SampleBatchInto(src, 3, dst) }); n != 0 {
+		t.Errorf("SampleBatchInto allocated %.1f times per run", n)
+	}
+}
+
+func TestSampleManyIntoPanicsOnShortDst(t *testing.T) {
+	m, err := Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleManyInto with short dst did not panic")
+		}
+	}()
+	s.SampleManyInto(rng.New(1), []int{0, 1, 2}, make([]int, 2))
+}
+
 func TestSamplePanicsOutOfRange(t *testing.T) {
 	m, err := Uniform(2)
 	if err != nil {

@@ -24,26 +24,7 @@ func BenchmarkQueryHeterogeneousBatch(b *testing.B) {
 	defer svc.Close()
 	mux := NewMux(svc)
 
-	ids := []string{
-		"gm:n=8:a=0.5", "gm:n=64:a=0.5",
-		"em:n=16:a=0.5", "em:n=64:a=0.8",
-		"um:n=8", "um:n=32",
-		"choose:n=32:a=0.5:WH+CM:p=0",
-		"choose:n=64:a=0.8:RH+RM+CH+CM+WH:p=0",
-	}
-	seed := uint64(7)
-	ops := make([]client.Op, 0, client.MaxQueryOps)
-	for i := 0; len(ops) < client.MaxQueryOps; i++ {
-		id := ids[i%len(ids)]
-		switch i % 3 {
-		case 0:
-			ops = append(ops, client.Op{Op: client.OpSample, ID: id, Count: i % 8})
-		case 1:
-			ops = append(ops, client.Op{Op: client.OpBatch, ID: id, Counts: []int{1, 3, 5, 7}, Seed: &seed})
-		default:
-			ops = append(ops, client.Op{Op: client.OpEstimate, ID: id, Outputs: []int{0, 2, 4}})
-		}
-	}
+	ops := heterogeneousOps()
 	body, err := json.Marshal(client.QueryRequest{Ops: ops})
 	if err != nil {
 		b.Fatal(err)
@@ -73,6 +54,93 @@ func BenchmarkQueryHeterogeneousBatch(b *testing.B) {
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v2/query", bytes.NewReader(body)))
 		if rec.Code != http.StatusOK {
 			b.Fatalf("query status %d", rec.Code)
+		}
+	}
+	b.ReportMetric(float64(len(ops)), "ops/op")
+}
+
+// heterogeneousOps is the shared workload of the two transport
+// benchmarks: client.MaxQueryOps mixed sample/seeded-batch/estimate ops
+// across eight mechanism IDs.
+func heterogeneousOps() []client.Op {
+	ids := []string{
+		"gm:n=8:a=0.5", "gm:n=64:a=0.5",
+		"em:n=16:a=0.5", "em:n=64:a=0.8",
+		"um:n=8", "um:n=32",
+		"choose:n=32:a=0.5:WH+CM:p=0",
+		"choose:n=64:a=0.8:RH+RM+CH+CM+WH:p=0",
+	}
+	seed := uint64(7)
+	ops := make([]client.Op, 0, client.MaxQueryOps)
+	for i := 0; len(ops) < client.MaxQueryOps; i++ {
+		id := ids[i%len(ids)]
+		switch i % 3 {
+		case 0:
+			ops = append(ops, client.Op{Op: client.OpSample, ID: id, Count: i % 8})
+		case 1:
+			ops = append(ops, client.Op{Op: client.OpBatch, ID: id, Counts: []int{1, 3, 5, 7}, Seed: &seed})
+		default:
+			ops = append(ops, client.Op{Op: client.OpEstimate, ID: id, Outputs: []int{0, 2, 4}})
+		}
+	}
+	return ops
+}
+
+// BenchmarkQueryHeterogeneousBatchBinary is BenchmarkQueryHeterogeneous-
+// Batch on the binary data plane: the identical op workload, framed with
+// the length-prefixed codec and negotiated binary-in/binary-out, so the
+// two benchmarks bracket exactly the transport cost — JSON decode/encode
+// plus goroutine fan-out versus the streaming loop's frame codec and
+// zero-alloc sampling path.
+func BenchmarkQueryHeterogeneousBatchBinary(b *testing.B) {
+	svc := service.New(service.Config{Capacity: 32, Seed: 1})
+	defer svc.Close()
+	mux := NewMux(svc)
+
+	ops := heterogeneousOps()
+	var body bytes.Buffer
+	fw := client.NewFrameWriter(&body)
+	for i := range ops {
+		if err := fw.WriteOp(&ops[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := body.Bytes()
+
+	newReq := func() *http.Request {
+		req := httptest.NewRequest(http.MethodPost, "/v2/query", bytes.NewReader(raw))
+		req.Header.Set("Content-Type", client.ContentTypeBinary)
+		req.Header.Set("Accept", client.ContentTypeBinary)
+		return req
+	}
+
+	// Warm every mechanism and verify the stream end to end.
+	warm := httptest.NewRecorder()
+	mux.ServeHTTP(warm, newReq())
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup stream status %d: %s", warm.Code, warm.Body.String())
+	}
+	fr := client.NewFrameReader(warm.Body)
+	for i := range ops {
+		r, err := fr.ReadResult()
+		if err != nil {
+			b.Fatalf("warmup result %d: %v", i, err)
+		}
+		if r.Error != nil {
+			b.Fatalf("warmup op %d (%s %s): %v", i, ops[i].Op, ops[i].ID, r.Err())
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, newReq())
+		if rec.Code != http.StatusOK {
+			b.Fatalf("stream status %d", rec.Code)
 		}
 	}
 	b.ReportMetric(float64(len(ops)), "ops/op")

@@ -18,16 +18,32 @@
 //
 // Every v2 error is a machine-readable envelope —
 // {"error":{"code":"spec_invalid"|"not_admitted"|"build_canceled"|
-// "build_failed"|"over_limit","message":...}} — marshalled from the
-// same client.Error struct the SDK decodes, so typed errors survive the
-// wire (see package client).
+// "build_failed"|"over_limit"|"gone"|"unsupported_media","message":...}}
+// — marshalled from the same client.Error struct the SDK decodes, so
+// typed errors survive the wire (see package client).
 //
-// The v1 routes (/v1/sample, /v1/batch, /v1/estimate, /v1/mechanism,
-// /v1/mechanism/status, /v1/stats) are deprecated shims over the same
-// internals: they parse through the same Spec constructor and call the
-// same service methods, keep their original flat wire shapes
-// ({"error":"message"}), and answer with an RFC 9745 "Deprecation" header
-// plus a Link to their v2 successor.
+// POST /v2/query speaks two representations, negotiated per request and
+// per direction: JSON (the default) and the length-prefixed binary op
+// stream from package client's binary codec, selected by
+// Content-Type / Accept: application/x-privcount-batch. The negotiation
+// matrix is pinned by TestQueryContentNegotiation:
+//
+//	Content-Type         Accept               behaviour
+//	json / absent        json / absent / */*  buffered JSON (≤ MaxQueryOps)
+//	json / absent        binary               buffered, binary results
+//	binary               json / absent / */*  buffered binary ops (≤ MaxQueryOps)
+//	binary               binary               streamed: unbounded op count,
+//	                                          one frame in → one frame out
+//	anything else        —                    415, JSON envelope
+//	—                    anything else        406, JSON envelope
+//
+// In streamed mode a malformed frame aborts the stream with an in-band
+// abort frame (the 200 status line is already on the wire); in every
+// buffered mode errors use the HTTP status + envelope as usual.
+//
+// The v1 routes were deprecated in the v2 release and have been
+// removed: every /v1/* path now answers 410 Gone with a "gone" envelope
+// and a Link header naming its v2 successor.
 package httpapi
 
 import (
@@ -35,11 +51,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"mime"
 	"net/http"
-	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -109,13 +127,9 @@ func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeM
 	handle("POST /v2/query", a.postQuery)
 	handle("GET /v2/stats", a.getStats)
 
-	// v1: deprecated shims over the same internals.
-	handle("GET /v1/stats", deprecated("/v2/stats", a.getStats))
-	handle("POST /v1/mechanism", deprecated("/v2/mechanisms", a.v1Mechanism))
-	handle("GET /v1/mechanism/status", deprecated("/v2/mechanisms", a.v1MechanismStatus))
-	handle("POST /v1/sample", deprecated("/v2/query", a.v1Sample))
-	handle("POST /v1/batch", deprecated("/v2/query", a.v1Batch))
-	handle("POST /v1/estimate", deprecated("/v2/query", a.v1Estimate))
+	// v1: retired. Every old route (and any other /v1 path) answers 410
+	// with a Link to its v2 successor.
+	handle("/v1/", a.goneV1)
 	return mux
 }
 
@@ -144,19 +158,37 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// v1DeprecationDate is when the v1 routes were deprecated (the v2
-// release), in the RFC 9745 structured-field date form the Deprecation
-// header carries: a past date means "already deprecated".
-const v1DeprecationDate = "@1785369600" // 2026-07-30T00:00Z
+// Unwrap exposes the wrapped writer to http.NewResponseController, so
+// the streaming handler can flush and enable full-duplex through the
+// instrumentation layer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// deprecated marks a v1 handler's responses with the RFC 9745
-// Deprecation header and a Link pointing at the v2 successor route.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", v1DeprecationDate)
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+// v1Successors maps each retired v1 route to the v2 route that replaced
+// it, carried in the 410 response's Link header.
+var v1Successors = map[string]string{
+	"/v1/stats":            "/v2/stats",
+	"/v1/mechanism":        "/v2/mechanisms",
+	"/v1/mechanism/status": "/v2/mechanisms",
+	"/v1/sample":           "/v2/query",
+	"/v1/batch":            "/v2/query",
+	"/v1/estimate":         "/v2/query",
+}
+
+// goneV1 answers every retired /v1 path with 410 Gone, the standard
+// error envelope, and an RFC 8288 Link to the successor route.
+func (a *api) goneV1(w http.ResponseWriter, r *http.Request) {
+	successor, known := v1Successors[r.URL.Path]
+	if !known {
+		successor = "/v2/"
 	}
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+	e := &client.Error{
+		Code:       client.CodeGone,
+		Message:    fmt.Sprintf("the v1 API was removed; use %s", successor),
+		HTTPStatus: http.StatusGone,
+	}
+	a.countError(e)
+	writeJSON(w, e.HTTPStatus, client.Envelope{Error: e})
 }
 
 // ---- error taxonomy ----
@@ -362,39 +394,308 @@ func (a *api) listMechanisms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, client.MechanismList{Mechanisms: docs})
 }
 
+// ---- /v2/query: negotiation, buffered execution, streaming ----
+
+// negotiate resolves the request's Content-Type and Accept headers
+// against the two /v2/query representations (see the package doc's
+// matrix). ok=false means the negotiation error was already written.
+func (a *api) negotiate(w http.ResponseWriter, r *http.Request) (binIn, binOut, ok bool) {
+	binIn, ok = binaryContentType(r.Header.Get("Content-Type"))
+	if !ok {
+		a.writeMediaError(w, http.StatusUnsupportedMediaType,
+			fmt.Sprintf("unsupported Content-Type %q: use %s or %s",
+				r.Header.Get("Content-Type"), client.ContentTypeJSON, client.ContentTypeBinary))
+		return false, false, false
+	}
+	binOut, ok = binaryAccept(r.Header.Get("Accept"))
+	if !ok {
+		a.writeMediaError(w, http.StatusNotAcceptable,
+			fmt.Sprintf("unacceptable Accept %q: this route writes %s or %s",
+				r.Header.Get("Accept"), client.ContentTypeJSON, client.ContentTypeBinary))
+		return false, false, false
+	}
+	return binIn, binOut, true
+}
+
+// binaryContentType reports whether the request body is the binary op
+// stream. An absent Content-Type means JSON — the v2 JSON wire
+// contract predates negotiation, and the golden fixtures pin it.
+func binaryContentType(h string) (bin, ok bool) {
+	if h == "" {
+		return false, true
+	}
+	mt, _, err := mime.ParseMediaType(h)
+	if err != nil {
+		return false, false
+	}
+	switch mt {
+	case client.ContentTypeJSON:
+		return false, true
+	case client.ContentTypeBinary:
+		return true, true
+	}
+	return false, false
+}
+
+// binaryAccept reports whether the response should be the binary result
+// stream: the first recognised media range in the Accept list wins, an
+// absent header means JSON, and a list recognising neither is a 406.
+func binaryAccept(h string) (bin, ok bool) {
+	if h == "" {
+		return false, true
+	}
+	for _, el := range strings.Split(h, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(el))
+		if err != nil {
+			continue
+		}
+		switch mt {
+		case client.ContentTypeBinary:
+			return true, true
+		case client.ContentTypeJSON, "application/*", "*/*":
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// writeMediaError writes a negotiation failure: 415 or 406 carrying the
+// unsupported_media envelope (always JSON — the failure is about the
+// headers, and every client reads JSON).
+func (a *api) writeMediaError(w http.ResponseWriter, status int, msg string) {
+	e := &client.Error{Code: client.CodeUnsupportedMedia, Message: msg, HTTPStatus: status}
+	a.countError(e)
+	writeJSON(w, status, client.Envelope{Error: e})
+}
+
 // postQuery executes a multiplexed batch of operations in one round
 // trip. Request-level failures (malformed body, empty or oversized
-// batch) fail the whole call with an envelope; per-op failures land in
-// that op's result slot so the rest of the batch still answers. Ops run
-// concurrently — the cache hot path is lock-free and sampling draws
-// from per-shard RNG pools, and a batch touching several cold
-// mechanisms admits every build up front so the worker pool overlaps
-// them (the batch waits for the slowest build, not the sum).
+// batch, failed negotiation) fail the whole call with an envelope;
+// per-op failures land in that op's result slot so the rest of the
+// batch still answers. Buffered ops run concurrently — the cache hot
+// path is lock-free and sampling draws from per-shard RNG pools, and a
+// batch touching several cold mechanisms admits every build up front so
+// the worker pool overlaps them (the batch waits for the slowest build,
+// not the sum). The binary-in/binary-out pair instead streams: ops
+// execute sequentially on the zero-alloc sampling path with no op-count
+// cap, each result frame on the wire before the next op is read.
 func (a *api) postQuery(w http.ResponseWriter, r *http.Request) {
-	var req client.QueryRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		a.writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+	binIn, binOut, ok := a.negotiate(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Ops) == 0 {
+	if binIn && binOut {
+		a.queryStream(w, r)
+		return
+	}
+	var ops []client.Op
+	if binIn {
+		fr := client.NewFrameReader(http.MaxBytesReader(w, r.Body, 16<<20))
+		for {
+			op, err := fr.ReadOp()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				a.writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+				return
+			}
+			if len(ops) == client.MaxQueryOps {
+				a.writeV2Error(w, fmt.Errorf("%w: more than %d buffered query ops; stream with Accept: %s",
+					service.ErrOverLimit, client.MaxQueryOps, client.ContentTypeBinary))
+				return
+			}
+			ops = append(ops, op)
+		}
+	} else {
+		var req client.QueryRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			a.writeV2Error(w, fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+			return
+		}
+		if len(req.Ops) > client.MaxQueryOps {
+			a.writeV2Error(w, fmt.Errorf("%w: %d query ops, max %d", service.ErrOverLimit, len(req.Ops), client.MaxQueryOps))
+			return
+		}
+		ops = req.Ops
+	}
+	if len(ops) == 0 {
 		a.writeV2Error(w, fmt.Errorf("%w: empty ops", service.ErrSpecInvalid))
 		return
 	}
-	if len(req.Ops) > client.MaxQueryOps {
-		a.writeV2Error(w, fmt.Errorf("%w: %d query ops, max %d", service.ErrOverLimit, len(req.Ops), client.MaxQueryOps))
-		return
-	}
-	resp := client.QueryResponse{Results: make([]client.OpResult, len(req.Ops))}
+	results := make([]client.OpResult, len(ops))
 	var wg sync.WaitGroup
-	for i, op := range req.Ops {
+	for i, op := range ops {
 		wg.Add(1)
 		go func(i int, op client.Op) {
 			defer wg.Done()
-			resp.Results[i] = a.runOp(r.Context(), op)
+			results[i] = a.runOp(r.Context(), op)
 		}(i, op)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, resp)
+	if binOut {
+		writeBinaryResults(w, results)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.QueryResponse{Results: results})
+}
+
+// writeBinaryResults frames a buffered result set onto the response.
+func writeBinaryResults(w http.ResponseWriter, results []client.OpResult) {
+	w.Header().Set("Content-Type", client.ContentTypeBinary)
+	fw := client.NewFrameWriter(w)
+	for i := range results {
+		if err := fw.WriteResult(&results[i]); err != nil {
+			log.Printf("httpapi: encoding binary result: %v", err)
+			return
+		}
+	}
+	if err := fw.Close(); err != nil {
+		log.Printf("httpapi: closing binary response: %v", err)
+	}
+}
+
+// streamFlushEvery bounds how many result frames may sit buffered
+// before the stream is pushed to the client, so a peer pipelining ops
+// against results makes progress without waiting for the whole stream.
+const streamFlushEvery = 64
+
+// queryStream is the binary-in/binary-out data plane: a sequential
+// read-op → execute → write-result loop with no op-count cap. One op's
+// result frame is fully written before the next op is read, which is
+// what lets every batch op share one scratch buffer (the zero-alloc
+// sampling path) and keeps the loop deadlock-free against clients that
+// write their whole op stream before reading results. An empty op
+// stream is a valid, empty result stream. Malformed frames abort
+// in-band: the 200 status line is already committed, so the error rides
+// an abort frame instead of an HTTP status.
+func (a *api) queryStream(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", client.ContentTypeBinary)
+	// Without full duplex the net/http server closes the unread request
+	// body once the response starts — fatal for a stream that answers
+	// while ops are still arriving. Errors (an exotic wrapper without
+	// the capability) are ignored; the loop then works for clients that
+	// finish writing before reading, which buffered bodies guarantee.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	fr := client.NewFrameReader(r.Body)
+	fw := client.NewFrameWriter(w)
+	sc := newOpScratch()
+	ctx := r.Context()
+	var op client.Op
+	for n := 0; ; n++ {
+		err := fr.ReadOpInto(&op)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			e := wireError(fmt.Errorf("%w: %v", service.ErrSpecInvalid, err))
+			a.countError(e)
+			if werr := fw.WriteAbort(e); werr != nil {
+				return
+			}
+			break
+		}
+		res := a.runOpInto(ctx, &op, sc)
+		if err := fw.WriteResult(&res); err != nil {
+			return
+		}
+		if (n+1)%streamFlushEvery == 0 {
+			if err := fw.Flush(); err != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+	}
+	if err := fw.Close(); err != nil {
+		log.Printf("httpapi: closing binary stream: %v", err)
+	}
+}
+
+// opScratch is per-stream reusable state: a parsed-spec cache (ops
+// name mechanisms by wire token; re-parsing every frame would allocate)
+// and the batch result buffer the zero-alloc sampling path writes into.
+type opScratch struct {
+	specs map[string]service.Spec
+	dst   []int
+}
+
+// maxCachedSpecs bounds the per-stream spec cache; a hostile stream
+// cycling through distinct IDs degrades to re-parsing, not to
+// unbounded memory.
+const maxCachedSpecs = 1024
+
+func newOpScratch() *opScratch {
+	return &opScratch{specs: make(map[string]service.Spec, 8)}
+}
+
+func (sc *opScratch) spec(id string) (service.Spec, error) {
+	if s, ok := sc.specs[id]; ok {
+		return s, nil
+	}
+	var s service.Spec
+	if err := s.UnmarshalText([]byte(id)); err != nil {
+		return service.Spec{}, err
+	}
+	if len(sc.specs) < maxCachedSpecs {
+		sc.specs[id] = s
+	}
+	return s, nil
+}
+
+// buffer returns sc's batch result buffer resized to k.
+func (sc *opScratch) buffer(k int) []int {
+	if cap(sc.dst) < k {
+		sc.dst = make([]int, k)
+	}
+	return sc.dst[:k]
+}
+
+// runOpInto executes one query op against per-stream scratch: batch
+// results are written into sc's buffer via the service's
+// SampleBatchInto fast path, so a warm stream samples without
+// allocating. The returned result aliases sc — the caller must encode
+// it before the next runOpInto call.
+func (a *api) runOpInto(ctx context.Context, op *client.Op, sc *opScratch) client.OpResult {
+	spec, err := sc.spec(op.ID)
+	if err != nil {
+		return a.opError(err)
+	}
+	switch op.Op {
+	case client.OpSample:
+		out, err := a.svc.SampleCtx(ctx, spec, op.Count)
+		if err != nil {
+			return a.opError(err)
+		}
+		return client.OpResult{Output: &out}
+	case client.OpBatch:
+		if len(op.Counts) == 0 {
+			return a.opError(fmt.Errorf("%w: empty counts", service.ErrSpecInvalid))
+		}
+		dst := sc.buffer(len(op.Counts))
+		if op.Seed != nil {
+			err = a.svc.SampleBatchSeededInto(ctx, spec, *op.Seed, op.Counts, dst)
+		} else {
+			err = a.svc.SampleBatchIntoCtx(ctx, spec, op.Counts, dst)
+		}
+		if err != nil {
+			return a.opError(err)
+		}
+		return client.OpResult{Outputs: dst}
+	case client.OpEstimate:
+		if len(op.Outputs) == 0 {
+			return a.opError(fmt.Errorf("%w: empty outputs", service.ErrSpecInvalid))
+		}
+		est, err := a.svc.EstimateCtx(ctx, spec, op.Outputs)
+		if err != nil {
+			return a.opError(err)
+		}
+		return client.OpResult{
+			MLE: est.MLE, Sum: &est.Sum, Mean: &est.Mean, Unbiased: &est.Unbiased,
+		}
+	default:
+		return a.opError(fmt.Errorf("%w: unknown op %q (want sample, batch, or estimate)", service.ErrSpecInvalid, op.Op))
+	}
 }
 
 // runOp executes one query op. Cold mechanisms are admitted and awaited
@@ -462,226 +763,7 @@ func (a *api) getStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// ---- v1 shims ----
-
-// specRequest is the v1 wire form of a spec, embedded flat in every v1
-// request body.
-type specRequest struct {
-	Mechanism  string  `json:"mechanism"`
-	N          int     `json:"n"`
-	Alpha      float64 `json:"alpha"`
-	Properties string  `json:"properties"`
-	ObjectiveP float64 `json:"objective_p"`
-}
-
-// spec parses the v1 wire form through the canonical constructor.
-func (r specRequest) spec() (service.Spec, error) {
-	return service.NewSpec(r.Mechanism, r.N, r.Alpha, r.Properties, r.ObjectiveP)
-}
-
-// specFromQuery parses a spec from URL query parameters (the v1 GET
-// status endpoint has no body): mechanism, n, alpha, properties,
-// objective_p.
-func specFromQuery(q url.Values) (service.Spec, error) {
-	var r specRequest
-	r.Mechanism = q.Get("mechanism")
-	r.Properties = q.Get("properties")
-	if v := q.Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid n %q: %w", v, err)
-		}
-		r.N = n
-	}
-	if v := q.Get("alpha"); v != "" {
-		a, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid alpha %q: %w", v, err)
-		}
-		r.Alpha = a
-	}
-	if v := q.Get("objective_p"); v != "" {
-		p, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return service.Spec{}, fmt.Errorf("invalid objective_p %q: %w", v, err)
-		}
-		r.ObjectiveP = p
-	}
-	return r.spec()
-}
-
-// v1StatusDoc renders a build-status snapshot in the v1 flat shape.
-func v1StatusDoc(info service.BuildInfo) map[string]any {
-	doc := map[string]any{
-		"state":         info.State.String(),
-		"build_seconds": info.BuildSeconds,
-	}
-	if info.Err != nil {
-		doc["error"] = info.Err.Error()
-	}
-	return doc
-}
-
-// v1Mechanism describes the mechanism a spec resolves to; "wait": false
-// admits asynchronously and returns 202 plus a build-status document.
-func (a *api) v1Mechanism(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		specRequest
-		Wait *bool `json:"wait"`
-	}
-	spec, ok := a.decodeSpec(w, r, &req)
-	if !ok {
-		return
-	}
-	if req.Wait != nil && !*req.Wait {
-		// Async admission: hand the build to the background pool and
-		// answer immediately; progress is polled via /v1/mechanism/status
-		// (or GET /v2/mechanisms/{id}). An already-ready spec falls
-		// through to the full document.
-		info, err := a.svc.Start(spec)
-		if err != nil {
-			a.writeV1Error(w, http.StatusBadRequest, err)
-			return
-		}
-		if info.State != service.BuildReady {
-			writeJSON(w, http.StatusAccepted, v1StatusDoc(info))
-			return
-		}
-	}
-	e, err := a.svc.GetCtx(r.Context(), spec)
-	if err != nil {
-		a.writeV1Error(w, statusForBuildErr(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, mechanismInfo(e))
-}
-
-// v1MechanismStatus polls build state for a query-param spec.
-func (a *api) v1MechanismStatus(w http.ResponseWriter, r *http.Request) {
-	spec, err := specFromQuery(r.URL.Query())
-	if err != nil {
-		a.writeV1Error(w, http.StatusBadRequest, err)
-		return
-	}
-	info, err := a.svc.Status(spec)
-	if errors.Is(err, service.ErrNotAdmitted) {
-		writeJSON(w, http.StatusNotFound, map[string]any{
-			"state": "absent", "error": err.Error(),
-		})
-		return
-	}
-	if err != nil {
-		a.writeV1Error(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, v1StatusDoc(info))
-}
-
-// v1Sample serves one noisy release. The request context rides into a
-// cold spec's build, so a client that disconnects mid-build releases
-// (and, when it was the only interest, cancels) the build.
-func (a *api) v1Sample(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		specRequest
-		Count int `json:"count"`
-	}
-	spec, ok := a.decodeSpec(w, r, &req)
-	if !ok {
-		return
-	}
-	out, err := a.svc.SampleCtx(r.Context(), spec, req.Count)
-	if err != nil {
-		a.writeV1Error(w, statusForBuildErr(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"output": out})
-}
-
-// v1Batch serves a batch of noisy releases, optionally seeded.
-func (a *api) v1Batch(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		specRequest
-		Counts []int   `json:"counts"`
-		Seed   *uint64 `json:"seed"`
-	}
-	spec, ok := a.decodeSpec(w, r, &req)
-	if !ok {
-		return
-	}
-	if len(req.Counts) == 0 {
-		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty counts"))
-		return
-	}
-	var outs []int
-	var err error
-	if req.Seed != nil {
-		outs, err = a.svc.SampleBatchSeededCtx(r.Context(), spec, *req.Seed, req.Counts, nil)
-	} else {
-		outs, err = a.svc.SampleBatchCtx(r.Context(), spec, req.Counts, nil)
-	}
-	if err != nil {
-		a.writeV1Error(w, statusForBuildErr(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"outputs": outs})
-}
-
-// v1Estimate decodes observed outputs.
-func (a *api) v1Estimate(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		specRequest
-		Outputs []int `json:"outputs"`
-	}
-	spec, ok := a.decodeSpec(w, r, &req)
-	if !ok {
-		return
-	}
-	if len(req.Outputs) == 0 {
-		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("empty outputs"))
-		return
-	}
-	est, err := a.svc.EstimateCtx(r.Context(), spec, req.Outputs)
-	if err != nil {
-		a.writeV1Error(w, statusForBuildErr(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"mle": est.MLE, "sum": est.Sum, "mean": est.Mean, "unbiased": est.Unbiased,
-	})
-}
-
-// statusForBuildErr maps a lookup failure to a v1 HTTP status: client
-// mistakes (validation, deterministic build errors) are 400s, while a
-// build cut short by cancellation or shutdown is a 503 the client may
-// retry — the entry is rebuildable.
-func statusForBuildErr(err error) int {
-	if service.IsRetryable(err) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusBadRequest
-}
-
-// specCarrier lets decodeSpec extract the embedded specRequest from
-// each v1 request shape.
-type specCarrier interface{ carriedSpec() specRequest }
-
-func (r specRequest) carriedSpec() specRequest { return r }
-
-// decodeSpec decodes the JSON body into dst (which embeds specRequest)
-// and parses the spec, writing a v1 HTTP error and returning ok=false
-// on failure.
-func (a *api) decodeSpec(w http.ResponseWriter, r *http.Request, dst specCarrier) (service.Spec, bool) {
-	if err := decodeJSON(w, r, dst); err != nil {
-		a.writeV1Error(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
-		return service.Spec{}, false
-	}
-	spec, err := dst.carriedSpec().spec()
-	if err != nil {
-		a.writeV1Error(w, http.StatusBadRequest, err)
-		return service.Spec{}, false
-	}
-	return spec, true
-}
+// ---- request/response plumbing ----
 
 // decodeJSON decodes a bounded, strict JSON request body.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
@@ -696,14 +778,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("httpapi: encoding response: %v", err)
 	}
-}
-
-// writeV1Error writes the v1 flat error shape {"error": "message"},
-// counting the taxonomy code and surfacing shed back-off advice as a
-// Retry-After header (the flat body cannot carry it).
-func (a *api) writeV1Error(w http.ResponseWriter, status int, err error) {
-	e := wireError(err)
-	a.countError(e)
-	setRetryAfter(w, e)
-	writeJSON(w, status, map[string]any{"error": err.Error()})
 }

@@ -25,24 +25,6 @@ func testServer(t *testing.T) *httptest.Server {
 	return ts
 }
 
-func post(t *testing.T, ts *httptest.Server, path string, body any) (int, map[string]any) {
-	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatalf("decoding %s response: %v", path, err)
-	}
-	return resp.StatusCode, out
-}
-
 // getJSON GETs path and decodes the JSON response.
 func getJSON(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
 	t.Helper()
@@ -113,18 +95,7 @@ func waitReadyV2(t *testing.T, ts, id string) map[string]any {
 	}
 }
 
-func merge(a, b map[string]any) map[string]any {
-	out := map[string]any{}
-	for k, v := range a {
-		out[k] = v
-	}
-	for k, v := range b {
-		out[k] = v
-	}
-	return out
-}
-
-// ---- v1 shim behaviour ----
+// ---- health, stats, gone v1 ----
 
 func TestHealthAndStats(t *testing.T) {
 	ts := testServer(t)
@@ -136,205 +107,48 @@ func TestHealthAndStats(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	code, stats := post(t, ts, "/v1/sample", map[string]any{
-		"mechanism": "em", "n": 8, "alpha": 0.8, "count": 3,
-	})
-	if code != http.StatusOK {
-		t.Fatalf("sample status %d: %v", code, stats)
+	req := client.QueryRequest{Ops: []client.Op{{Op: "sample", ID: "em:n=8:a=0.8", Count: 3}}}
+	if hr, out := doReq(t, ts.URL, http.MethodPost, "/v2/query", req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("sample status %d: %v", hr.StatusCode, out)
 	}
-	for _, path := range []string{"/v1/stats", "/v2/stats"} {
-		code, st := getJSON(t, ts, path)
-		if code != http.StatusOK {
-			t.Fatalf("%s status %d", path, code)
-		}
-		if st["entries"].(float64) != 1 {
-			t.Errorf("%s entries = %v, want 1", path, st["entries"])
-		}
+	code, st := getJSON(t, ts, "/v2/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v2/stats status %d", code)
+	}
+	if st["entries"].(float64) != 1 {
+		t.Errorf("entries = %v, want 1", st["entries"])
 	}
 }
 
-func TestMechanismEndpoint(t *testing.T) {
-	ts := testServer(t)
-	code, out := post(t, ts, "/v1/mechanism", map[string]any{
-		"mechanism": "choose", "n": 16, "alpha": 0.9, "properties": "F",
-	})
-	if code != http.StatusOK {
-		t.Fatalf("status %d: %v", code, out)
-	}
-	if out["name"] != "EM" {
-		t.Errorf("fairness request resolved to %v, want EM", out["name"])
-	}
-	if out["rule"] != "fairness => EM" {
-		t.Errorf("rule = %v", out["rule"])
-	}
-	if out["debiasable"] != true {
-		t.Errorf("EM should be debiasable")
-	}
-}
-
-func TestSampleAndBatch(t *testing.T) {
-	ts := testServer(t)
-	spec := map[string]any{"mechanism": "gm", "n": 10, "alpha": 0.6}
-
-	code, out := post(t, ts, "/v1/sample", merge(spec, map[string]any{"count": 4}))
-	if code != http.StatusOK {
-		t.Fatalf("sample status %d: %v", code, out)
-	}
-	v := out["output"].(float64)
-	if v < 0 || v > 10 {
-		t.Errorf("sample output %v out of range", v)
-	}
-
-	// A seeded batch must be reproducible call-to-call.
-	req := merge(spec, map[string]any{"counts": []int{0, 5, 10, 3}, "seed": 99})
-	code, first := post(t, ts, "/v1/batch", req)
-	if code != http.StatusOK {
-		t.Fatalf("batch status %d: %v", code, first)
-	}
-	_, second := post(t, ts, "/v1/batch", req)
-	a, b := first["outputs"].([]any), second["outputs"].([]any)
-	if len(a) != 4 || len(b) != 4 {
-		t.Fatalf("batch lengths %d, %d; want 4", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Errorf("seeded batch not reproducible at %d: %v vs %v", i, a[i], b[i])
-		}
-	}
-
-	// Unseeded batch works too.
-	code, out = post(t, ts, "/v1/batch", merge(spec, map[string]any{"counts": []int{1, 2}}))
-	if code != http.StatusOK {
-		t.Fatalf("unseeded batch status %d: %v", code, out)
-	}
-}
-
-func TestEstimateEndpoint(t *testing.T) {
-	ts := testServer(t)
-	code, out := post(t, ts, "/v1/estimate", map[string]any{
-		"mechanism": "gm", "n": 10, "alpha": 0.6, "outputs": []int{4, 4, 4},
-	})
-	if code != http.StatusOK {
-		t.Fatalf("status %d: %v", code, out)
-	}
-	if out["unbiased"] != true {
-		t.Error("GM estimate not unbiased")
-	}
-	if len(out["mle"].([]any)) != 3 {
-		t.Errorf("mle = %v", out["mle"])
-	}
-}
-
-func TestBadRequests(t *testing.T) {
+// TestV1Gone pins the retired surface: every old v1 route (and anything
+// else under /v1/) answers 410 with the gone envelope and a Link to its
+// v2 successor, for both methods the old routes spoke.
+func TestV1Gone(t *testing.T) {
 	ts := testServer(t)
 	cases := []struct {
-		path string
-		body map[string]any
+		method, path, successor string
 	}{
-		{"/v1/sample", map[string]any{"mechanism": "nope", "n": 8, "alpha": 0.5, "count": 1}},
-		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 1.5, "count": 1}},
-		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "count": 11}},
-		{"/v1/sample", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "bogus": 1}},
-		{"/v1/batch", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5}},
-		{"/v1/estimate", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "outputs": []int{}}},
-		{"/v1/mechanism", map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5, "properties": "XX"}},
+		{http.MethodGet, "/v1/stats", "/v2/stats"},
+		{http.MethodPost, "/v1/mechanism", "/v2/mechanisms"},
+		{http.MethodGet, "/v1/mechanism/status?mechanism=gm&n=8&alpha=0.5", "/v2/mechanisms"},
+		{http.MethodPost, "/v1/sample", "/v2/query"},
+		{http.MethodPost, "/v1/batch", "/v2/query"},
+		{http.MethodPost, "/v1/estimate", "/v2/query"},
+		{http.MethodGet, "/v1/never-existed", "/v2/"},
 	}
 	for _, c := range cases {
-		code, out := post(t, ts, c.path, c.body)
-		if code != http.StatusBadRequest {
-			t.Errorf("POST %s %v: status %d (%v), want 400", c.path, c.body, code, out)
+		resp, out := doReq(t, ts.URL, c.method, c.path, map[string]any{"mechanism": "gm", "n": 8, "alpha": 0.5})
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("%s %s: status %d, want 410 (%v)", c.method, c.path, resp.StatusCode, out)
+			continue
 		}
-		if out["error"] == nil {
-			t.Errorf("POST %s %v: missing error field", c.path, c.body)
+		env, ok := out["error"].(map[string]any)
+		if !ok || env["code"] != "gone" {
+			t.Errorf("%s %s: body %v, want gone envelope", c.method, c.path, out)
 		}
-	}
-}
-
-// TestAsyncMechanismAdmission drives the v1 wait=false flow end to end:
-// admission answers 202 with a build-status document, GET
-// /v1/mechanism/status polls the build to ready, and a later synchronous
-// request serves the cached mechanism instantly.
-func TestAsyncMechanismAdmission(t *testing.T) {
-	ts := testServer(t)
-	body := map[string]any{
-		"mechanism": "lp", "n": 8, "alpha": 0.7, "properties": "WH+S", "wait": false,
-	}
-	code, out := post(t, ts, "/v1/mechanism", body)
-	if code != http.StatusAccepted && code != http.StatusOK {
-		t.Fatalf("async admission status %d: %v", code, out)
-	}
-	if code == http.StatusAccepted {
-		state, _ := out["state"].(string)
-		if state != "pending" && state != "building" {
-			t.Fatalf("202 document state = %q, want pending/building: %v", state, out)
-		}
-	}
-
-	statusPath := "/v1/mechanism/status?" + url.Values{
-		"mechanism":  {"lp"},
-		"n":          {"8"},
-		"alpha":      {"0.7"},
-		"properties": {"WH+S"},
-	}.Encode()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		code, st := getJSON(t, ts, statusPath)
-		if code != http.StatusOK {
-			t.Fatalf("status poll returned %d: %v", code, st)
-		}
-		if st["state"] == "ready" {
-			if sec, ok := st["build_seconds"].(float64); !ok || sec < 0 {
-				t.Errorf("ready status build_seconds = %v", st["build_seconds"])
-			}
-			break
-		}
-		if st["state"] == "failed" {
-			t.Fatalf("async build failed: %v", st)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("build never became ready: %v", st)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-
-	// The mechanism now serves synchronously from cache (wait defaulted).
-	delete(body, "wait")
-	code, out = post(t, ts, "/v1/mechanism", body)
-	if code != http.StatusOK {
-		t.Fatalf("post-build mechanism status %d: %v", code, out)
-	}
-	if out["name"] == nil || out["rule"] == nil {
-		t.Fatalf("mechanism document incomplete: %v", out)
-	}
-	// wait=false on a ready spec skips the 202 and returns the document.
-	body["wait"] = false
-	code, out = post(t, ts, "/v1/mechanism", body)
-	if code != http.StatusOK || out["name"] == nil {
-		t.Fatalf("wait=false on ready spec: %d %v", code, out)
-	}
-}
-
-// TestMechanismStatusErrors pins the v1 status endpoint's error surface:
-// never-admitted specs 404 with an error body, malformed queries 400.
-func TestMechanismStatusErrors(t *testing.T) {
-	ts := testServer(t)
-	code, out := getJSON(t, ts, "/v1/mechanism/status?mechanism=gm&n=9&alpha=0.5")
-	if code != http.StatusNotFound {
-		t.Fatalf("unadmitted status = %d, want 404: %v", code, out)
-	}
-	if out["state"] != "absent" || out["error"] == nil {
-		t.Fatalf("404 body = %v, want state=absent with error", out)
-	}
-	for _, q := range []string{
-		"mechanism=gm&n=bogus&alpha=0.5",
-		"mechanism=gm&n=9&alpha=bogus",
-		"mechanism=nope&n=9&alpha=0.5",
-		"mechanism=gm&n=9&alpha=0.5&objective_p=x",
-		"mechanism=gm&n=0&alpha=0.5",
-	} {
-		code, out := getJSON(t, ts, "/v1/mechanism/status?"+q)
-		if code != http.StatusBadRequest || out["error"] == nil {
-			t.Errorf("query %q: status %d body %v, want 400 with error", q, code, out)
+		want := fmt.Sprintf("<%s>; rel=%q", c.successor, "successor-version")
+		if got := resp.Header.Get("Link"); got != want {
+			t.Errorf("%s %s: Link = %q, want %q", c.method, c.path, got, want)
 		}
 	}
 }
@@ -343,10 +157,9 @@ func TestMechanismStatusErrors(t *testing.T) {
 // build-pipeline gauges the ops runbook polls.
 func TestStatsReportBuildPipeline(t *testing.T) {
 	ts := testServer(t)
-	if code, out := post(t, ts, "/v1/sample", map[string]any{
-		"mechanism": "gm", "n": 8, "alpha": 0.5, "count": 1,
-	}); code != http.StatusOK {
-		t.Fatalf("sample: %d %v", code, out)
+	req := client.QueryRequest{Ops: []client.Op{{Op: "sample", ID: "gm:n=8:a=0.5", Count: 1}}}
+	if hr, out := doReq(t, ts.URL, http.MethodPost, "/v2/query", req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("sample: %d %v", hr.StatusCode, out)
 	}
 	code, st := getJSON(t, ts, "/v2/stats")
 	if code != http.StatusOK {

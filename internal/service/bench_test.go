@@ -56,6 +56,30 @@ func BenchmarkCachedSampleBatch(b *testing.B) {
 	b.ReportMetric(float64(len(js)), "draws/op")
 }
 
+// BenchmarkSampleBatchInto measures the zero-alloc batch path: same
+// 1024-draw workload as BenchmarkCachedSampleBatch but into a
+// caller-owned buffer, so allocs/op is the headline number — it must
+// read 0 to meet the envelope's sampling budget at batch granularity.
+func BenchmarkSampleBatchInto(b *testing.B) {
+	svc := New(Config{Seed: 1})
+	js := make([]int, 1024)
+	for k := range js {
+		js[k] = k % (benchSpec.N + 1)
+	}
+	dst := make([]int, len(js))
+	if err := svc.SampleBatchInto(benchSpec, js, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.SampleBatchInto(benchSpec, js, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(js)), "draws/op")
+}
+
 // BenchmarkConstructThenSample is the no-cache baseline the serving
 // layer exists to beat: build the mechanism and its tables for every
 // request, then draw once.

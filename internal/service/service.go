@@ -304,6 +304,62 @@ func (s *Service) SampleBatchCtx(ctx context.Context, spec Spec, js []int, dst [
 	return dst, nil
 }
 
+// SampleBatchInto draws one noisy release for each true count js[i]
+// into dst[i]. It is SampleBatch with a caller-supplied result buffer:
+// on the hot path (ready entry, pooled generator) it performs zero heap
+// allocations, which is what lets a streaming transport serve
+// arbitrarily long batches at a flat memory cost. dst must have
+// len(dst) >= len(js); the extra tail is left untouched.
+func (s *Service) SampleBatchInto(spec Spec, js, dst []int) error {
+	return s.SampleBatchIntoCtx(context.Background(), spec, js, dst)
+}
+
+// SampleBatchIntoCtx is SampleBatchInto under a context (see
+// SampleCtx): a cold spec's build is awaited under ctx; ready entries
+// never consult ctx and never allocate.
+func (s *Service) SampleBatchIntoCtx(ctx context.Context, spec Spec, js, dst []int) error {
+	if len(dst) < len(js) {
+		return fmt.Errorf("service: result buffer holds %d, need %d", len(dst), len(js))
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	spec = spec.Canonical()
+	sh := s.shards[spec.hash()&s.mask]
+	r := sh.pool.Get()
+	e := sh.get(spec, r.StreamID())
+	if err := s.ready(ctx, e); err != nil {
+		sh.pool.Put(r)
+		return buildError(spec, err)
+	}
+	if err := checkCounts(js, e.spec.N); err != nil {
+		sh.pool.Put(r)
+		return err
+	}
+	e.sampler.SampleManyInto(r, js, dst)
+	sh.pool.Put(r)
+	return nil
+}
+
+// SampleBatchSeededInto is SampleBatchInto with reproducible
+// randomness: draws match SampleBatchSeeded exactly. The outputs are
+// written without allocating, though the seeded generator itself is a
+// per-call allocation — determinism requires a fresh stream.
+func (s *Service) SampleBatchSeededInto(ctx context.Context, spec Spec, seed uint64, js, dst []int) error {
+	if len(dst) < len(js) {
+		return fmt.Errorf("service: result buffer holds %d, need %d", len(dst), len(js))
+	}
+	e, _, err := s.lookup(ctx, spec, 0)
+	if err != nil {
+		return err
+	}
+	if err := checkCounts(js, e.spec.N); err != nil {
+		return err
+	}
+	e.sampler.SampleManyInto(rng.New(seed), js, dst)
+	return nil
+}
+
 // SampleBatchSeeded is SampleBatch with reproducible randomness: the
 // draws are exactly those of a fresh rng.New(seed) consumed one count at
 // a time, so a seeded batch matches seeded single-shot sampling — useful

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -240,5 +241,83 @@ func TestKindRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseKind("nope"); err == nil {
 		t.Error("ParseKind(\"nope\") succeeded")
+	}
+}
+
+func TestSampleBatchIntoMatchesAllocatingPath(t *testing.T) {
+	svc := New(Config{Seed: 4})
+	spec := Spec{Kind: KindGeometric, N: 12, Alpha: 0.7}
+	js := []int{0, 5, 5, 12, 1, 7, 7, 7}
+
+	// Seeded Into must reproduce the seeded appending path exactly.
+	want, err := svc.SampleBatchSeeded(spec, 99, js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(js))
+	if err := svc.SampleBatchSeededInto(context.Background(), spec, 99, js, got); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("draw %d: Into %d != appending %d", k, got[k], want[k])
+		}
+	}
+
+	// The unseeded path draws from the pool; check range and tail
+	// preservation rather than exact values.
+	dst := make([]int, len(js)+2)
+	dst[len(js)] = -7
+	if err := svc.SampleBatchInto(spec, js, dst); err != nil {
+		t.Fatal(err)
+	}
+	for k := range js {
+		if dst[k] < 0 || dst[k] > spec.N {
+			t.Fatalf("draw %d out of range: %d", k, dst[k])
+		}
+	}
+	if dst[len(js)] != -7 {
+		t.Error("SampleBatchInto wrote past len(js)")
+	}
+}
+
+func TestSampleBatchIntoErrors(t *testing.T) {
+	svc := New(Config{})
+	spec := Spec{Kind: KindUniform, N: 4}
+	if err := svc.SampleBatchInto(spec, []int{0, 1}, make([]int, 1)); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := svc.SampleBatchSeededInto(context.Background(), spec, 1, []int{0, 1}, make([]int, 1)); err == nil {
+		t.Error("seeded short dst accepted")
+	}
+	if err := svc.SampleBatchInto(spec, []int{5}, make([]int, 1)); err == nil {
+		t.Error("out-of-range count accepted")
+	}
+	if err := svc.SampleBatchInto(Spec{Kind: KindUniform, N: -1}, nil, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestSampleBatchIntoZeroAlloc(t *testing.T) {
+	svc := New(Config{Seed: 2})
+	spec := Spec{Kind: KindGeometric, N: 16, Alpha: 0.5}
+	js := make([]int, 256)
+	for k := range js {
+		js[k] = k % (spec.N + 1)
+	}
+	dst := make([]int, len(js))
+	if err := svc.SampleBatchInto(spec, js, dst); err != nil {
+		t.Fatal(err)
+	}
+	// The warm path must meet the envelope's zero-alloc sampling budget
+	// at batch granularity. sync.Pool may refill a generator under GC
+	// pressure, so allow a small fractional residue but nothing per-draw.
+	n := testing.AllocsPerRun(200, func() {
+		if err := svc.SampleBatchInto(spec, js, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 0.05 {
+		t.Errorf("SampleBatchInto allocated %.2f times per 256-draw batch", n)
 	}
 }
