@@ -1,0 +1,110 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"privcount"
+)
+
+// This file is the SDK side of the /v2 artifact routes: binary export
+// and import of built mechanisms, which is how a replica warm-syncs
+// from a peer instead of re-running the solver. The bytes are opaque to
+// the SDK — the server's versioned artifact codec defines them — and
+// deterministic: the same built mechanism exports the same bytes on
+// every replica.
+
+// ContentTypeArtifact is the media type of encoded mechanism artifacts,
+// the body of GET/PUT /v2/mechanisms/{id}/artifact.
+const ContentTypeArtifact = "application/x-privcount-artifact"
+
+// MaxArtifactBytes bounds how large an artifact ExportArtifact will
+// read; it mirrors the server-side decode ceiling, which the largest
+// legal mechanism (n=4096) fits with room to spare.
+const MaxArtifactBytes = 256 << 20
+
+// ExportArtifact downloads the built mechanism for spec in its
+// canonical binary artifact form (GET /v2/mechanisms/{id}/artifact).
+// Mechanisms never admitted error with ErrNotAdmitted — export never
+// triggers a build — and builds still in flight with ErrNotReady
+// (retryable: poll WaitReady or just retry). Feed the bytes to another
+// server's ImportArtifact to make the mechanism servable there with no
+// build.
+func (c *Client) ExportArtifact(ctx context.Context, spec privcount.Spec) ([]byte, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v2/mechanisms/" + url.PathEscape(id) + "/artifact"
+	var data []byte
+	err = c.retry.retrying(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return decodeErrorEnvelope(resp, http.MethodGet, path)
+		}
+		data, err = io.ReadAll(io.LimitReader(resp.Body, MaxArtifactBytes+1))
+		if err != nil {
+			return fmt.Errorf("client: reading artifact: %w", err)
+		}
+		if len(data) > MaxArtifactBytes {
+			return fmt.Errorf("client: artifact exceeds %d bytes", MaxArtifactBytes)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// ImportArtifact uploads a pre-built mechanism artifact for spec (PUT
+// /v2/mechanisms/{id}/artifact) — the replica warm-sync path. The
+// server decodes, checks the artifact against spec, and fully
+// re-verifies the mechanism before installing it; a bad or mismatched
+// artifact errors with ErrArtifactInvalid and changes nothing. On
+// success the returned status document is ready: the mechanism serves
+// immediately, no build, and Query needs no prior Create.
+func (c *Client) ImportArtifact(ctx context.Context, spec privcount.Spec, artifact []byte) (*MechanismStatus, error) {
+	id, err := specID(spec)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v2/mechanisms/" + url.PathEscape(id) + "/artifact"
+	var st MechanismStatus
+	err = c.retry.retrying(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+path, bytes.NewReader(artifact))
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		req.Header.Set("Content-Type", ContentTypeArtifact)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: PUT %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return decodeErrorEnvelope(resp, http.MethodPut, path)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return fmt.Errorf("client: decoding PUT %s response: %w", path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,123 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privcount"
+	"privcount/client"
+	"privcount/internal/service"
+)
+
+// TestArtifactLocalSpecValidation: both artifact calls validate the
+// spec locally before touching the network, mirroring Create.
+func TestArtifactLocalSpecValidation(t *testing.T) {
+	c, err := client.New("http://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := privcount.Spec{Kind: privcount.SpecGeometric, N: -3, Alpha: 0.5}
+	if _, err := c.ExportArtifact(context.Background(), bad); err == nil {
+		t.Error("ExportArtifact accepted an invalid spec")
+	}
+	if _, err := c.ImportArtifact(context.Background(), bad, []byte("x")); err == nil {
+		t.Error("ImportArtifact accepted an invalid spec")
+	}
+}
+
+// TestArtifactTransportFailures pins the SDK's behavior against
+// misbehaving servers: non-envelope error bodies still produce a typed
+// error with the HTTP status, and a 2xx import response that is not a
+// status document fails loudly instead of returning garbage.
+func TestArtifactTransportFailures(t *testing.T) {
+	spec := privcount.Spec{Kind: privcount.SpecUniform, N: 4}
+	ctx := context.Background()
+
+	t.Run("non-envelope error body", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "gateway exploded", http.StatusBadGateway)
+		}))
+		defer ts.Close()
+		c, err := client.New(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.ExportArtifact(ctx, spec)
+		if err == nil {
+			t.Fatal("ExportArtifact succeeded against a 502 server")
+		}
+		if !strings.Contains(err.Error(), "502") {
+			t.Fatalf("got %v, want the 502 status surfaced", err)
+		}
+		if _, err := c.ImportArtifact(ctx, spec, []byte("x")); err == nil {
+			t.Fatal("ImportArtifact succeeded against a 502 server")
+		}
+	})
+
+	t.Run("import response is not a status document", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("certainly not json"))
+		}))
+		defer ts.Close()
+		c, err := client.New(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.ImportArtifact(ctx, spec, []byte("x"))
+		if err == nil || !strings.Contains(err.Error(), "decoding") {
+			t.Fatalf("got %v, want a decode error", err)
+		}
+	})
+
+	t.Run("connection refused", func(t *testing.T) {
+		c, err := client.New("http://127.0.0.1:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ExportArtifact(ctx, spec); err == nil {
+			t.Error("ExportArtifact succeeded against a closed port")
+		}
+		if _, err := c.ImportArtifact(ctx, spec, nil); err == nil {
+			t.Error("ImportArtifact succeeded against a closed port")
+		}
+	})
+}
+
+// TestArtifactExportImportSDKRoundTrip exercises the happy path purely
+// at the SDK level (the httpapi package pins the wire details): export
+// from a warm server, import into a cold one, query both.
+func TestArtifactExportImportSDKRoundTrip(t *testing.T) {
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 12, Alpha: 0.5}
+	ctx := context.Background()
+
+	warm, _ := newTestClient(t, service.Config{Seed: 1})
+	if _, err := warm.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.WaitReady(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	art, err := warm.ExportArtifact(ctx, spec)
+	if err != nil {
+		t.Fatalf("ExportArtifact: %v", err)
+	}
+
+	cold, coldSvc := newTestClient(t, service.Config{Seed: 2})
+	st, err := cold.ImportArtifact(ctx, spec, art)
+	if err != nil {
+		t.Fatalf("ImportArtifact: %v", err)
+	}
+	if st.State != "ready" {
+		t.Fatalf("imported state = %q, want ready", st.State)
+	}
+	if got := coldSvc.Stats().Builds; got != 0 {
+		t.Fatalf("import ran %d builds, want 0", got)
+	}
+	res, err := cold.Query(ctx, []client.Op{client.SampleOp(spec, 3)})
+	if err != nil || len(res) != 1 || res[0].Err() != nil {
+		t.Fatalf("Query after import: %v / %+v", err, res)
+	}
+}

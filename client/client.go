@@ -138,19 +138,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var env Envelope
-		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
-			return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
-		}
-		env.Error.HTTPStatus = resp.StatusCode
-		// Prefer the envelope's advice; fall back to the Retry-After
-		// header for servers that only set the header.
-		if env.Error.RetryAfterSeconds == 0 {
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				env.Error.RetryAfterSeconds = float64(secs)
-			}
-		}
-		return env.Error
+		return decodeErrorEnvelope(resp, method, path)
 	}
 	if out == nil {
 		return nil
@@ -159,6 +147,23 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
 	}
 	return nil
+}
+
+// decodeErrorEnvelope turns a non-2xx response into its typed *Error,
+// preferring the envelope's back-off advice and falling back to the
+// Retry-After header for servers that only set the header.
+func decodeErrorEnvelope(resp *http.Response, method, path string) error {
+	var env Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
+	}
+	env.Error.HTTPStatus = resp.StatusCode
+	if env.Error.RetryAfterSeconds == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			env.Error.RetryAfterSeconds = float64(secs)
+		}
+	}
+	return env.Error
 }
 
 // Create admits spec's mechanism for building (PUT /v2/mechanisms/{id})

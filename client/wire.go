@@ -34,6 +34,16 @@ const (
 	// CodeBuildFailed: the build itself failed deterministically (e.g.
 	// an infeasible constraint set). Retrying fails the same way.
 	CodeBuildFailed Code = "build_failed"
+	// CodeNotReady: the mechanism exists but its build has not settled,
+	// so the requested representation (an artifact export) does not
+	// exist yet. Retryable — poll the status document or just retry
+	// once the build finishes.
+	CodeNotReady Code = "not_ready"
+	// CodeArtifactInvalid: an imported (or served) mechanism artifact
+	// failed decoding or re-verification — wrong spec, bad framing,
+	// failed checksum, non-stochastic matrix. Not retryable with the
+	// same bytes.
+	CodeArtifactInvalid Code = "artifact_invalid"
 	// CodeOverLimit: the spec is beyond a serving admission bound, or
 	// the request exceeds a protocol limit (e.g. too many query ops).
 	CodeOverLimit Code = "over_limit"
@@ -96,13 +106,15 @@ func (e *Error) Is(target error) bool {
 // Sentinel errors, one per taxonomy code: compare with errors.Is, or
 // errors.As into *Error for the message and HTTP status.
 var (
-	ErrSpecInvalid   error = &Error{Code: CodeSpecInvalid, Message: "invalid mechanism spec"}
-	ErrNotAdmitted   error = &Error{Code: CodeNotAdmitted, Message: "mechanism not admitted"}
-	ErrBuildCanceled error = &Error{Code: CodeBuildCanceled, Message: "mechanism build canceled"}
-	ErrBuildFailed   error = &Error{Code: CodeBuildFailed, Message: "mechanism build failed"}
-	ErrOverLimit     error = &Error{Code: CodeOverLimit, Message: "request over serving limits"}
-	ErrGone          error = &Error{Code: CodeGone, Message: "route retired"}
-	ErrUnsupported   error = &Error{Code: CodeUnsupportedMedia, Message: "unsupported media type"}
+	ErrSpecInvalid     error = &Error{Code: CodeSpecInvalid, Message: "invalid mechanism spec"}
+	ErrNotAdmitted     error = &Error{Code: CodeNotAdmitted, Message: "mechanism not admitted"}
+	ErrBuildCanceled   error = &Error{Code: CodeBuildCanceled, Message: "mechanism build canceled"}
+	ErrBuildFailed     error = &Error{Code: CodeBuildFailed, Message: "mechanism build failed"}
+	ErrOverLimit       error = &Error{Code: CodeOverLimit, Message: "request over serving limits"}
+	ErrGone            error = &Error{Code: CodeGone, Message: "route retired"}
+	ErrUnsupported     error = &Error{Code: CodeUnsupportedMedia, Message: "unsupported media type"}
+	ErrNotReady        error = &Error{Code: CodeNotReady, Message: "mechanism not ready"}
+	ErrArtifactInvalid error = &Error{Code: CodeArtifactInvalid, Message: "invalid mechanism artifact"}
 )
 
 // Envelope is the uniform v2 error body.
@@ -126,6 +138,10 @@ func IsRetryable(err error) bool {
 	switch e.Code {
 	case CodeBuildCanceled:
 		return true
+	case CodeNotReady:
+		// The build is in flight; the same export succeeds once it
+		// settles.
+		return true
 	case CodeOverLimit:
 		return e.HTTPStatus == http.StatusServiceUnavailable || e.RetryAfterSeconds > 0
 	}
@@ -147,6 +163,10 @@ func localError(err error) error {
 		code = CodeNotAdmitted
 	case errors.Is(err, privcount.ErrBuildFailed):
 		code = CodeBuildFailed
+	case errors.Is(err, privcount.ErrNotReady):
+		code = CodeNotReady
+	case errors.Is(err, privcount.ErrArtifactInvalid):
+		code = CodeArtifactInvalid
 	}
 	return &Error{Code: code, Message: err.Error()}
 }

@@ -7,19 +7,27 @@
 //
 // Usage:
 //
-//	privcountd -addr :8080 -capacity 256 -shards 8 -build-workers 4
+//	privcountd -addr :8080 -capacity 256 -shards 8 -build-workers 4 \
+//	           -store-dir /var/lib/privcount
+//
+// With -store-dir set, built mechanisms persist to disk as versioned
+// binary artifacts: a restarted daemon serves previously built
+// mechanisms in O(read) instead of re-running the LP solver, and peers
+// warm-sync via the /v2 artifact routes.
 //
 // The route set lives in internal/httpapi. The v2 API is organised
 // around mechanism identity — the canonical spec token (e.g.
 // "lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0") is the resource ID:
 //
-//	GET  /healthz              liveness probe
-//	GET  /metrics              Prometheus text exposition
-//	GET  /v2/stats             cache + build-pipeline statistics
-//	PUT  /v2/mechanisms/{id}   admit a mechanism for background build
-//	GET  /v2/mechanisms/{id}   build status + mechanism detail when ready
-//	GET  /v2/mechanisms        list every cached mechanism
-//	POST /v2/query             multiplexed sample/batch/estimate batch
+//	GET  /healthz                       liveness probe
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /v2/stats                      cache + build + store statistics
+//	PUT  /v2/mechanisms/{id}            admit a mechanism for background build
+//	GET  /v2/mechanisms/{id}            build status + detail when ready
+//	GET  /v2/mechanisms/{id}/artifact   binary export of the built mechanism
+//	PUT  /v2/mechanisms/{id}/artifact   import a pre-built mechanism artifact
+//	GET  /v2/mechanisms                 list every cached mechanism
+//	POST /v2/query                      multiplexed sample/batch/estimate batch
 //
 // POST /v2/query negotiates its transport per direction: JSON by
 // default, or the length-prefixed binary frame stream (Content-Type /
@@ -64,6 +72,9 @@ func main() {
 			"shed new build admissions while running builds have spent this many summed wall seconds (0 = unlimited)")
 		shedRetryAfter = flag.Duration("shed-retry-after", 0,
 			"Retry-After advice attached to shed responses (0 = 1s)")
+
+		storeDir = flag.String("store-dir", "",
+			"directory for the persistent mechanism store; builds found there skip the solver and successful builds persist to it (empty = no persistence)")
 	)
 	flag.Parse()
 
@@ -76,6 +87,13 @@ func main() {
 			MaxInFlightSeconds: *maxInFlightSecs,
 			RetryAfter:         *shedRetryAfter,
 		},
+	}
+	if *storeDir != "" {
+		store, err := service.NewFSStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
 	}
 	if err := run(ctx, *addr, cfg, nil); err != nil {
 		log.Fatal(err)

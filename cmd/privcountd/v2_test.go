@@ -113,11 +113,15 @@ func TestV1RetiredAtDaemon(t *testing.T) {
 
 var update = flag.Bool("update", false, "rewrite golden wire fixtures")
 
-// goldenCase is one recorded request/response exchange.
+// goldenCase is one recorded request/response exchange. Pre, when set,
+// is a mechanism id PUT (unrecorded) immediately before the case's own
+// request — it lets a case observe a build that was just admitted, e.g.
+// the not_ready artifact export of a slow LP solve.
 type goldenCase struct {
 	Name     string          `json:"name"`
 	Method   string          `json:"method"`
 	Path     string          `json:"path"`
+	Pre      string          `json:"pre,omitempty"`
 	Body     json.RawMessage `json:"body,omitempty"`
 	Status   int             `json:"status"`
 	Response json.RawMessage `json:"response"`
@@ -189,6 +193,9 @@ func TestV2GoldenWire(t *testing.T) {
 	for i := range cases {
 		c := &cases[i]
 		t.Run(c.Name, func(t *testing.T) {
+			if c.Pre != "" {
+				mustPutV2(t, ts.URL, c.Pre)
+			}
 			var body io.Reader = bytes.NewReader(nil)
 			if len(c.Body) > 0 {
 				body = bytes.NewReader(c.Body)
@@ -267,6 +274,13 @@ func goldenScript() []goldenCase {
 				{Op: "sample", ID: "not-a-kind:n=8", Count: 1},
 			}})},
 		{Name: "error_not_admitted", Method: "GET", Path: "/v2/mechanisms/gm:n=11:a=0.5"},
+		{Name: "error_artifact_not_admitted", Method: "GET", Path: "/v2/mechanisms/gm:n=13:a=0.5/artifact"},
+		{Name: "error_artifact_invalid", Method: "PUT", Path: "/v2/mechanisms/em:n=8:a=0.8/artifact",
+			Body: q("not a mechanism artifact")},
+		// The n=256 LP solve takes seconds; the export lands while the
+		// build the Pre step just admitted is still in flight.
+		{Name: "error_artifact_not_ready", Method: "GET", Path: "/v2/mechanisms/lp:n=256:a=0.5:WH+CM:p=0/artifact",
+			Pre: "lp:n=256:a=0.5:WH+CM:p=0"},
 		{Name: "error_spec_invalid", Method: "PUT", Path: "/v2/mechanisms/em:n=8:a=1.5"},
 		{Name: "error_over_limit", Method: "PUT", Path: "/v2/mechanisms/lp-minimax:n=256:a=0.5:none:p=0"},
 		{Name: "error_empty_ops", Method: "POST", Path: "/v2/query", Body: q(client.QueryRequest{})},

@@ -118,13 +118,23 @@ func CheckEnvelope(tb testing.TB, spec service.Spec, env service.CostEnvelope) {
 		tb.Errorf("%s: build allocated %d bytes, over the %s class budget of %d", spec, grew, env.BuildMem, maxBytes)
 	}
 
-	// Serving: the hot path's allocation declaration.
+	// Serving: the hot path's allocation declaration. Concurrent
+	// runtime activity (GC, the race detector's shadow bookkeeping) can
+	// only ever inflate an AllocsPerRun reading, so the minimum of a few
+	// measurements is the hot path's true cost — one noisy reading must
+	// not flake a 0-alloc declaration.
 	j := spec.N / 2
-	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := svc.Sample(spec, j); err != nil {
-			tb.Errorf("%s: sample failed: %v", spec, err)
+	allocs := float64(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := svc.Sample(spec, j); err != nil {
+				tb.Errorf("%s: sample failed: %v", spec, err)
+			}
+		})
+		if attempt == 0 || got < allocs {
+			allocs = got
 		}
-	})
+	}
 	if allocs > float64(env.SampleAllocs) {
 		tb.Errorf("%s: Sample performs %.0f allocs per draw, envelope declares at most %d", spec, allocs, env.SampleAllocs)
 	}

@@ -7,18 +7,28 @@
 // — property sets with the same §IV-A closure, fields the kind ignores
 // — name one resource, one cache entry, one build.
 //
-//	PUT  /v2/mechanisms/{id}  admit the mechanism for background build
-//	                          (idempotent; 202 until ready, then 200)
-//	GET  /v2/mechanisms/{id}  status document; mechanism detail when ready
-//	GET  /v2/mechanisms       list every cached mechanism's status
-//	POST /v2/query            multiplexed batch of sample/batch/estimate
-//	                          ops against any number of mechanism IDs
-//	GET  /v2/stats            cache + build-pipeline statistics
-//	GET  /healthz             liveness probe
+//	PUT  /v2/mechanisms/{id}           admit the mechanism for background
+//	                                   build (idempotent; 202 until
+//	                                   ready, then 200)
+//	GET  /v2/mechanisms/{id}           status document; mechanism detail
+//	                                   when ready
+//	GET  /v2/mechanisms/{id}/artifact  binary export of the built
+//	                                   mechanism (ETag = artifact hash)
+//	PUT  /v2/mechanisms/{id}/artifact  import a pre-built mechanism
+//	                                   (replica warm-sync; re-verified)
+//	GET  /v2/mechanisms                list every cached mechanism's
+//	                                   status
+//	POST /v2/query                     multiplexed batch of sample/batch/
+//	                                   estimate ops against any number of
+//	                                   mechanism IDs
+//	GET  /v2/stats                     cache + build-pipeline + store
+//	                                   statistics
+//	GET  /healthz                      liveness probe
 //
 // Every v2 error is a machine-readable envelope —
-// {"error":{"code":"spec_invalid"|"not_admitted"|"build_canceled"|
-// "build_failed"|"over_limit"|"gone"|"unsupported_media","message":...}}
+// {"error":{"code":"spec_invalid"|"not_admitted"|"not_ready"|
+// "build_canceled"|"build_failed"|"artifact_invalid"|"over_limit"|
+// "gone"|"unsupported_media","message":...}}
 // — marshalled from the same client.Error struct the SDK decodes, so
 // typed errors survive the wire (see package client).
 //
@@ -123,6 +133,8 @@ func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeM
 	// v2: mechanism identity + multiplexed query.
 	handle("PUT /v2/mechanisms/{id}", a.putMechanism)
 	handle("GET /v2/mechanisms/{id}", a.getMechanism)
+	handle("GET /v2/mechanisms/{id}/artifact", a.getArtifact)
+	handle("PUT /v2/mechanisms/{id}/artifact", a.putArtifact)
 	handle("GET /v2/mechanisms", a.listMechanisms)
 	handle("POST /v2/query", a.postQuery)
 	handle("GET /v2/stats", a.getStats)
@@ -210,6 +222,17 @@ func taxonomy(err error) (client.Code, int) {
 		return client.CodeOverLimit, http.StatusBadRequest
 	case errors.Is(err, service.ErrSpecInvalid):
 		return client.CodeSpecInvalid, http.StatusBadRequest
+	case errors.Is(err, service.ErrNotReady):
+		// Artifact export raced an in-flight build: the resource exists
+		// but has no exportable representation yet. 409, not 503 — the
+		// conflict is with the resource's state, and polling the status
+		// document (not blind retry) is the resolution.
+		return client.CodeNotReady, http.StatusConflict
+	case errors.Is(err, service.ErrArtifactInvalid):
+		// The artifact bytes parsed as a request but fail decode or
+		// re-verification — same 422 class as build_failed: the request
+		// was well-formed, the payload is unprocessable.
+		return client.CodeArtifactInvalid, http.StatusUnprocessableEntity
 	case service.IsRetryable(err):
 		// Cut-short builds: abandonment, eviction, shutdown, dead client
 		// contexts. 503 invites a retry; the entry is rebuildable.
@@ -760,6 +783,12 @@ func (a *api) getStats(w http.ResponseWriter, _ *http.Request) {
 		"build_seconds":          st.BuildSeconds,
 		"admission_sheds":        st.Sheds,
 		"inflight_build_seconds": st.InFlightBuildSeconds,
+		"store_hits":             st.StoreHits,
+		"store_misses":           st.StoreMisses,
+		"store_put_failures":     st.StorePutFailures,
+		"store_quarantines":      st.StoreQuarantines,
+		"store_bytes_read":       st.StoreBytesRead,
+		"store_bytes_written":    st.StoreBytesWritten,
 	})
 }
 

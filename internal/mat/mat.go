@@ -50,6 +50,27 @@ func FromRows(rows [][]float64) (*Dense, error) {
 	return m, nil
 }
 
+// FromRowMajor builds an r×c matrix from row-major data. The data is
+// copied; len(data) must be exactly r*c.
+func FromRowMajor(r, c int, data []float64) (*Dense, error) {
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("mat: FromRowMajor(%d, %d): dimensions must be positive: %w", r, c, ErrShape)
+	}
+	if len(data) != r*c {
+		return nil, fmt.Errorf("mat: FromRowMajor: %d entries for a %d×%d matrix, want %d: %w", len(data), r, c, r*c, ErrShape)
+	}
+	m := NewDense(r, c)
+	copy(m.data, data)
+	return m, nil
+}
+
+// AppendRowMajor appends the matrix's entries in row-major order to dst
+// and returns the extended slice — the serialization counterpart of
+// FromRowMajor.
+func (m *Dense) AppendRowMajor(dst []float64) []float64 {
+	return append(dst, m.data...)
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Dense {
 	m := NewDense(n, n)

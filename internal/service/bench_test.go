@@ -165,3 +165,51 @@ func TestCachedBatchSpeedup(t *testing.T) {
 			perDrawCached, perDrawBaseline, perDrawBaseline/perDrawCached)
 	}
 }
+
+// coldStartSpec is the store tier's acceptance scenario: an LP-backed
+// mechanism at n=256, where a solve costs seconds and a store load
+// costs one O(n²) read — the gap the persistent store exists to close.
+var coldStartSpec = Spec{Kind: KindLP, N: 256, Alpha: 0.5, Props: core.WeakHonesty | core.ColumnMonotone}
+
+// BenchmarkColdStartFromSolve measures first-request latency on a cold
+// service with no store: every op pays the full LP solve. This is the
+// baseline BenchmarkColdStartFromStore is read against.
+func BenchmarkColdStartFromSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := New(Config{Seed: 1})
+		if _, err := svc.Get(coldStartSpec); err != nil {
+			b.Fatal(err)
+		}
+		if got := svc.Stats().Builds; got != 1 {
+			b.Fatalf("Builds = %d, want 1", got)
+		}
+		svc.Close()
+	}
+}
+
+// BenchmarkColdStartFromStore measures the same first request when a
+// populated FSStore sits under the cache: decode + re-verify +
+// sampler rebuild instead of the solve. The Stats assertions pin that
+// the measured path really is the store path (no solver invocation).
+func BenchmarkColdStartFromStore(b *testing.B) {
+	st, err := NewFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := New(Config{Seed: 1, Store: st})
+	if _, err := seed.Get(coldStartSpec); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close() // drains the write-behind persist
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := New(Config{Seed: 1, Store: st})
+		if _, err := svc.Get(coldStartSpec); err != nil {
+			b.Fatal(err)
+		}
+		if got := svc.Stats(); got.Builds != 0 || got.StoreHits != 1 {
+			b.Fatalf("stats = %+v, want 0 builds / 1 store hit", got)
+		}
+		svc.Close()
+	}
+}

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"context"
 	"errors"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -86,6 +89,60 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if again.ID() != id {
 			t.Fatalf("ID not a fixed point: %q reparses to ID %q", id, again.ID())
+		}
+	})
+}
+
+// FuzzArtifactDecode fuzzes the binary artifact codec. Invariants, on
+// arbitrary bytes: DecodeArtifact never panics and never allocates
+// beyond the input's own size (hostile length prefixes are bounded by
+// remaining payload); every rejection wraps ErrArtifactInvalid; every
+// strict truncation of a valid artifact additionally matches
+// io.ErrUnexpectedEOF; and anything accepted is a canonical fixed
+// point — re-encoding yields bytes that decode to a deeply equal
+// artifact.
+//
+// Seed corpus: encoded artifacts of the closed-form kinds plus framing
+// mutations, and testdata/fuzz/FuzzArtifactDecode/.
+// Run the fuzzer with: go test ./internal/service -fuzz FuzzArtifactDecode
+func FuzzArtifactDecode(f *testing.F) {
+	for _, spec := range []Spec{
+		{Kind: KindGeometric, N: 4, Alpha: 0.5},
+		{Kind: KindUniform, N: 3},
+		{Kind: KindExplicitFair, N: 5, Alpha: 0.8},
+	} {
+		spec = spec.Canonical()
+		res := buildMechanism(context.Background(), spec)
+		if res.err != nil {
+			f.Fatalf("buildMechanism(%s): %v", spec, res.err)
+		}
+		valid := artifactFromResult(spec, res).Encode()
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])           // truncation
+		f.Add(corruptAt(valid, len(valid)/3)) // bit rot
+	}
+	f.Add([]byte("PCA1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(data)
+		if err != nil {
+			if !errors.Is(err, ErrArtifactInvalid) {
+				t.Fatalf("rejection is untyped: %v", err)
+			}
+			return
+		}
+		// Accepted: canonical re-encode must decode to the same artifact.
+		again, err := DecodeArtifact(a.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of accepted artifact rejected: %v", err)
+		}
+		if !reflect.DeepEqual(again, a) {
+			t.Fatalf("re-encode round trip moved:\n got %+v\nwant %+v", again, a)
+		}
+		// Every strict prefix of an accepted artifact is truncation.
+		half := a.Encode()[:len(data)/2]
+		if _, err := DecodeArtifact(half); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of accepted artifact not classified as truncation: %v", err)
 		}
 	})
 }

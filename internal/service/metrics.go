@@ -79,6 +79,28 @@ func (s *Service) RegisterMetrics(reg *metrics.Registry) {
 			func() float64 { return float64(kc.nanos.Load()) / 1e9 })
 	}
 
+	// Store-tier series are registered unconditionally — they read
+	// zeros when no Store is configured — so the exposition's shape
+	// does not depend on deployment flags.
+	reg.NewCounterFunc("privcount_store_hits_total",
+		"Builds served from a stored artifact instead of a solve.",
+		func() float64 { return float64(s.store.hits.Load()) })
+	reg.NewCounterFunc("privcount_store_misses_total",
+		"Store reads that fell back to a solve.",
+		func() float64 { return float64(s.store.misses.Load()) })
+	reg.NewCounterFunc("privcount_store_put_failures_total",
+		"Write-behind artifact persists that errored.",
+		func() float64 { return float64(s.store.putFails.Load()) })
+	reg.NewCounterFunc("privcount_store_quarantines_total",
+		"Stored artifacts that failed verification and were moved aside.",
+		func() float64 { return float64(s.store.quarantines.Load()) })
+	reg.NewCounterFunc("privcount_store_read_bytes_total",
+		"Artifact bytes read from the store.",
+		func() float64 { return float64(s.store.bytesRead.Load()) })
+	reg.NewCounterFunc("privcount_store_written_bytes_total",
+		"Artifact bytes written to the store.",
+		func() float64 { return float64(s.store.bytesWritten.Load()) })
+
 	for _, reason := range []string{ShedQueueDepth, ShedBuildSeconds} {
 		src := &s.build.shedQueue
 		if reason == ShedBuildSeconds {

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports that this test binary runs under the race
+// detector, which slows the LP kernels by an order of magnitude and
+// makes large-n acceptance solves unreasonably slow.
+const raceEnabled = true

@@ -44,6 +44,13 @@ type Config struct {
 	// load-shed with a retryable ShedError instead of queueing. See
 	// AdmissionConfig for the zero-value defaults.
 	Admission AdmissionConfig
+	// Store, when non-nil, is the persistent artifact tier under the
+	// in-memory cache: cache misses try a stored artifact before
+	// solving, and every successful build is persisted asynchronously.
+	// The store is strictly best-effort — a missing or corrupt artifact
+	// degrades to a normal build. See NewFSStore for the filesystem
+	// implementation.
+	Store Store
 }
 
 // kindCounters is the per-kind slice of the build-pipeline counters,
@@ -95,6 +102,18 @@ type Service struct {
 		startMu sync.Mutex
 		starts  map[*Entry]time.Time
 	}
+
+	store struct {
+		backend Store          // nil when no store is configured
+		wg      sync.WaitGroup // tracks write-behind goroutines for Close
+
+		hits         atomic.Int64 // builds served from a stored artifact
+		misses       atomic.Int64 // reads that fell back to a solve
+		putFails     atomic.Int64 // write-behind persists that errored
+		quarantines  atomic.Int64 // artifacts that failed verification
+		bytesRead    atomic.Int64
+		bytesWritten atomic.Int64
+	}
 }
 
 // New returns a Service with the given configuration. Call Close to
@@ -140,6 +159,7 @@ func New(cfg Config) *Service {
 		s.shards[i] = sh
 	}
 	s.admission = cfg.Admission.withDefaults(cfg.BuildQueue)
+	s.store.backend = cfg.Store
 	s.build.starts = make(map[*Entry]time.Time, cfg.BuildWorkers)
 	s.build.root, s.build.cancelRoot = context.WithCancelCause(context.Background())
 	s.build.queue = make(chan *Entry, cfg.BuildQueue)
@@ -470,6 +490,18 @@ type Stats struct {
 	// InFlightBuildSeconds is the summed elapsed wall time of the builds
 	// currently executing — the MaxInFlightSeconds admission signal.
 	InFlightBuildSeconds float64
+
+	// StoreHits counts builds served from a stored artifact instead of
+	// a solve; StoreMisses counts store reads that fell back to one.
+	// Both stay zero when no Store is configured.
+	StoreHits, StoreMisses int64
+	// StorePutFailures counts write-behind persists that errored;
+	// StoreQuarantines counts stored artifacts that failed decode or
+	// verification and were moved aside.
+	StorePutFailures, StoreQuarantines int64
+	// StoreBytesRead and StoreBytesWritten total the artifact bytes
+	// exchanged with the store.
+	StoreBytesRead, StoreBytesWritten int64
 }
 
 // Stats returns current cache and build-pipeline statistics.
@@ -489,5 +521,11 @@ func (s *Service) Stats() Stats {
 	st.BuildSeconds = float64(s.build.nanos.Load()) / 1e9
 	st.Sheds = s.build.sheds.Load()
 	st.InFlightBuildSeconds = s.inFlightSeconds()
+	st.StoreHits = s.store.hits.Load()
+	st.StoreMisses = s.store.misses.Load()
+	st.StorePutFailures = s.store.putFails.Load()
+	st.StoreQuarantines = s.store.quarantines.Load()
+	st.StoreBytesRead = s.store.bytesRead.Load()
+	st.StoreBytesWritten = s.store.bytesWritten.Load()
 	return st
 }

@@ -339,6 +339,13 @@ var (
 	// ErrNotAdmitted is returned by status lookups for specs never
 	// admitted (or since evicted).
 	ErrNotAdmitted = service.ErrNotAdmitted
+	// ErrNotReady marks an artifact export of a mechanism whose build
+	// has not settled yet; retry once it is ready.
+	ErrNotReady = service.ErrNotReady
+	// ErrArtifactInvalid marks mechanism artifact bytes that fail
+	// decoding or re-verification (bad framing, failed checksum, wrong
+	// spec, non-stochastic matrix).
+	ErrArtifactInvalid = service.ErrArtifactInvalid
 )
 
 // IsRetryableBuild reports whether a serving-layer error is
@@ -391,6 +398,17 @@ const (
 
 // BuildInfo is a snapshot of one cached mechanism's build status.
 type BuildInfo = service.BuildInfo
+
+// Store is a persistent mechanism-artifact tier keyed by canonical Spec
+// ID. Wire one into ServiceConfig.Store to make builds read-through /
+// write-behind persistent: cache misses try a stored artifact before
+// solving, successful solves persist asynchronously. See NewFSStore.
+type Store = service.Store
+
+// NewFSStore opens (creating if needed) dir as a filesystem mechanism
+// store: one file per artifact, atomic-rename writes, corrupt artifacts
+// quarantined aside and rebuilt rather than crashing the server.
+func NewFSStore(dir string) (Store, error) { return service.NewFSStore(dir) }
 
 // NewService returns a serving layer with the given configuration. Call
 // (*Service).Close to drain its background build pool on shutdown.
