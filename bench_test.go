@@ -219,6 +219,23 @@ func BenchmarkDesignChooseN256(b *testing.B) {
 	}
 }
 
+// BenchmarkDesignChooseN1024 measures the largest cold build the raised
+// service.MaxLPN admits: the WM LP at n=1024 through the band-reduced
+// path (interior fixed to the geometric mechanism, O(d·n)-variable
+// boundary LP; ~3 s/op). Like N64 and N256 it yields a single iteration
+// under CI's -benchtime, so it is published in BENCH_lp.json but not
+// regression-gated; the enforced guard is TestWMDesignN1024UnderBudget's
+// self-calibrating 10 s wall-clock ceiling.
+func BenchmarkDesignChooseN1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		design.ClearCache()
+		if _, err := design.Choose(1024, 0.9, core.ColumnMonotone); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDesignChooseN24 is the gated CI proxy for LP-path scaling: a
 // cold WM LP at n=24 (the old dense limit) is fast enough to collect
 // several samples per run, so the 30% regression gate applies to it.

@@ -7,6 +7,7 @@
 //	lpsolve model.lp
 //	echo 'max: 3x + 2y; c1: x + y <= 4; c2: x + 3y <= 6;' | lpsolve -
 //	lpsolve -duals model.lp
+//	lpsolve -method ipm -stats model.lp
 package main
 
 import (
@@ -24,13 +25,18 @@ func main() {
 		showDuals = flag.Bool("duals", false, "print dual values per constraint")
 		echo      = flag.Bool("echo", false, "echo the parsed model before solving")
 		maxIter   = flag.Int("maxiter", 0, "simplex iteration limit (0 = automatic)")
-		stats     = flag.Bool("stats", false, "print solver statistics (iterations, refactorizations, nonzeros, wall time)")
+		stats     = flag.Bool("stats", false, "print solver statistics (route, iterations, factorizations, nonzeros, wall time)")
+		method    = flag.String("method", "auto", "solver back end: auto, sparse, dense, unbounded, or ipm")
 	)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lpsolve [-duals] [-echo] <file.lp | ->")
+		fmt.Fprintln(os.Stderr, "usage: lpsolve [-duals] [-echo] [-method m] <file.lp | ->")
 		os.Exit(2)
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
@@ -46,7 +52,7 @@ func main() {
 	}
 
 	start := time.Now()
-	sol, err := model.SolveWith(lp.Options{MaxIterations: *maxIter})
+	sol, err := model.SolveWith(lp.Options{MaxIterations: *maxIter, Method: m})
 	elapsed := time.Since(start)
 	if err != nil {
 		// Terminations are first-class: report the cause (classified via
@@ -79,7 +85,10 @@ func main() {
 		fmt.Printf("  rows_implied     %d\n", ps.ImpliedRows+ps.EmptyRows)
 		fmt.Printf("  vars_fixed       %d\n", ps.FixedVars)
 		fmt.Printf("  bound_flips      %d\n", sol.BoundFlips)
-		fmt.Printf("  refactorizations %d\n", sol.Refactorizations)
+		fmt.Printf("  factorizations   %d\n", sol.Refactorizations)
+		if sol.Route == "ipm" {
+			fmt.Printf("  duality_gap      %.3g\n", sol.Gap)
+		}
 		fmt.Printf("  solve_seconds    %.6f\n", elapsed.Seconds())
 	}
 	fmt.Println("variables:")
@@ -92,6 +101,26 @@ func main() {
 			fmt.Printf("  %-16s %.10g\n", model.Constraint(i).Name, sol.Duals[i])
 		}
 	}
+}
+
+// parseMethod maps the -method flag onto the solver back ends. "auto"
+// keeps the full routing chain (presolve, dual route, IPM for huge
+// models, simplex, oracle fallbacks); the named methods force one
+// engine, which is how the cross-validation harnesses drive the CLI.
+func parseMethod(s string) (lp.Method, error) {
+	switch s {
+	case "", "auto":
+		return lp.MethodAuto, nil
+	case "sparse":
+		return lp.MethodSparse, nil
+	case "dense":
+		return lp.MethodDense, nil
+	case "unbounded":
+		return lp.MethodUnboundedSparse, nil
+	case "ipm":
+		return lp.MethodIPM, nil
+	}
+	return 0, fmt.Errorf("unknown -method %q (want auto, sparse, dense, unbounded, or ipm)", s)
 }
 
 func readSource(path string) (string, error) {

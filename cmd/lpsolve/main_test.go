@@ -49,6 +49,56 @@ func TestStatsReportPresolveAndRoute(t *testing.T) {
 	}
 }
 
+// TestParseMethod pins the -method vocabulary: each name must map onto
+// its solver back end, the empty string and "auto" onto the routing
+// chain, and anything else must be rejected before a solve starts.
+func TestParseMethod(t *testing.T) {
+	want := map[string]lp.Method{
+		"":          lp.MethodAuto,
+		"auto":      lp.MethodAuto,
+		"sparse":    lp.MethodSparse,
+		"dense":     lp.MethodDense,
+		"unbounded": lp.MethodUnboundedSparse,
+		"ipm":       lp.MethodIPM,
+	}
+	for name, m := range want {
+		got, err := parseMethod(name)
+		if err != nil || got != m {
+			t.Errorf("parseMethod(%q) = %v, %v, want %v", name, got, err, m)
+		}
+	}
+	if _, err := parseMethod("simplex2"); err == nil {
+		t.Error("parseMethod accepted an unknown back end")
+	}
+}
+
+// TestMethodIPMSolvesAndReportsGap drives the forced interior point
+// route the way `lpsolve -method ipm -stats` does and checks the stats
+// the CLI prints from it: the route tag, a factorization count, and a
+// duality gap within the engine's advertised tolerance.
+func TestMethodIPMSolvesAndReportsGap(t *testing.T) {
+	model, err := lp.ParseLP("min: x + 2y; c1: x + y >= 4; c2: x + 3y >= 6; x <= 10; y <= 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.SolveWith(lp.Options{Method: lp.MethodIPM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Route != "ipm" {
+		t.Fatalf("route = %q, want ipm", sol.Route)
+	}
+	if diff := sol.Objective - 5; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("objective = %v, want 5 within 1e-6", sol.Objective)
+	}
+	if sol.Refactorizations < 1 {
+		t.Errorf("factorizations = %d, want >= 1 on the ipm route", sol.Refactorizations)
+	}
+	if sol.Gap < 0 || sol.Gap > 1e-6 {
+		t.Errorf("duality gap = %v, want in [0, 1e-6]", sol.Gap)
+	}
+}
+
 func TestReadSourceMissingFile(t *testing.T) {
 	if _, err := readSource("/does/not/exist.lp"); err == nil {
 		t.Error("missing file accepted")

@@ -282,7 +282,7 @@ func goldenScript() []goldenCase {
 		{Name: "error_artifact_not_ready", Method: "GET", Path: "/v2/mechanisms/lp:n=256:a=0.5:WH+CM:p=0/artifact",
 			Pre: "lp:n=256:a=0.5:WH+CM:p=0"},
 		{Name: "error_spec_invalid", Method: "PUT", Path: "/v2/mechanisms/em:n=8:a=1.5"},
-		{Name: "error_over_limit", Method: "PUT", Path: "/v2/mechanisms/lp-minimax:n=256:a=0.5:none:p=0"},
+		{Name: "error_over_limit", Method: "PUT", Path: "/v2/mechanisms/lp-minimax:n=512:a=0.5:none:p=0"},
 		{Name: "error_empty_ops", Method: "POST", Path: "/v2/query", Body: q(client.QueryRequest{})},
 		{Name: "error_malformed_body", Method: "POST", Path: "/v2/query", Body: json.RawMessage(`{"ops": 3}`)},
 	}

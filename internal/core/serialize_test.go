@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestProbsRowMajorRoundTrip pins the serialization seam the artifact
+// codec builds on: export → reconstruct must reproduce the mechanism
+// exactly (the entries are copied verbatim, not re-derived), and the
+// reconstructed mechanism must be fully servable (sampler tables
+// rebuild from the matrix alone).
+func TestProbsRowMajorRoundTrip(t *testing.T) {
+	gm, err := Geometric(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := gm.AppendProbsRowMajor(nil)
+	if len(probs) != 81 {
+		t.Fatalf("exported %d entries, want 81", len(probs))
+	}
+	back, err := FromProbsRowMajor(gm.Name(), 8, 0.5, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 8; i++ {
+		for j := 0; j <= 8; j++ {
+			if back.Prob(i, j) != gm.Prob(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, back.Prob(i, j), gm.Prob(i, j))
+			}
+		}
+	}
+	// Appending to a non-empty slice extends it, matching the append
+	// contract the length-prefixed codec relies on.
+	prefixed := gm.AppendProbsRowMajor([]float64{-1})
+	if len(prefixed) != 82 || prefixed[0] != -1 || prefixed[1] != probs[0] {
+		t.Fatal("AppendProbsRowMajor does not honour append semantics")
+	}
+}
+
+// TestFromProbsRowMajorRejectsGarbage: the reconstruction side
+// re-validates like New — a corrupted or forged serialization must not
+// become a servable mechanism.
+func TestFromProbsRowMajorRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		probs []float64
+	}{
+		{"n < 1", 0, []float64{1}},
+		{"length mismatch", 2, []float64{1, 0, 0}},
+		{"not column-stochastic", 1, []float64{0.5, 0.5, 0.5, 0.6}},
+	}
+	for _, c := range cases {
+		if _, err := FromProbsRowMajor("bad", c.n, 0.5, c.probs); !errors.Is(err, ErrInvalidMechanism) {
+			t.Errorf("%s: got %v, want ErrInvalidMechanism", c.name, err)
+		}
+	}
+}
+
+// TestPropertySetTextRoundTrip pins the encoding.Text{M,Unm}arshaler
+// forms the Spec tokens and JSON documents embed.
+func TestPropertySetTextRoundTrip(t *testing.T) {
+	for _, ps := range []PropertySet{0, RowHonesty | ColumnMonotone | WeakHonesty, AllProperties} {
+		text, err := ps.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Property
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != ps {
+			t.Fatalf("round trip %q: got %v, want %v", text, back, ps)
+		}
+	}
+	var p Property
+	if err := p.UnmarshalText([]byte("XX")); err == nil {
+		t.Fatal("unknown property code should not unmarshal")
+	}
+}

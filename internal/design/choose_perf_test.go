@@ -132,6 +132,53 @@ func TestWMDesignN256UnderBudget(t *testing.T) {
 	}
 }
 
+// TestWMDesignN1024UnderBudget is the serving-scale guard for the
+// band-reduced path: at n=1024 the full WM LP has ~2M rows and is out of
+// reach for any of the engines, but the band reduction (GM interior
+// fixed, O(d·n)-variable boundary LP, clearance-certified depth) solves
+// it in ~3 s at α=0.9 — the measurement that makes service.MaxLPN=1024
+// admissible. The ceiling uses the same throttling calibration as the
+// n=256 guard.
+func TestWMDesignN1024UnderBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock guard is meaningless under the race detector (~15x slowdown)")
+	}
+	if testing.Short() {
+		t.Skip("multi-second LP solve")
+	}
+	ClearCache()
+	calStart := time.Now()
+	if _, err := Choose(64, 0.9, core.ColumnMonotone); err != nil {
+		t.Fatal(err)
+	}
+	cal := time.Since(calStart)
+	budget := 10 * time.Second
+	const nominalN64 = 500 * time.Millisecond
+	if cal > nominalN64 {
+		budget = time.Duration(float64(budget) * float64(cal) / float64(nominalN64))
+	}
+
+	ClearCache()
+	start := time.Now()
+	r, err := Solve(Problem{N: 1024, Alpha: 0.9, Props: WMProps, ReduceSymmetry: true})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > budget {
+		t.Fatalf("WM design LP at n=1024 took %v, budget %v (n=64 calibration %v)", elapsed, budget, cal)
+	}
+	n, alpha := 1024.0, 0.9
+	gm := 2 * alpha / (1 + alpha) * n / (n + 1)
+	em := 2 * alpha / (1 + alpha)
+	if r.Cost < gm-1e-7 || r.Cost > em+1e-7 {
+		t.Fatalf("WM cost %v outside [GM=%v, EM=%v]", r.Cost, gm, em)
+	}
+	if !r.Mechanism.Matrix().IsColumnStochastic(1e-6) {
+		t.Fatal("LP mechanism is not column stochastic")
+	}
+}
+
 // TestWMCostN24WithinPaperBounds checks the full design pipeline at
 // n=24 (beyond the old dense-solver limit) against the paper's sandwich:
 // GM's L0 ≤ WM's LP cost ≤ EM's L0 (Figure 6), scaled by the

@@ -12,6 +12,7 @@ package design
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -118,6 +119,19 @@ func SolveCtx(ctx context.Context, p Problem) (*Result, error) {
 	reduce := p.ReduceSymmetry && p.Props&core.Symmetry != 0
 	if reduce && !symmetricWeights(obj.Weights) {
 		return nil, fmt.Errorf("design: ReduceSymmetry requires symmetric weights")
+	}
+
+	if bandEligible(p, obj, reduce) {
+		r, err := solveBand(ctx, p, obj)
+		if err == nil {
+			return r, nil
+		}
+		if errors.Is(err, lp.ErrCanceled) {
+			return nil, err
+		}
+		// Any other band failure — a depth that stopped fitting, a
+		// numerically hostile deep band — falls through to the full LP,
+		// which stays the correctness path of record.
 	}
 
 	b := newBuilder(p.N, p.Alpha, reduce)
@@ -431,14 +445,27 @@ func (b *builder) extract(sol *lp.Solution, p Problem) (*Mechanism, error) {
 	px := mat.NewDense(n+1, n+1)
 	for i := 0; i <= n; i++ {
 		for j := 0; j <= n; j++ {
-			v := sol.Value(b.varOf(i, j))
+			px.Set(i, j, sol.Value(b.varOf(i, j)))
+		}
+	}
+	return finishMatrix(px, p)
+}
+
+// finishMatrix validates a candidate mechanism matrix (no negative mass
+// beyond numeric drift, columns summing to one within tolerance), clamps
+// and renormalises it, and wraps it as a Mechanism. Shared by the full
+// LP extraction and the band-path stitch.
+func finishMatrix(px *mat.Dense, p Problem) (*Mechanism, error) {
+	n := p.N
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			v := px.At(i, j)
 			if v < 0 {
 				if v < -1e-7 {
 					return nil, fmt.Errorf("design: solution has negative probability %g at (%d,%d)", v, i, j)
 				}
-				v = 0
+				px.Set(i, j, 0)
 			}
-			px.Set(i, j, v)
 		}
 	}
 	for j := 0; j <= n; j++ {

@@ -41,6 +41,7 @@ type warmKey struct {
 	props   core.PropertySet
 	p       float64
 	d       int // L0D distance; -1 for the plain objectives
+	band    int // band-path depth; 0 for full-matrix solves
 	minimax bool
 	reduce  bool
 }
@@ -92,7 +93,22 @@ func storeWarmBasis(k warmKey, basis []int) {
 // nothing, so an abandoned build can never poison the cache with a
 // half-pivoted basis.
 func solveWarm(ctx context.Context, m *lp.Model, k warmKey, crash []int) (*lp.Solution, error) {
-	sol, err := m.SolveCtx(ctx, lp.Options{Basis: warmBasis(k), CrashRows: crash})
+	return solveWarmCold(ctx, m, k, crash, lp.MethodAuto)
+}
+
+// solveWarmCold is solveWarm with an explicit engine for cold starts:
+// when neither a cached basis nor a crash hint seeds the solve,
+// coldMethod picks the engine. The minimax path passes the interior
+// point method here — its epigraph LPs have no crash vertex and drown
+// a cold simplex in degenerate pivots — while any available basis still
+// routes to the simplex, which exploits it for nearly-free re-solves.
+func solveWarmCold(ctx context.Context, m *lp.Model, k warmKey, crash []int, coldMethod lp.Method) (*lp.Solution, error) {
+	basis := warmBasis(k)
+	method := lp.MethodAuto
+	if len(basis) == 0 && len(crash) == 0 {
+		method = coldMethod
+	}
+	sol, err := m.SolveCtx(ctx, lp.Options{Basis: basis, CrashRows: crash, Method: method})
 	if err != nil {
 		return nil, err
 	}

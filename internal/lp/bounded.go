@@ -1157,8 +1157,212 @@ func (bv *bounded) run() (*Solution, error) {
 	return bv.finish(cost2)
 }
 
+// shiftToFeasible clamps every out-of-box basic value into its box and
+// folds the matching B·Δ into the working RHS, so the current basis is
+// exactly feasible for the shifted problem. Returns the total absolute
+// violation absorbed.
+func (bv *bounded) shiftToFeasible() float64 {
+	var total float64
+	for i, v := range bv.xB {
+		j := bv.basis[i]
+		target := v
+		if v < 0 {
+			target = 0
+		} else if u := bv.cf.ub[j]; !math.IsInf(u, 1) && v > u {
+			target = u
+		}
+		if target == v {
+			continue
+		}
+		delta := target - v
+		total += math.Abs(delta)
+		idx, val := bv.cf.column(j)
+		for p, r := range idx {
+			bv.b[r] += delta * val[p]
+		}
+		bv.xB[i] = target
+	}
+	bv.computeRhsWork()
+	return total
+}
+
+// warmRepairRounds bounds the shift/optimise/restore repair loop for
+// warm starts whose basis is not primal feasible as given.
+const warmRepairRounds = 50
+
+// dualRepairPivots bounds the dual-simplex repair pass. Warm-start
+// violations are few and each pivot retires at least the worst one, so
+// a run that needs more than this is not converging.
+const dualRepairPivots = 2000
+
+// dualRepair removes primal infeasibilities from a dual-feasible basis
+// with bounded-variable dual simplex pivots against the current working
+// right-hand sides. This is the repair the RHS shift cannot perform:
+// once the basis is optimal for the shifted problem, restoring the true
+// data reinstates the identical violations (reduced costs do not depend
+// on b), and only a basis change can move them. Each iteration picks
+// the most-violated basic variable as the leaving row, prices the
+// tableau row over the CSR mirror, and runs the standard dual ratio
+// test (smallest |d_j/α_rj| keeps every other column dual feasible,
+// largest |α_rj| among near-ties keeps the pivot stable). Returns true
+// once the basic values are primal feasible; false when a violated row
+// has no eligible column (primal infeasible), a pivot collapses
+// numerically, or the pivot budget runs out.
+func (bv *bounded) dualRepair(cost []float64) bool {
+	cf := bv.cf
+	tol := bv.opts.Tol
+	const pivotTol = 1e-9
+	bv.computeDuals(cost)
+	for piv := 0; piv < dualRepairPivots; piv++ {
+		if ctxErr(bv.opts.ctx) != nil {
+			return false
+		}
+
+		// Leaving row: the largest box violation among the basics.
+		r, above := -1, false
+		worst := 1e-9
+		for i, v := range bv.xB {
+			if -v > worst {
+				worst, r, above = -v, i, false
+				continue
+			}
+			if u := cf.ub[bv.basis[i]]; !math.IsInf(u, 1) && v-u > worst {
+				worst, r, above = v-u, i, true
+			}
+		}
+		if r < 0 {
+			return true
+		}
+
+		// Tableau row α = e_rᵀ·B⁻¹·A over ρ's nonzero rows.
+		bv.btranRow(r)
+		bv.touched = bv.touched[:0]
+		sweep := func(i int, rv float64) {
+			for p := cf.rowPtr[i]; p < cf.rowPtr[i+1]; p++ {
+				j := cf.colIdx[p]
+				if bv.alphaV[j] == 0 {
+					bv.touched = append(bv.touched, j)
+				}
+				bv.alphaV[j] += rv * cf.rowVal[p]
+			}
+		}
+		if bv.rhoDense {
+			for i, rv := range bv.rho {
+				if rv != 0 {
+					sweep(i, rv)
+				}
+			}
+		} else {
+			for _, i := range bv.rhoPat {
+				if rv := bv.rho[i]; rv != 0 {
+					sweep(int(i), rv)
+				}
+			}
+		}
+
+		// Dual ratio test. sgn orients the row so eligibility reads the
+		// same for both violation directions: entering at-lower needs
+		// sgn·α < 0, entering at-upper needs sgn·α > 0.
+		sgn := 1.0
+		if above {
+			sgn = -1
+		}
+		bestQ, bestRatio, bestMag := -1, math.Inf(1), 0.0
+		for _, j := range bv.touched {
+			a := bv.alphaV[j]
+			bv.alphaV[j] = 0
+			if a == 0 || bv.basisPos[int(j)] >= 0 || bv.fixed(int(j)) || cf.isArtificial(int(j)) {
+				continue
+			}
+			sa := sgn * a
+			up := bv.atUpper[j]
+			if (!up && sa >= -tol) || (up && sa <= tol) {
+				continue
+			}
+			mag := math.Abs(a)
+			ratio := math.Abs(bv.reducedCost(cost, int(j))) / mag
+			switch {
+			case ratio < bestRatio*(1-1e-9)-tol:
+				bestQ, bestRatio, bestMag = int(j), ratio, mag
+			case ratio <= bestRatio*(1+1e-9)+tol && mag > bestMag:
+				bestQ, bestRatio, bestMag = int(j), ratio, mag
+			}
+		}
+		if bestQ < 0 {
+			// No column can absorb the violation: with exact duals this
+			// certifies primal infeasibility, but a warm repair only needs
+			// to know the basis cannot be fixed here.
+			return false
+		}
+
+		bv.ftranColumn(bestQ)
+		if math.Abs(bv.w[r]) < pivotTol {
+			if len(bv.etas) > 0 {
+				// Stale eta file distorting the pivot: retry on honest
+				// numbers.
+				if err := bv.refactorize(); err != nil {
+					return false
+				}
+				bv.recomputeXB()
+				bv.computeDuals(cost)
+				continue
+			}
+			return false
+		}
+
+		// Dual update first (needs the pre-pivot ρ and reduced cost):
+		// y += (d_q/α_rq)·ρ keeps y the duals of the post-pivot basis.
+		g := bv.reducedCost(cost, bestQ) / bv.w[r]
+		if bv.rhoDense {
+			for i, rv := range bv.rho {
+				if rv != 0 {
+					bv.y[i] += g * rv
+				}
+			}
+		} else {
+			for _, i := range bv.rhoPat {
+				bv.y[i] += g * bv.rho[i]
+			}
+		}
+
+		dir := 1.0
+		if bv.atUpper[bestQ] {
+			dir = -1
+		}
+		target := 0.0
+		if above {
+			target = cf.ub[bv.basis[r]]
+		}
+		theta := (bv.xB[r] - target) / (bv.w[r] * dir)
+		if theta < 0 {
+			theta = 0
+		}
+		bv.applyPivot(r, bestQ, dir, theta, above)
+		bv.iters++
+		if bv.needRefactor() {
+			if err := bv.refactorize(); err != nil {
+				return false
+			}
+			bv.recomputeXB()
+			bv.computeDuals(cost)
+		}
+	}
+	return false
+}
+
 // runWarm solves from a caller-provided basis (all nonbasics start at
 // their lower bounds). ok=false sends the caller to a cold start.
+//
+// A hinted basis is rarely primal feasible exactly as given — an
+// extrapolated advanced basis lands near the optimal vertex with a
+// sprinkling of basic values outside their boxes. Discarding it would
+// send the caller to a cold start that is orders of magnitude slower on
+// the models that carry hints, so instead the violations are shifted
+// into the working RHS (the same device the anti-degeneracy
+// perturbation uses), the shifted problem is optimised, and the true
+// RHS is restored; any residual violations at the new vertex shrink
+// geometrically, and the loop repeats until the restore lands feasible
+// or the violation stops decreasing.
 func (bv *bounded) runWarm(warm []int) (sol *Solution, ok bool) {
 	cf := bv.cf
 	if len(warm) != cf.m {
@@ -1184,20 +1388,48 @@ func (bv *bounded) runWarm(warm []int) (sol *Solution, ok bool) {
 		return nil, false
 	}
 	bv.recomputeXB()
-	if !bv.feasibleXB(1e-7) {
-		return nil, false
-	}
 
 	cost2 := bv.phase2Cost()
-	st, err := bv.runPhase(cost2, true, true)
-	if err != nil || st != StatusOptimal {
-		return nil, false
+	prevViol := math.Inf(1)
+	for round := 0; round <= warmRepairRounds; round++ {
+		if !bv.feasibleXB(1e-7) {
+			viol := bv.shiftToFeasible()
+			if viol >= prevViol {
+				// The shift has stalled: the basis is already optimal for
+				// the shifted problem, so restoring the true data
+				// reinstates the identical violations. That state — dual
+				// feasible, primal infeasible — is exactly what the dual
+				// simplex removes; drop the shift and pivot the violations
+				// out against the true right-hand sides.
+				copy(bv.b, bv.trueB)
+				bv.computeRhsWork()
+				if err := bv.refactorize(); err != nil {
+					return nil, false
+				}
+				bv.recomputeXB()
+				if !bv.dualRepair(cost2) {
+					return nil, false
+				}
+				prevViol = math.Inf(1)
+			} else {
+				prevViol = viol
+			}
+		}
+		st, err := bv.runPhase(cost2, true, true)
+		if err != nil || st != StatusOptimal {
+			return nil, false
+		}
+		sol, err = bv.finish(cost2)
+		if err == nil {
+			return sol, true
+		}
+		if !errors.Is(err, errRestoreInfeasible) {
+			return nil, false
+		}
+		// finish restored the true RHS on a fresh factorization and
+		// recomputed xB; loop to shift the remaining violations away.
 	}
-	sol, err = bv.finish(cost2)
-	if err != nil {
-		return nil, false
-	}
-	return sol, true
+	return nil, false
 }
 
 // solveBounded runs the bounded-variable revised simplex on the

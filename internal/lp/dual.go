@@ -79,6 +79,64 @@ func wantDual(cf *canonForm) bool {
 	return cf.m >= 256 && 4*cf.m >= 5*cf.nStruct
 }
 
+// completeWarmBasis extends a partial basis hint to a full structural
+// basis: Kuhn's augmenting-path matching assigns each hint column a
+// distinct row of its sparsity pattern, columns that cannot be matched
+// are dropped, and every row left unmatched contributes its identity
+// (slack/surplus) column instead. The result always has exactly cf.m
+// columns and a perfect row matching, hence is structurally
+// nonsingular; it returns nil only when an unmatched row's identity
+// column is an artificial (an equality row — the hint cannot stand in
+// for it). A work budget bounds the pathological matching cases; a
+// column abandoned by the budget just falls back to identity columns.
+func completeWarmBasis(cf *canonForm, warm []int) []int {
+	rowOwner := make([]int, cf.m) // row -> index into warm, -1 when free
+	for i := range rowOwner {
+		rowOwner[i] = -1
+	}
+	visited := make([]int, cf.m)
+	for i := range visited {
+		visited[i] = -1
+	}
+	budget := 20 * (len(warm) + cf.m)
+	var try func(k, stamp int) bool
+	try = func(k, stamp int) bool {
+		idx, _ := cf.column(warm[k])
+		for _, r := range idx {
+			if visited[r] == stamp || budget <= 0 {
+				continue
+			}
+			budget--
+			visited[r] = stamp
+			if rowOwner[r] < 0 || try(rowOwner[r], stamp) {
+				rowOwner[r] = k
+				return true
+			}
+		}
+		return false
+	}
+	matched := make([]bool, len(warm))
+	for k := range warm {
+		matched[k] = try(k, k)
+	}
+	out := make([]int, 0, cf.m)
+	for k, j := range warm {
+		if matched[k] {
+			out = append(out, j)
+		}
+	}
+	for v := 0; v < cf.m; v++ {
+		if rowOwner[v] >= 0 {
+			continue
+		}
+		if cf.isArtificial(cf.identCol[v]) {
+			return nil
+		}
+		out = append(out, cf.identCol[v])
+	}
+	return out
+}
+
 // solveViaDual solves m by solving its explicit dual with the bounded
 // sparse engine and mapping the solution back. Positive lower bounds
 // are shifted into the right-hand sides first (duals are unaffected) and
@@ -95,14 +153,15 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 		return nil, errSparseFallback
 	}
 	cf := canonicalize(d)
-	if opts.Basis == nil && len(opts.CrashRows) > 0 {
-		// Seed an advanced basis from the caller's tight-row hint: the
-		// hinted primal rows' dual variables are basic. In the dual space
-		// a basis has exactly one column per dual row (= primal
+	if opts.Basis == nil && len(opts.CrashRows)+len(opts.CrashBounds) > 0 {
+		// Seed an advanced basis from the caller's hints: the hinted
+		// primal rows' dual variables are basic, and each hinted at-bound
+		// variable contributes its dual constraint's slack column. In the
+		// dual space a basis has exactly one column per dual row (= primal
 		// variable), so the hint only applies when its cardinality works
 		// out; solveBounded validates the rest (non-singularity, primal
 		// feasibility) and cold-starts on any mismatch.
-		warm := make([]int, 0, len(opts.CrashRows))
+		warm := make([]int, 0, len(opts.CrashRows)+len(opts.CrashBounds))
 		for _, r := range opts.CrashRows {
 			if r < 0 || r >= len(refs) {
 				warm = nil
@@ -115,8 +174,30 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 				warm = append(warm, ref.neg)
 			}
 		}
+		for _, v := range opts.CrashBounds {
+			// Dual row v is the constraint for primal variable v; its
+			// identity column is the slack (sign +1) unless
+			// canonicalisation flipped the row, in which case the hint
+			// cannot be expressed and is abandoned.
+			if warm == nil || v < 0 || v >= cf.m || cf.identSign[v] != 1 {
+				warm = nil
+				break
+			}
+			warm = append(warm, cf.identCol[v])
+		}
+		// Presolve may have dropped some hinted rows (box-implied rows on
+		// tightly-bounded variables), leaving the hint short of a basis.
+		// Complete it: a structural maximum matching keeps every hint
+		// column that can own a distinct dual row, and each row left
+		// unmatched takes its own identity column — a column set with a
+		// perfect matching by construction, so only numerical (not
+		// structural) singularity can still reject it.
+		if n := len(warm); n > 0 && n < cf.m {
+			warm = completeWarmBasis(cf, warm)
+		}
 		if len(warm) == cf.m {
 			opts.Basis = warm
+		} else {
 		}
 	}
 	dsol, err := d.solveBounded(cf, opts)
@@ -134,6 +215,39 @@ func (m *Model) solveViaDual(opts Options) (*Solution, error) {
 		BoundFlips:       dsol.BoundFlips,
 		Refactorizations: dsol.Refactorizations,
 		Basis:            dsol.Basis,
+	}
+	// Decode the final dual basis structurally: a basic dual structural
+	// variable names an active primal row; a basic dual-row identity
+	// (slack) column names a primal variable resting on a bound. Rows
+	// materialised by expandBounds (indices past the caller's rows) are
+	// not representable and are skipped.
+	if len(dsol.Basis) > 0 {
+		rowOf := make(map[int]int, 2*len(m.cons))
+		for i := range m.cons {
+			if refs[i].pos >= 0 {
+				rowOf[refs[i].pos] = i
+			}
+			if refs[i].neg >= 0 {
+				rowOf[refs[i].neg] = i
+			}
+		}
+		slackOf := make(map[int]int, cf.m)
+		for j := 0; j < cf.m; j++ {
+			if cf.identSign[j] == 1 && cf.identCol[j] >= cf.nStruct {
+				slackOf[cf.identCol[j]] = j
+			}
+		}
+		seenRow := make(map[int]bool, len(dsol.Basis))
+		for _, col := range dsol.Basis {
+			if col < cf.nStruct {
+				if r, ok := rowOf[col]; ok && !seenRow[r] {
+					seenRow[r] = true
+					sol.ActiveRows = append(sol.ActiveRows, r)
+				}
+			} else if v, ok := slackOf[col]; ok {
+				sol.AtBound = append(sol.AtBound, v)
+			}
+		}
 	}
 	// Strong duality: the primal optimum sits in the dual solve's duals
 	// (one dual constraint per primal variable, in order).

@@ -70,7 +70,9 @@ type Solution struct {
 	// paths, which have no native bounds).
 	BoundFlips int
 	// Refactorizations counts basis refactorizations performed by the
-	// sparse revised simplex (zero on the dense path).
+	// sparse revised simplex (zero on the dense path). On the interior
+	// point route it counts LDLᵀ factorizations of the normal equations
+	// — one per predictor-corrector iteration.
 	Refactorizations int
 	// Basis is an opaque warm-start token: the final basis of whichever
 	// solver route produced this solution (for the automatic dual route
@@ -82,12 +84,33 @@ type Solution struct {
 	// basis that does not fit the shape is ignored and the solve
 	// cold-starts.
 	Basis []int
+	// ActiveRows lists, in this model's original row indices, the
+	// constraints whose dual variable sat in the final basis — the rows
+	// the solver left "active" at the optimum. Together with AtBound it
+	// describes the optimal basis structurally (rather than as the opaque
+	// route-specific token in Basis), so a caller that understands its
+	// model's geometry can transfer the basis to a *different* model of
+	// the same family via Options.CrashRows/CrashBounds. Populated by the
+	// dual route only; nil elsewhere. Rows materialised from variable
+	// bounds during dualization are not representable here and are
+	// omitted.
+	ActiveRows []int
+	// AtBound lists the variables whose dual-constraint slack sat in the
+	// final dual basis — variables resting on a bound with (possibly)
+	// nonzero reduced cost at the optimum. Populated by the dual route
+	// only; nil elsewhere. len(ActiveRows)+len(AtBound) equals the dual
+	// basis dimension (one slot per variable) when nothing was omitted.
+	AtBound []int
 	// Presolve reports the reductions applied before the solve (zero on
 	// the oracle methods, which always solve the model as given).
 	Presolve PresolveStats
 	// Route names the solver path that produced the solution: "bounded",
-	// "dual", "sparse-unbounded", or "dense".
+	// "dual", "ipm", "sparse-unbounded", or "dense".
 	Route string
+	// Gap is the relative duality gap at termination on the interior
+	// point route (zero on the simplex routes, which terminate at a
+	// vertex where the gap is exact by construction).
+	Gap float64
 }
 
 // Value returns the solved value of variable v. A v outside [0, len(X))
@@ -129,6 +152,11 @@ const (
 	// MethodUnboundedSparse forces the original unbounded revised simplex
 	// (bounds become explicit rows, no presolve) — the second oracle.
 	MethodUnboundedSparse
+	// MethodIPM forces the primal-dual interior point method (Mehrotra
+	// predictor-corrector on the normal equations, sparse LDLᵀ with
+	// fill-reducing ordering). Presolve still applies unless disabled.
+	// Shapes the method declines fall through to the simplex chain.
+	MethodIPM
 )
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -166,6 +194,14 @@ type Options struct {
 	// by an order of magnitude. An explicit Options.Basis wins over the
 	// hint.
 	CrashRows []int
+	// CrashBounds lists variables the caller expects to rest on a bound
+	// with nonzero reduced cost at the optimum. The dual route seeds the
+	// corresponding dual-slack columns into the advanced basis, so a
+	// hinted basis can mix tight rows (CrashRows) with at-bound variables
+	// — exactly the shape Solution.ActiveRows/AtBound report from a
+	// previous solve of the same family. Subject to the same
+	// all-or-nothing validation as CrashRows.
+	CrashBounds []int
 
 	// ctx carries the cancellation signal set by SolveCtx. Every solver
 	// loop — dense tableau, unbounded revised, bounded revised, and the
@@ -293,6 +329,13 @@ func (m *Model) SolveWith(opts Options) (*Solution, error) {
 		sol.Presolve = pre.stats
 		if err == nil && sol.Status == StatusOptimal {
 			pre.postsolve(sol)
+			// ActiveRows came back in reduced row indices; surface them in
+			// the caller's original indices, mirroring the Duals mapping.
+			if len(sol.ActiveRows) > 0 {
+				for k, red := range sol.ActiveRows {
+					sol.ActiveRows[k] = pre.rowMap[red]
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -362,6 +405,31 @@ func trimBoundRowDuals(sol *Solution, m *Model, extra int, route string) {
 func (m *Model) solveReduced(opts Options) (*Solution, error) {
 	cf := canonicalize(m)
 	opts = opts.withDefaults(cf.m, cf.totalCols, cf.nnz())
+
+	// Interior point first: forced by MethodIPM, or auto-picked for
+	// models past the normal-equations crossover that carry no
+	// warm-start hints (a hinted basis makes the simplex nearly free,
+	// which no cold IPM matches). On the auto route only an optimal,
+	// feasibility-checked point is accepted — IPM infeasibility and
+	// unboundedness verdicts come from iterate divergence, so the
+	// simplex chain re-derives them with its Farkas-definitive tests.
+	if opts.Method == MethodIPM || (opts.Method == MethodAuto && wantIPM(cf, opts)) {
+		sol, err := m.solveIPM(cf, opts)
+		if errors.Is(err, ErrCanceled) {
+			return sol, err
+		}
+		if err == nil && m.CheckFeasible(sol.X, 1e-7) == nil {
+			return sol, nil
+		}
+		if opts.Method == MethodIPM {
+			if err != nil && !errors.Is(err, errSparseFallback) {
+				return sol, err
+			}
+			// A declined forced-IPM solve continues down the same chain
+			// the auto method would run, dual route included.
+			opts.Method = MethodAuto
+		}
+	}
 
 	// Tall models solve far faster through their dual: every
 	// revised-simplex cost scales with the basis dimension (= rows).
@@ -435,6 +503,15 @@ func (m *Model) solveReduced(opts Options) (*Solution, error) {
 	}
 	dsol, derr := em.solveDense(ecf, opts)
 	trimBoundRowDuals(dsol, m, extra, "dense")
+	if derr == nil && dsol.Status == StatusOptimal {
+		// The dense tableau is the end of the fallback chain, so its
+		// answer ships unchecked unless verified here — and a chain that
+		// already burned through two engines is exactly where a
+		// numerically confused "optimal" shows up.
+		if ferr := m.CheckFeasible(dsol.X, 1e-6); ferr != nil {
+			return nil, fmt.Errorf("lp: dense fallback returned an infeasible point (%v): %w", ferr, ErrBadModel)
+		}
+	}
 	return dsol, derr
 }
 

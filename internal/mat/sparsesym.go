@@ -1,0 +1,559 @@
+package mat
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// This file provides the sparse symmetric positive-definite kernel
+// behind the interior-point LP engine in internal/lp: assembly of the
+// normal-equations matrix A·Θ·Aᵀ, a fill-reducing minimum-degree
+// ordering in the AMD family, and an LDLᵀ factorization (elimination
+// tree symbolic pass + up-looking numeric pass) with diagonal
+// regularization. The pieces are deliberately independent — the
+// ordering is computed once per LP while the numeric factorization runs
+// every interior-point iteration on the same pattern — so SymFactor
+// caches the symbolic analysis and only redoes the numeric sweep.
+
+// SymSparse is a sparse symmetric matrix stored as its lower triangle
+// in compressed-column form. Row indices within a column need not be
+// sorted, but must be unique and ≥ the column index.
+type SymSparse struct {
+	N   int
+	Ptr []int
+	Idx []int32
+	Val []float64
+}
+
+// NormalProduct assembles S = A·Θ·Aᵀ + δ·I as a SymSparse, where A is
+// m×n in compressed-column form (colPtr/rowIdx/val) and Θ is the
+// diagonal matrix diag(theta). Entries of theta must be finite; zero
+// entries drop their column from the product (used by the interior
+// point method to freeze fixed variables). The δ·I term guarantees a
+// structurally full, strictly positive diagonal even for rows of A
+// that are entirely zero.
+//
+// The assembly is row-driven: column i of the lower triangle of S is
+// S[k,i] = Σ_j θ_j·a_ij·a_kj over k ≥ i, accumulated by walking each
+// column j that row i touches. Work is Σ_j θ_j≠0 nnz(col j)² in the
+// worst case, which is linear in practice for the LP matrices this
+// serves (constraint columns hold a handful of entries each).
+func NormalProduct(m int, colPtr []int, rowIdx []int32, val []float64, theta []float64, delta float64) (*SymSparse, error) {
+	n := len(colPtr) - 1
+	if n < 0 || len(theta) != n {
+		return nil, fmt.Errorf("mat: NormalProduct: %d columns with %d theta entries: %w", n, len(theta), ErrShape)
+	}
+	// CSR mirror of the scaled matrix, keeping only columns with θ_j≠0.
+	rowCount := make([]int, m)
+	for j := 0; j < n; j++ {
+		if theta[j] == 0 {
+			continue
+		}
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			rowCount[rowIdx[p]]++
+		}
+	}
+	rowPtr := make([]int, m+1)
+	for i := 0; i < m; i++ {
+		rowPtr[i+1] = rowPtr[i] + rowCount[i]
+	}
+	nnz := rowPtr[m]
+	colOf := make([]int32, nnz)
+	next := make([]int, m)
+	copy(next, rowPtr)
+	for j := 0; j < n; j++ {
+		if theta[j] == 0 {
+			continue
+		}
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			i := rowIdx[p]
+			colOf[next[i]] = int32(j)
+			next[i]++
+		}
+	}
+
+	s := &SymSparse{N: m, Ptr: make([]int, m+1)}
+	work := make([]float64, m)
+	mark := make([]int32, m)
+	for i := range mark {
+		mark[i] = -1
+	}
+	pat := make([]int32, 0, 64)
+	for i := 0; i < m; i++ {
+		pat = pat[:0]
+		// Diagonal first so the factorization's pivot lookup is cheap.
+		work[i] = delta
+		mark[i] = int32(i)
+		pat = append(pat, int32(i))
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			j := colOf[p]
+			var aij float64
+			// Locate a_ij inside column j (columns are short).
+			for q := colPtr[j]; q < colPtr[j+1]; q++ {
+				if int(rowIdx[q]) == i {
+					aij = val[q]
+					break
+				}
+			}
+			t := theta[j] * aij
+			if t == 0 {
+				continue
+			}
+			for q := colPtr[j]; q < colPtr[j+1]; q++ {
+				k := rowIdx[q]
+				if int(k) < i {
+					continue
+				}
+				if mark[k] != int32(i) {
+					mark[k] = int32(i)
+					pat = append(pat, k)
+					work[k] = 0
+				}
+				work[k] += t * val[q]
+			}
+		}
+		for _, k := range pat {
+			s.Idx = append(s.Idx, k)
+			s.Val = append(s.Val, work[k])
+		}
+		s.Ptr[i+1] = len(s.Idx)
+	}
+	return s, nil
+}
+
+// AMDOrder computes a fill-reducing elimination order for the pattern
+// of s using the minimum-degree heuristic with a quotient-graph
+// representation and AMD's one-pass approximate external degrees:
+// eliminated pivots become elements, adjacent elements are absorbed
+// when their members are swallowed by a new element, and the degree of
+// a touched variable is bounded by |plain neighbours| + |new element| +
+// Σ |e \ new element| over its other elements — computed for every
+// touched element in a single sweep over the pivot's member list. The
+// returned slice maps elimination position to original index.
+func AMDOrder(s *SymSparse) []int {
+	n := s.N
+	perm := make([]int, 0, n)
+	if n == 0 {
+		return perm
+	}
+
+	// Full adjacency (both triangles, no diagonal).
+	deg := make([]int, n)
+	for j := 0; j < n; j++ {
+		for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+			if i := int(s.Idx[p]); i != j {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	adjPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		adjPtr[i+1] = adjPtr[i] + deg[i]
+	}
+	adj := make([]int32, adjPtr[n])
+	fill := make([]int, n)
+	copy(fill, adjPtr)
+	for j := 0; j < n; j++ {
+		for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+			if i := int(s.Idx[p]); i != j {
+				adj[fill[i]] = int32(j)
+				fill[i]++
+				adj[fill[j]] = int32(i)
+				fill[j]++
+			}
+		}
+	}
+
+	// Quotient graph state. vars[v] holds plain (uncovered) variable
+	// neighbours; elems[v] holds ids of elements v belongs to; element
+	// members live in member[e]. Dead entries are pruned lazily.
+	vars := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		vars[v] = adj[adjPtr[v]:adjPtr[v+1]:adjPtr[v+1]]
+	}
+	elems := make([][]int32, n)
+	var member [][]int32
+	elemAlive := make([]bool, 0, n)
+	eliminated := make([]bool, n)
+	degree := make([]int, n)
+	copy(degree, deg)
+
+	// Lazy min-heap of (degree, vertex) pairs.
+	type hent struct {
+		d, v int
+	}
+	heap := make([]hent, 0, 2*n)
+	push := func(d, v int) {
+		heap = append(heap, hent{d, v})
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if heap[p].d <= heap[c].d {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() hent {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			small := c
+			if l < len(heap) && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < len(heap) && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == c {
+				break
+			}
+			heap[c], heap[small] = heap[small], heap[c]
+			c = small
+		}
+		return top
+	}
+	for v := 0; v < n; v++ {
+		push(degree[v], v)
+	}
+
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	estamp := make([]int32, 0, n)
+	ew := make([]int, 0, n) // per-element |members \ Lp| counters
+	var round int32
+
+	lp := make([]int32, 0, 64)
+	for len(perm) < n {
+		var p int
+		for {
+			e := pop()
+			if !eliminated[e.v] && e.d == degree[e.v] {
+				p = e.v
+				break
+			}
+		}
+		perm = append(perm, p)
+		eliminated[p] = true
+		round++
+
+		// Lp: the new element's members = plain neighbours plus members
+		// of every adjacent element, minus eliminated nodes.
+		lp = lp[:0]
+		stamp[p] = round
+		for _, v := range vars[p] {
+			if !eliminated[v] && stamp[v] != round {
+				stamp[v] = round
+				lp = append(lp, v)
+			}
+		}
+		for _, e := range elems[p] {
+			if !elemAlive[e] {
+				continue
+			}
+			for _, v := range member[e] {
+				if !eliminated[v] && stamp[v] != round {
+					stamp[v] = round
+					lp = append(lp, v)
+				}
+			}
+			elemAlive[e] = false // absorbed into the new element
+		}
+		ne := int32(len(member))
+		member = append(member, append([]int32(nil), lp...))
+		elemAlive = append(elemAlive, true)
+		estamp = append(estamp, -1)
+		ew = append(ew, 0)
+
+		// One sweep over Lp computes |members(e) \ Lp| for every element
+		// touching Lp, AMD's approximate external element size.
+		for _, v := range lp {
+			for _, e := range elems[v] {
+				if !elemAlive[e] || e == ne {
+					continue
+				}
+				if estamp[e] != round {
+					estamp[e] = round
+					live := 0
+					for _, w := range member[e] {
+						if !eliminated[w] {
+							live++
+						}
+					}
+					ew[e] = live
+				}
+				ew[e]--
+			}
+		}
+
+		// Update every member: prune covered/dead adjacency, attach the
+		// new element, recompute the degree bound.
+		for _, v := range lp {
+			kept := vars[v][:0]
+			for _, w := range vars[v] {
+				// stamp[w]==round ⇔ w ∈ Lp ∪ {p}: covered by the new
+				// element (or the pivot itself), so the plain edge goes.
+				if !eliminated[w] && stamp[w] != round {
+					kept = append(kept, w)
+				}
+			}
+			vars[v] = kept
+			el := elems[v][:0]
+			ext := 0
+			for _, e := range elems[v] {
+				if !elemAlive[e] {
+					continue
+				}
+				el = append(el, e)
+				if estamp[e] == round && ew[e] > 0 {
+					ext += ew[e]
+				}
+			}
+			elems[v] = append(el, ne)
+			d := len(vars[v]) + (len(lp) - 1) + ext
+			if d < 0 {
+				d = 0
+			}
+			degree[v] = d
+			push(d, int(v))
+		}
+	}
+	return perm
+}
+
+// SymFactor is the LDLᵀ factorization P·S·Pᵀ = L·D·Lᵀ of a SymSparse
+// produced by FactorSym. L is unit lower triangular (unit diagonal
+// implicit), D is diagonal. A SymFactor is not safe for concurrent use:
+// SolveVec shares internal scratch space.
+type SymFactor struct {
+	n          int
+	perm, pinv []int
+
+	lp []int
+	li []int32
+	lx []float64
+	d  []float64
+
+	// Bumps counts diagonal pivots lifted to the regularization floor —
+	// nonzero means S was not numerically positive definite at the
+	// requested threshold and the factorization is of a nearby matrix.
+	Bumps int
+
+	scratch []float64
+}
+
+// symCheckEvery matches the cadence of FactorSparseCtx: a context check
+// every few hundred elimination columns.
+const symCheckEvery = 256
+
+// FactorSym computes the LDLᵀ factorization of s under the elimination
+// order perm (as produced by AMDOrder; nil means natural order). Any
+// pivot smaller than reg is lifted to reg and counted in Bumps, so the
+// factorization always completes for symmetric inputs — callers that
+// need exactness check Bumps == 0. reg must be positive.
+func FactorSym(s *SymSparse, perm []int, reg float64) (*SymFactor, error) {
+	return FactorSymCtx(nil, s, perm, reg)
+}
+
+// FactorSymCtx is FactorSym with cooperative cancellation, mirroring
+// FactorSparseCtx: when ctx is cancelled mid-elimination the partial
+// factorization is abandoned and the context's cause is returned.
+func FactorSymCtx(ctx context.Context, s *SymSparse, perm []int, reg float64) (*SymFactor, error) {
+	n := s.N
+	if n <= 0 {
+		return nil, fmt.Errorf("mat: FactorSym(%d): %w", n, ErrShape)
+	}
+	if !(reg > 0) {
+		return nil, fmt.Errorf("mat: FactorSym: regularization %g must be positive", reg)
+	}
+	f := &SymFactor{
+		n:       n,
+		perm:    make([]int, n),
+		pinv:    make([]int, n),
+		d:       make([]float64, n),
+		scratch: make([]float64, n),
+	}
+	if perm == nil {
+		for i := 0; i < n; i++ {
+			f.perm[i] = i
+		}
+	} else {
+		if len(perm) != n {
+			return nil, fmt.Errorf("mat: FactorSym: permutation of length %d for order %d: %w", len(perm), n, ErrShape)
+		}
+		copy(f.perm, perm)
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	for k, v := range f.perm {
+		if v < 0 || v >= n || f.pinv[v] != -1 {
+			return nil, fmt.Errorf("mat: FactorSym: invalid permutation entry %d at %d", v, k)
+		}
+		f.pinv[v] = k
+	}
+
+	// C = P·S·Pᵀ stored as upper-triangle CSC (column k holds rows ≤ k),
+	// which is what the up-looking sweep consumes. Unsorted rows are
+	// fine — the pattern walk below is stamp-based.
+	count := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+			i := int(s.Idx[p])
+			pi, pj := f.pinv[i], f.pinv[j]
+			if pi < pj {
+				pi, pj = pj, pi
+			}
+			count[pi+1]++
+		}
+	}
+	cp := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		cp[k+1] = cp[k] + count[k+1]
+	}
+	ci := make([]int32, cp[n])
+	cx := make([]float64, cp[n])
+	fillp := make([]int, n)
+	copy(fillp, cp)
+	for j := 0; j < n; j++ {
+		for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+			i := int(s.Idx[p])
+			pi, pj := f.pinv[i], f.pinv[j]
+			if pi < pj {
+				pi, pj = pj, pi
+			}
+			ci[fillp[pi]] = int32(pj)
+			cx[fillp[pi]] = s.Val[p]
+			fillp[pi]++
+		}
+	}
+
+	// Symbolic pass: elimination tree and per-column counts of L. Row k
+	// of L is the union of etree paths from the entries of C(0:k−1, k)
+	// up to k.
+	parent := make([]int32, n)
+	flag := make([]int32, n)
+	lnz := make([]int, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		flag[k] = int32(k)
+		for p := cp[k]; p < cp[k+1]; p++ {
+			for i := ci[p]; flag[i] != int32(k); i = parent[i] {
+				if parent[i] == -1 {
+					parent[i] = int32(k)
+				}
+				lnz[i]++
+				flag[i] = int32(k)
+			}
+		}
+	}
+	f.lp = make([]int, n+1)
+	for k := 0; k < n; k++ {
+		f.lp[k+1] = f.lp[k] + lnz[k]
+	}
+	f.li = make([]int32, f.lp[n])
+	f.lx = make([]float64, f.lp[n])
+
+	// Numeric pass: for each row k solve L(0:k−1)·y = C(0:k−1, k) along
+	// the symbolic pattern, emit the row into the columns it touches,
+	// and pivot on what remains of the diagonal.
+	y := make([]float64, n)
+	pattern := make([]int32, n)
+	lcur := make([]int, n)
+	copy(lcur, f.lp)
+	for k := 0; k < n; k++ {
+		if ctx != nil && k%symCheckEvery == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("mat: FactorSym abandoned at column %d of %d: %w",
+					k, n, context.Cause(ctx))
+			default:
+			}
+		}
+		top := n
+		flag[k] = int32(k)
+		dk := 0.0
+		for p := cp[k]; p < cp[k+1]; p++ {
+			i := ci[p]
+			if int(i) == k {
+				dk += cx[p]
+				continue
+			}
+			y[i] += cx[p]
+			length := 0
+			for ; flag[i] != int32(k); i = parent[i] {
+				pattern[length] = i
+				length++
+				flag[i] = int32(k)
+			}
+			for length > 0 {
+				length--
+				top--
+				pattern[top] = pattern[length]
+			}
+		}
+		for t := top; t < n; t++ {
+			j := pattern[t]
+			yj := y[j]
+			y[j] = 0
+			for p := f.lp[j]; p < lcur[j]; p++ {
+				y[f.li[p]] -= f.lx[p] * yj
+			}
+			ljk := yj / f.d[j]
+			dk -= ljk * yj
+			f.li[lcur[j]] = int32(k)
+			f.lx[lcur[j]] = ljk
+			lcur[j]++
+		}
+		if dk < reg || math.IsNaN(dk) {
+			dk = reg
+			f.Bumps++
+		}
+		f.d[k] = dk
+	}
+	return f, nil
+}
+
+// SolveVec overwrites b with S⁻¹·b using the factorization.
+func (f *SymFactor) SolveVec(b []float64) error {
+	if len(b) != f.n {
+		return fmt.Errorf("mat: SymFactor.SolveVec with rhs of length %d, want %d: %w", len(b), f.n, ErrShape)
+	}
+	x := f.scratch
+	for k := 0; k < f.n; k++ {
+		x[k] = b[f.perm[k]]
+	}
+	for j := 0; j < f.n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[j]; p < f.lp[j+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	for j := 0; j < f.n; j++ {
+		x[j] /= f.d[j]
+	}
+	for j := f.n - 1; j >= 0; j-- {
+		s := x[j]
+		for p := f.lp[j]; p < f.lp[j+1]; p++ {
+			s -= f.lx[p] * x[f.li[p]]
+		}
+		x[j] = s
+	}
+	for k := 0; k < f.n; k++ {
+		b[f.perm[k]] = x[k]
+	}
+	return nil
+}
+
+// NNZ returns the number of stored off-diagonal entries of L.
+func (f *SymFactor) NNZ() int { return f.lp[f.n] }

@@ -1,0 +1,229 @@
+package mat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseFromSym expands the lower-triangle storage to a full dense
+// matrix.
+func denseFromSym(s *SymSparse) *Dense {
+	d := NewDense(s.N, s.N)
+	for j := 0; j < s.N; j++ {
+		for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+			i := int(s.Idx[p])
+			d.Set(i, j, d.At(i, j)+s.Val[p])
+			if i != j {
+				d.Set(j, i, d.At(j, i)+s.Val[p])
+			}
+		}
+	}
+	return d
+}
+
+// randomCSC builds a random sparse m×n matrix in CSC form.
+func randomCSC(rng *rand.Rand, m, n int, density float64) (colPtr []int, rowIdx []int32, val []float64) {
+	colPtr = make([]int, n+1)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if rng.Float64() < density {
+				rowIdx = append(rowIdx, int32(i))
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		colPtr[j+1] = len(rowIdx)
+	}
+	return
+}
+
+func TestNormalProductMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(15)
+		colPtr, rowIdx, val := randomCSC(rng, m, n, 0.4)
+		theta := make([]float64, n)
+		for j := range theta {
+			if rng.Float64() < 0.2 {
+				theta[j] = 0 // frozen column
+			} else {
+				theta[j] = rng.Float64() + 0.1
+			}
+		}
+		delta := 1e-3
+		s, err := NormalProduct(m, colPtr, rowIdx, val, theta, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		a := NewDense(m, int(math.Max(float64(n), 1)))
+		for j := 0; j < n; j++ {
+			for p := colPtr[j]; p < colPtr[j+1]; p++ {
+				a.Set(int(rowIdx[p]), j, val[p])
+			}
+		}
+		want := NewDense(m, m)
+		for i := 0; i < m; i++ {
+			for k := 0; k < m; k++ {
+				var v float64
+				for j := 0; j < n; j++ {
+					v += a.At(i, j) * theta[j] * a.At(k, j)
+				}
+				if i == k {
+					v += delta
+				}
+				want.Set(i, k, v)
+			}
+		}
+		got := denseFromSym(s)
+		if d, _ := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Fatalf("trial %d: A·Θ·Aᵀ mismatch %g", trial, d)
+		}
+		// Lower-triangle invariant: every stored index ≥ its column.
+		for j := 0; j < s.N; j++ {
+			for p := s.Ptr[j]; p < s.Ptr[j+1]; p++ {
+				if int(s.Idx[p]) < j {
+					t.Fatalf("trial %d: upper-triangle entry (%d,%d) stored", trial, s.Idx[p], j)
+				}
+			}
+		}
+	}
+}
+
+// gridLaplacian builds the 5-point Laplacian of a g×g grid, the
+// canonical fill-reduction benchmark (natural order fills badly, any
+// minimum-degree-family order does not).
+func gridLaplacian(g int) *SymSparse {
+	n := g * g
+	s := &SymSparse{N: n, Ptr: make([]int, n+1)}
+	at := func(r, c int) int { return r*g + c }
+	for j := 0; j < n; j++ {
+		r, c := j/g, j%g
+		s.Idx = append(s.Idx, int32(j))
+		s.Val = append(s.Val, 4)
+		if r+1 < g {
+			s.Idx = append(s.Idx, int32(at(r+1, c)))
+			s.Val = append(s.Val, -1)
+		}
+		if c+1 < g {
+			s.Idx = append(s.Idx, int32(at(r, c+1)))
+			s.Val = append(s.Val, -1)
+		}
+		s.Ptr[j+1] = len(s.Idx)
+	}
+	return s
+}
+
+func TestAMDOrderIsPermutation(t *testing.T) {
+	s := gridLaplacian(13)
+	perm := AMDOrder(s)
+	if len(perm) != s.N {
+		t.Fatalf("permutation length %d, want %d", len(perm), s.N)
+	}
+	seen := make([]bool, s.N)
+	for _, v := range perm {
+		if v < 0 || v >= s.N || seen[v] {
+			t.Fatalf("invalid permutation entry %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAMDOrderReducesFill(t *testing.T) {
+	s := gridLaplacian(24)
+	natural, err := FactorSym(s, nil, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := FactorSym(s, AMDOrder(s), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("grid 24×24: natural fill %d, AMD fill %d", natural.NNZ(), amd.NNZ())
+	if amd.NNZ() >= natural.NNZ() {
+		t.Fatalf("AMD fill %d not below natural fill %d", amd.NNZ(), natural.NNZ())
+	}
+}
+
+func TestFactorSymSolvesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(30)
+		// S = MᵀM + I is SPD; assemble it via NormalProduct with A = Mᵀ.
+		colPtr, rowIdx, val := randomCSC(rng, n, n, 0.3)
+		theta := make([]float64, n)
+		for j := range theta {
+			theta[j] = 1
+		}
+		s, err := NormalProduct(n, colPtr, rowIdx, val, theta, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		for _, perm := range [][]int{nil, AMDOrder(s)} {
+			f, err := FactorSym(s, perm, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Bumps != 0 {
+				t.Fatalf("trial %d: %d bumps on an SPD matrix", trial, f.Bumps)
+			}
+			x := append([]float64(nil), b...)
+			if err := f.SolveVec(x); err != nil {
+				t.Fatal(err)
+			}
+			want, err := SolveLinear(denseFromSym(s), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if math.Abs(x[i]-want[i]) > 1e-8 {
+					t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, x[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFactorSymRegularizesIndefinite(t *testing.T) {
+	// Rank-1 matrix: second pivot is exactly zero and must be lifted.
+	s := &SymSparse{
+		N:   2,
+		Ptr: []int{0, 2, 3},
+		Idx: []int32{0, 1, 1},
+		Val: []float64{1, 1, 1},
+	}
+	f, err := FactorSym(s, nil, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bumps == 0 {
+		t.Fatal("expected a regularized pivot on a singular matrix")
+	}
+}
+
+func TestFactorSymCtxCancel(t *testing.T) {
+	s := gridLaplacian(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FactorSymCtx(ctx, s, nil, 1e-12); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func BenchmarkFactorSymGrid(b *testing.B) {
+	s := gridLaplacian(64)
+	perm := AMDOrder(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorSym(s, perm, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,11 +42,11 @@ func TestCanceledBuildLandsFailedRebuildable(t *testing.T) {
 	svc := New(Config{BuildWorkers: 2})
 	defer svc.Close()
 
-	// n=128 exceeds the old synchronous minimax cap (64): only async
-	// cancellable serving admits it, and a cold solve runs tens of
-	// minutes — far beyond this test's budget — so a prompt return can
-	// only come from cancellation.
-	spec := Spec{Kind: KindLPMinimax, N: 128, Alpha: 0.9}
+	// n=256 sits at the raised minimax cap: only async cancellable
+	// serving admits it, and even the interior-point engine needs ~10 s
+	// for the cold epigraph solve — far past the 500 ms cancel below —
+	// so a prompt return can only come from cancellation.
+	spec := Spec{Kind: KindLPMinimax, N: 256, Alpha: 0.9}
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(500 * time.Millisecond)
@@ -193,7 +193,9 @@ func TestCloseDrainsInFlightBuilds(t *testing.T) {
 
 	// Detached slow build occupies the lone worker; a second pending
 	// build sits in the queue behind it.
-	slow := Spec{Kind: KindLPMinimax, N: 96, Alpha: 0.9}
+	// n=256 keeps the worker busy ~10 s even on the interior-point
+	// engine, so Close reliably observes an in-flight build.
+	slow := Spec{Kind: KindLPMinimax, N: 256, Alpha: 0.9}
 	if _, err := svc.Start(slow); err != nil {
 		t.Fatal(err)
 	}

@@ -113,8 +113,11 @@ func TestSpecValidation(t *testing.T) {
 	if err := chooseGM.Validate(); err != nil {
 		t.Errorf("Validate(%v) = %v, want admissible: Lemma 3 serves it with GM", chooseGM, err)
 	}
-	if MaxLPN < 512 {
-		t.Errorf("MaxLPN = %d, want >= 512 (serving-scale LP admission)", MaxLPN)
+	if MaxLPN < 1024 {
+		t.Errorf("MaxLPN = %d, want >= 1024 (band-reduced serving-scale LP admission)", MaxLPN)
+	}
+	if MaxLPMinimaxN < 256 {
+		t.Errorf("MaxLPMinimaxN = %d, want >= 256 (interior-point epigraph admission)", MaxLPMinimaxN)
 	}
 	mmBig := Spec{Kind: KindLPMinimax, N: MaxLPMinimaxN + 1, Alpha: 0.9}
 	if err := mmBig.Validate(); err == nil {

@@ -117,28 +117,30 @@ const MaxN = 4096
 
 // MaxLPN bounds the group size for specs whose construction solves a
 // constrained-design LP (kinds lp and lp-minimax, plus the choose
-// branches that the Figure 5 flowchart routes to an LP). The bounded
-// revised simplex — with presolve folding the weak-honesty floors into
-// variable bounds and dropping the dominated ratio rows, and the
-// geometric-vertex crash basis skipping the cold pivot walk — builds the
-// WM LP in about a second at n=128, ~6 s at n=256, and ~40 s at n=512
-// (one build per spec; duplicate requests wait on the same build-state
-// entry), so admission stops where a cold build would tie up a build
-// worker for minutes rather than seconds. Closed-form kinds (gm, em, um, and the
-// choose branches they serve) are unaffected and go up to MaxN.
-const MaxLPN = 512
+// branches that the Figure 5 flowchart routes to an LP). What makes
+// n=1024 admissible is the band-reduced solve path: for the WM-shaped
+// designs the optimum equals the truncated geometric mechanism outside
+// two boundary bands of α-dependent, n-independent depth, so the design
+// layer fixes the interior and solves an O(d·n)-variable boundary LP —
+// ~3 s at n=1024, α=0.9 — falling back to the full LP only for shapes
+// outside the band family (which stay slower, but builds run async off
+// the request path with cancellation, so the bound caps how much CPU
+// one admission can pin on a build worker rather than an HTTP write
+// deadline). Closed-form kinds (gm, em, um, and the choose branches
+// they serve) are unaffected and go up to MaxN.
+const MaxLPN = 1024
 
 // MaxLPMinimaxN bounds kind lp-minimax separately: the epigraph LP of
 // Definition 3 has no geometric-vertex crash basis (its optimum spreads
-// duals across every worst-case column), so those solves run cold —
-// ~12 s at n=64 and tens of minutes approaching n=128. With builds off
-// the request path (async admission via Start/wait=false, status
-// polling, cancellation when every interested caller goes away) the
-// bound no longer has to fit an HTTP write deadline — it only caps how
-// much CPU one admission can pin on a build worker, so it now sits at
-// the largest size a cold epigraph solve finishes in a background-
-// tolerable window rather than the old synchronous n=64 ceiling.
-const MaxLPMinimaxN = 128
+// duals across every worst-case column), so no warm or crash start
+// exists and every solve runs cold. A cold simplex drowns in the
+// epigraph's degenerate pivots (tens of minutes approaching n=128),
+// which is why minimax builds route to the interior point engine: its
+// iteration count is indifferent to vertex degeneracy, and it solves
+// the epigraph LP in ~1.4 s at n=128 and ~10 s at n=256. The bound
+// sits at the largest size an IPM epigraph solve finishes in a
+// background-tolerable window (builds are async with cancellation).
+const MaxLPMinimaxN = 256
 
 // Validation failure classes. Every Validate error wraps exactly one of
 // them, so callers (the HTTP error taxonomy in particular) can classify
