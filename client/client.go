@@ -208,7 +208,9 @@ func (c *Client) Status(ctx context.Context, spec privcount.Spec) (*MechanismSta
 // ErrNotAdmitted — call Create first. A mechanism that was admitted but
 // vanishes mid-poll (LRU eviction under cache pressure drops unwatched
 // builds) is re-admitted transparently a few times before ErrNotAdmitted
-// is reported.
+// is reported. A not_ready answer (409 — the resource exists but its
+// build is still settling, the artifact-era state cluster routing can
+// surface) is polling state, not failure: WaitReady keeps waiting.
 func (c *Client) WaitReady(ctx context.Context, spec privcount.Spec) (*MechanismStatus, error) {
 	delay := c.pollInitial
 	seen := false
@@ -216,26 +218,36 @@ func (c *Client) WaitReady(ctx context.Context, spec privcount.Spec) (*Mechanism
 	for {
 		st, err := c.Status(ctx, spec)
 		if err != nil {
-			// Only re-admit a resource this call has already observed:
-			// a first-poll ErrNotAdmitted means the caller skipped
-			// Create, and that contract stays loud.
-			if errors.Is(err, ErrNotAdmitted) && seen && readmits < 3 {
-				readmits++
-				if _, cerr := c.Create(ctx, spec); cerr == nil {
-					continue
+			if errors.Is(err, ErrNotReady) {
+				// The resource exists and is mid-build — exactly the
+				// state this loop waits out. Fall through to the backoff
+				// sleep instead of surfacing the 409.
+				seen = true
+				st = nil
+			} else {
+				// Only re-admit a resource this call has already observed:
+				// a first-poll ErrNotAdmitted means the caller skipped
+				// Create, and that contract stays loud.
+				if errors.Is(err, ErrNotAdmitted) && seen && readmits < 3 {
+					readmits++
+					if _, cerr := c.Create(ctx, spec); cerr == nil {
+						continue
+					}
 				}
-			}
-			return nil, err
-		}
-		seen = true
-		if st.Ready() {
-			return st, nil
-		}
-		if st.State == "failed" {
-			if err := st.Err(); err != nil {
 				return nil, err
 			}
-			return nil, ErrBuildFailed
+		}
+		if st != nil {
+			seen = true
+			if st.Ready() {
+				return st, nil
+			}
+			if st.State == "failed" {
+				if err := st.Err(); err != nil {
+					return nil, err
+				}
+				return nil, ErrBuildFailed
+			}
 		}
 		timer := time.NewTimer(delay)
 		select {

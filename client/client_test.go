@@ -2,7 +2,9 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -261,5 +263,51 @@ func TestNewRejectsBadURLs(t *testing.T) {
 		if _, err := client.New(u); err == nil {
 			t.Errorf("New(%q) succeeded", u)
 		}
+	}
+}
+
+// TestWaitReadyTreatsNotReadyAsPolling pins the artifact-era 409: a
+// status poll answered with the not_ready envelope is a "still
+// settling" signal, so WaitReady keeps polling instead of surfacing the
+// error — end to end, against a fake server that conflicts a few times
+// before turning ready.
+func TestWaitReadyTreatsNotReadyAsPolling(t *testing.T) {
+	spec := privcount.Spec{Kind: privcount.SpecGeometric, N: 8, Alpha: 0.5}
+	id := spec.ID()
+	polls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/mechanisms/"+id {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		polls++
+		w.Header().Set("Content-Type", "application/json")
+		if polls <= 3 {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(client.Envelope{Error: &client.Error{
+				Code: client.CodeNotReady, Message: "build settling",
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(client.MechanismStatus{ID: id, Spec: spec, State: "ready"})
+	}))
+	t.Cleanup(ts.Close)
+
+	c, err := client.New(ts.URL, client.WithPollInterval(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.WaitReady(ctx, spec)
+	if err != nil {
+		t.Fatalf("WaitReady through not_ready conflicts: %v", err)
+	}
+	if !st.Ready() {
+		t.Fatalf("WaitReady returned state %q", st.State)
+	}
+	if polls < 4 {
+		t.Fatalf("server saw %d polls, want the 3 conflicts plus the ready read", polls)
 	}
 }

@@ -14,9 +14,10 @@ import (
 	"privcount"
 )
 
-// TestIsRetryable pins the SDK's retry classification: cut-short builds
-// and transient load-shed over_limit errors (503 or explicit advice)
-// are retryable; static refusals and every other code are not.
+// TestIsRetryable pins the SDK's retry classification across the whole
+// taxonomy: cut-short builds, in-flight not_ready conflicts, and
+// transient load-shed over_limit errors (503 or explicit advice) are
+// retryable; static refusals and every other code are not.
 func TestIsRetryable(t *testing.T) {
 	cases := []struct {
 		name string
@@ -33,6 +34,15 @@ func TestIsRetryable(t *testing.T) {
 		{"static over limit (400, no advice)", &Error{Code: CodeOverLimit, HTTPStatus: 400}, false},
 		{"shed over limit by status", &Error{Code: CodeOverLimit, HTTPStatus: http.StatusServiceUnavailable}, true},
 		{"shed over limit by advice (per-op, no status)", &Error{Code: CodeOverLimit, RetryAfterSeconds: 1.5}, true},
+		// The artifact-era codes: not_ready is polling state (the same
+		// call succeeds once the in-flight build settles), while gone
+		// (retired API surface) and artifact_invalid (a payload that will
+		// re-fail verification byte-for-byte) fail identically every time.
+		{"not ready (409)", &Error{Code: CodeNotReady, HTTPStatus: http.StatusConflict}, true},
+		{"wrapped not ready", fmt.Errorf("export: %w", &Error{Code: CodeNotReady, HTTPStatus: 409}), true},
+		{"gone (410)", &Error{Code: CodeGone, HTTPStatus: http.StatusGone}, false},
+		{"artifact invalid (422)", &Error{Code: CodeArtifactInvalid, HTTPStatus: 422}, false},
+		{"unsupported media (415)", &Error{Code: CodeUnsupportedMedia, HTTPStatus: 415}, false},
 	}
 	for _, tc := range cases {
 		if got := IsRetryable(tc.err); got != tc.want {

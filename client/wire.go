@@ -224,6 +224,41 @@ type MechanismList struct {
 	Mechanisms []MechanismStatus `json:"mechanisms"`
 }
 
+// ClusterStatus is the GET /v2/cluster document: one node's view of the
+// fleet — ring membership and parameters, warm-sync counters, and the
+// local ownership snapshot. Single-box servers do not serve the route.
+type ClusterStatus struct {
+	// Self is the answering node's base URL; Peers is the full ring
+	// membership (Self included).
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+	// Replication is the owner-plus-replicas count per mechanism;
+	// VirtualNodes the per-peer point count on the hash ring; RouteMode
+	// "proxy" or "redirect".
+	Replication  int    `json:"replication"`
+	VirtualNodes int    `json:"virtual_nodes"`
+	RouteMode    string `json:"route_mode"`
+	// PollSeconds is the warm-sync period; SyncPasses counts completed
+	// passes and LastSyncUnix stamps the latest (0 before the first).
+	PollSeconds  float64 `json:"poll_seconds"`
+	SyncPasses   int64   `json:"sync_passes"`
+	LastSyncUnix int64   `json:"last_sync_unix,omitempty"`
+	// SyncPulls counts artifacts imported from peers, SyncBytes their
+	// total size, SyncConflicts diverging peer copies (local kept),
+	// SyncRejects pulled artifacts failing verification, SyncErrors
+	// HTTP-level sync failures.
+	SyncPulls     int64 `json:"sync_pulls"`
+	SyncBytes     int64 `json:"sync_bytes"`
+	SyncConflicts int64 `json:"sync_conflicts"`
+	SyncRejects   int64 `json:"sync_rejects"`
+	SyncErrors    int64 `json:"sync_errors"`
+	// OwnedMechanisms counts locally cached mechanisms the node owns or
+	// replicates under the current ring; CachedMechanisms the whole
+	// local cache.
+	OwnedMechanisms  int `json:"owned_mechanisms"`
+	CachedMechanisms int `json:"cached_mechanisms"`
+}
+
 // Op names for the multiplexed query protocol.
 const (
 	OpSample   = "sample"

@@ -15,6 +15,16 @@
 // mechanisms in O(read) instead of re-running the LP solver, and peers
 // warm-sync via the /v2 artifact routes.
 //
+// With -peers and -self set, the daemon joins a static fleet: mechanism
+// IDs are sharded across peers by consistent hashing, a background
+// agent pulls artifacts this node owns (or replicates) from whichever
+// peer built them, and requests for non-owned IDs are proxied or
+// redirected (-route-mode) to the ring owner:
+//
+//	privcountd -addr :8080 -self http://node-a:8080 \
+//	           -peers http://node-a:8080,http://node-b:8080,http://node-c:8080 \
+//	           -replication 2 -route-mode proxy -store-dir /var/lib/privcount
+//
 // The route set lives in internal/httpapi. The v2 API is organised
 // around mechanism identity — the canonical spec token (e.g.
 // "lp:n=64:a=0.5:RH+RM+CH+CM+WH:p=0") is the resource ID:
@@ -51,10 +61,13 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"privcount/internal/cluster"
 	"privcount/internal/httpapi"
+	"privcount/internal/metrics"
 	"privcount/internal/service"
 )
 
@@ -75,6 +88,19 @@ func main() {
 
 		storeDir = flag.String("store-dir", "",
 			"directory for the persistent mechanism store; builds found there skip the solver and successful builds persist to it (empty = no persistence)")
+
+		peers = flag.String("peers", "",
+			"comma-separated base URLs of every fleet member, self included (empty = single node, no cluster layer)")
+		self = flag.String("self", "",
+			"this node's base URL as it appears in -peers (required with -peers)")
+		routeMode = flag.String("route-mode", "proxy",
+			"how requests for non-owned mechanism IDs reach the ring owner: proxy or redirect")
+		syncInterval = flag.Duration("sync-interval", 0,
+			"warm-sync poll period (0 = 5s default)")
+		replication = flag.Int("replication", 0,
+			"peers (owner included) holding each mechanism (0 = 2, clamped to fleet size)")
+		vnodes = flag.Int("vnodes", 0,
+			"virtual nodes per peer on the consistent-hash ring (0 = 64)")
 	)
 	flag.Parse()
 
@@ -95,15 +121,49 @@ func main() {
 		}
 		cfg.Store = store
 	}
-	if err := run(ctx, *addr, cfg, nil); err != nil {
+	var ccfg *cluster.Config
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("privcountd: -peers requires -self")
+		}
+		mode, err := cluster.ParseRouteMode(*routeMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var peerSet []cluster.Peer
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peerSet = append(peerSet, cluster.Peer{URL: u})
+			}
+		}
+		ccfg = &cluster.Config{
+			Self:         *self,
+			Membership:   cluster.Static(peerSet),
+			Replication:  *replication,
+			VirtualNodes: *vnodes,
+			PollInterval: *syncInterval,
+			RouteMode:    mode,
+			Logf:         log.Printf,
+		}
+	}
+	if err := run(ctx, *addr, cfg, ccfg, nil); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// newMux wires the HTTP routes to svc; the handlers live in
-// internal/httpapi so tests and in-process embedders share them.
-func newMux(svc *service.Service) http.Handler {
-	return httpapi.NewMux(svc)
+// newMux wires the HTTP routes to svc and, when ccfg is non-nil, the
+// cluster node's sync agent and request routing; the handlers live in
+// internal/httpapi so tests and in-process embedders share them. The
+// returned node is nil for single-box daemons.
+func newMux(svc *service.Service, ccfg *cluster.Config) (http.Handler, *cluster.Node, error) {
+	if ccfg == nil {
+		return httpapi.NewMux(svc), nil, nil
+	}
+	node, err := cluster.New(svc, *ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return httpapi.NewMuxWithCluster(svc, metrics.NewRegistry(), node), node, nil
 }
 
 // run starts the server and blocks until ctx is cancelled (SIGINT or
@@ -113,10 +173,15 @@ func newMux(svc *service.Service) http.Handler {
 // cancelled and their workers joined — before run returns. ready, if
 // non-nil, receives the bound listen address once the server accepts
 // connections (tests listen on ":0").
-func run(ctx context.Context, addr string, cfg service.Config, ready chan<- string) error {
+func run(ctx context.Context, addr string, cfg service.Config, ccfg *cluster.Config, ready chan<- string) error {
 	svc := service.New(cfg)
+	mux, node, err := newMux(svc, ccfg)
+	if err != nil {
+		svc.Close()
+		return err
+	}
 	srv := &http.Server{
-		Handler:           newMux(svc),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// No handler blocks on an LP solve anymore — synchronous
@@ -130,10 +195,18 @@ func run(ctx context.Context, addr string, cfg service.Config, ready chan<- stri
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if node != nil {
+			node.Close()
+		}
 		svc.Close()
 		return err
 	}
 	log.Printf("privcountd listening on %s (capacity=%d shards=%d)", ln.Addr(), cfg.Capacity, cfg.Shards)
+	if node != nil {
+		node.Start()
+		log.Printf("privcountd cluster node %s (peers=%d replication=%d route=%s)",
+			node.Self(), len(node.Status().Peers), node.Replication(), node.RouteMode())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -143,6 +216,9 @@ func run(ctx context.Context, addr string, cfg service.Config, ready chan<- stri
 
 	select {
 	case err := <-errc:
+		if node != nil {
+			node.Close()
+		}
 		svc.Close()
 		return err
 	case <-ctx.Done():
@@ -153,7 +229,12 @@ func run(ctx context.Context, addr string, cfg service.Config, ready chan<- stri
 	shutdownErr := srv.Shutdown(shCtx)
 	// Close after Shutdown: handlers have returned (or been abandoned),
 	// so cancelling the remaining builds strands no request, and Close
-	// blocks until every worker goroutine has exited.
+	// blocks until every worker goroutine has exited. The cluster node
+	// goes first — its sync agent imports into svc, so no pull may land
+	// after the service starts tearing down.
+	if node != nil {
+		node.Close()
+	}
 	svc.Close()
 	<-errc // Serve has returned http.ErrServerClosed
 	if shutdownErr != nil {

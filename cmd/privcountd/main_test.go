@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"privcount/internal/cluster"
 	"privcount/internal/service"
 )
 
@@ -20,7 +22,11 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc := service.New(service.Config{Capacity: 32, Seed: 7})
 	t.Cleanup(svc.Close)
-	ts := httptest.NewServer(newMux(svc))
+	mux, _, err := newMux(svc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -34,7 +40,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", service.Config{Capacity: 16, Seed: 3}, ready)
+		errc <- run(ctx, "127.0.0.1:0", service.Config{Capacity: 16, Seed: 3}, nil, ready)
 	}()
 	var addr string
 	select {
@@ -84,5 +90,60 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// The listener is gone.
 	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
 		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestClusterWiring boots run with a cluster config (a one-member
+// fleet whose self URL is the membership's only entry) and checks the
+// flag-driven wiring end to end: the node starts, GET /v2/cluster
+// answers with the configured ring, and shutdown closes the sync agent
+// before the service without hanging.
+func TestClusterWiring(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	self := "http://127.0.0.1:9" // ring identity only; never dialed (sync skips self)
+	ccfg := &cluster.Config{
+		Self:         self,
+		Membership:   cluster.Static([]cluster.Peer{{URL: self}}),
+		PollInterval: time.Hour, // no background passes during the test
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", service.Config{Capacity: 16, Seed: 5}, ccfg, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v2/cluster")
+	if err != nil {
+		t.Fatalf("GET /v2/cluster: %v", err)
+	}
+	var st struct {
+		Self        string   `json:"self"`
+		Peers       []string `json:"peers"`
+		Replication int      `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode cluster status: %v", err)
+	}
+	resp.Body.Close()
+	if st.Self != self || len(st.Peers) != 1 || st.Replication != 1 {
+		t.Errorf("cluster status = %+v, want self=%s peers=1 replication=1", st, self)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown hung with a cluster node attached")
 	}
 }

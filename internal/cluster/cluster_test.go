@@ -1,0 +1,685 @@
+package cluster_test
+
+// The multi-node acceptance suite: three real privcountd stacks —
+// service, cluster node, HTTP mux — wired over loopback listeners into
+// one fleet, exercised through the public HTTP surface and the SDK.
+// Sync is driven by explicit SyncNow calls (PollInterval is set far out)
+// so the tests assert convergence per pass instead of sleeping.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privcount/client"
+	"privcount/internal/cluster"
+	"privcount/internal/core"
+	"privcount/internal/httpapi"
+	"privcount/internal/metrics"
+	"privcount/internal/service"
+)
+
+// testNode is one fleet member's full stack.
+type testNode struct {
+	url    string
+	svc    *service.Service
+	node   *cluster.Node
+	server *httptest.Server
+}
+
+// startFleet brings up n nodes with the given replication factor and
+// route mode, every node backed by its own MemStore. Listeners are
+// created first so the full peer URL set is known before any ring is
+// built.
+func startFleet(t *testing.T, n, replication int, mode cluster.RouteMode) []*testNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		peers[i] = cluster.Peer{URL: "http://" + l.Addr().String()}
+	}
+	fleet := make([]*testNode, n)
+	for i := range fleet {
+		svc := service.New(service.Config{Capacity: 64, Store: service.NewMemStore()})
+		node, err := cluster.New(svc, cluster.Config{
+			Self:         peers[i].URL,
+			Membership:   cluster.Static(peers),
+			Replication:  replication,
+			PollInterval: time.Hour, // tests drive SyncNow explicitly
+			RouteMode:    mode,
+		})
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		srv := httptest.NewUnstartedServer(httpapi.NewMuxWithCluster(svc, metrics.NewRegistry(), node))
+		srv.Listener.Close()
+		srv.Listener = listeners[i]
+		srv.Start()
+		fleet[i] = &testNode{url: peers[i].URL, svc: svc, node: node, server: srv}
+		t.Cleanup(func() {
+			srv.Close()
+			node.Close()
+			svc.Close()
+		})
+	}
+	return fleet
+}
+
+// acceptanceSpec is the mechanism the warm-sync acceptance flow builds:
+// the LP n=256 spec from the acceptance criteria, downgraded to a
+// closed-form geometric mechanism when the race detector or -short
+// would make the solve unreasonable.
+func acceptanceSpec(t *testing.T) service.Spec {
+	if testing.Short() || raceEnabled {
+		t.Log("using closed-form gm spec (short mode or race detector)")
+		return service.Spec{Kind: service.KindGeometric, N: 64, Alpha: 0.5}
+	}
+	return service.Spec{Kind: service.KindLP, N: 256, Alpha: 0.5,
+		Props: core.WeakHonesty | core.ColumnMonotone}
+}
+
+// TestClusterWarmSyncServesWithoutBuilds is the headline acceptance
+// flow: a mechanism built on node A is served by nodes B and C after
+// one sync pass, with zero solver invocations on either — and a second
+// pass moves no bytes (the conditional GETs all come back 304).
+func TestClusterWarmSyncServesWithoutBuilds(t *testing.T) {
+	fleet := startFleet(t, 3, 3, cluster.RouteProxy) // R=3: everyone replicates everything
+	spec := acceptanceSpec(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	a, err := client.New(fleet[0].url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Create(ctx, spec); err != nil {
+		t.Fatalf("Create on A: %v", err)
+	}
+	if _, err := a.WaitReady(ctx, spec); err != nil {
+		t.Fatalf("WaitReady on A: %v", err)
+	}
+
+	for _, tn := range fleet[1:] {
+		if err := tn.node.SyncNow(ctx); err != nil {
+			t.Fatalf("SyncNow on %s: %v", tn.url, err)
+		}
+	}
+	for i, tn := range fleet[1:] {
+		st := tn.svc.Stats()
+		if st.Builds != 0 {
+			t.Fatalf("node %d ran %d builds; warm-sync must import without solving", i+1, st.Builds)
+		}
+		e, err := tn.svc.Peek(spec)
+		if err != nil || e.State() != service.BuildReady {
+			t.Fatalf("node %d: mechanism not ready after sync (err=%v)", i+1, err)
+		}
+		cs := tn.node.Status()
+		if cs.SyncPulls < 1 || cs.SyncBytes <= 0 {
+			t.Fatalf("node %d: sync counters %+v, want at least one pull with bytes", i+1, cs)
+		}
+
+		// Serve through the HTTP surface and confirm no build resulted.
+		c, err := client.New(tn.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.SampleBatch(ctx, spec, []int{0, spec.N / 2, spec.N})
+		if err != nil {
+			t.Fatalf("SampleBatch on node %d: %v", i+1, err)
+		}
+		for _, o := range out {
+			if o < 0 || o > spec.N {
+				t.Fatalf("node %d sampled out-of-range output %d", i+1, o)
+			}
+		}
+		if st := tn.svc.Stats(); st.Builds != 0 {
+			t.Fatalf("node %d built while serving a synced mechanism", i+1)
+		}
+	}
+
+	// Second pass: everyone already holds the artifact, so the
+	// conditional GETs must all answer 304 — pulls and bytes freeze.
+	b := fleet[1]
+	before := b.node.Status()
+	if err := b.node.SyncNow(ctx); err != nil {
+		t.Fatalf("second SyncNow: %v", err)
+	}
+	after := b.node.Status()
+	if after.SyncPulls != before.SyncPulls || after.SyncBytes != before.SyncBytes {
+		t.Fatalf("second sync pass pulled again: before %+v, after %+v", before, after)
+	}
+	if after.SyncPasses != before.SyncPasses+1 {
+		t.Fatalf("sync pass counter did not advance: %d -> %d", before.SyncPasses, after.SyncPasses)
+	}
+}
+
+// TestClusterRestartResync: B restarts from an empty store and
+// converges in one sync pass — the ring tells the fresh process what it
+// should hold, and the peers still have it.
+func TestClusterRestartResync(t *testing.T) {
+	fleet := startFleet(t, 3, 3, cluster.RouteProxy)
+	spec := service.Spec{Kind: service.KindGeometric, N: 32, Alpha: 0.5}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	a, err := client.New(fleet[0].url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WaitReady(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet[1].node.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" B: a brand-new service with an empty store, plus a new
+	// cluster node claiming B's URL on the same ring. (The old B keeps
+	// serving HTTP — irrelevant here, the fresh node only pulls.)
+	svc2 := service.New(service.Config{Capacity: 64, Store: service.NewMemStore()})
+	defer svc2.Close()
+	peers := make([]cluster.Peer, len(fleet))
+	for i, tn := range fleet {
+		peers[i] = cluster.Peer{URL: tn.url}
+	}
+	node2, err := cluster.New(svc2, cluster.Config{
+		Self:         fleet[1].url,
+		Membership:   cluster.Static(peers),
+		Replication:  3,
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if err := node2.SyncNow(ctx); err != nil {
+		t.Fatalf("post-restart SyncNow: %v", err)
+	}
+	e, err := svc2.Peek(spec)
+	if err != nil || e.State() != service.BuildReady {
+		t.Fatalf("restarted node did not re-sync the mechanism (err=%v)", err)
+	}
+	if st := svc2.Stats(); st.Builds != 0 {
+		t.Fatalf("restarted node solved instead of syncing: %d builds", st.Builds)
+	}
+}
+
+// splitFleet returns a spec's owning node and some non-owning node
+// under an R=1 fleet, where routing actually has work to do.
+func splitFleet(t *testing.T, fleet []*testNode, spec service.Spec) (owner, other *testNode) {
+	t.Helper()
+	id := spec.ID()
+	for _, tn := range fleet {
+		if tn.node.Owns(id) {
+			owner = tn
+		} else if other == nil {
+			other = tn
+		}
+	}
+	if owner == nil || other == nil {
+		t.Fatalf("fleet did not split ownership for %s", id)
+	}
+	return owner, other
+}
+
+// TestClusterProxyRouting: with R=1, a request for a non-owned ID sent
+// to the wrong node is proxied to the owner and answered correctly,
+// without the wrong node building anything.
+func TestClusterProxyRouting(t *testing.T) {
+	fleet := startFleet(t, 3, 1, cluster.RouteProxy)
+	spec := service.Spec{Kind: service.KindGeometric, N: 32, Alpha: 0.5}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	owner, other := splitFleet(t, fleet, spec)
+
+	oc, err := client.New(owner.url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.WaitReady(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Status read against the non-owner: proxied, so the document shows
+	// the owner's ready state even though the non-owner's cache is cold.
+	nc, err := client.New(other.url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nc.Status(ctx, spec)
+	if err != nil {
+		t.Fatalf("Status via non-owner: %v", err)
+	}
+	if !st.Ready() {
+		t.Fatalf("Status via non-owner = %q, want ready", st.State)
+	}
+
+	// A query op lands on the non-owner, gets forwarded per-op, and the
+	// non-owner still never builds.
+	out, err := nc.SampleBatch(ctx, spec, []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("SampleBatch via non-owner: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("SampleBatch returned %d outputs", len(out))
+	}
+	if stats := other.svc.Stats(); stats.Builds != 0 {
+		t.Fatalf("non-owner built the mechanism (%d builds); routing failed", stats.Builds)
+	}
+	if stats := other.svc.Stats(); stats.Entries != 0 {
+		t.Fatalf("non-owner cached the mechanism (%d entries); forward must not admit locally", stats.Entries)
+	}
+}
+
+// TestClusterRedirectRouting: in redirect mode the non-owner answers
+// 307 with the owner's URL, and a redirect-following client lands on
+// the right node transparently.
+func TestClusterRedirectRouting(t *testing.T) {
+	fleet := startFleet(t, 3, 1, cluster.RouteRedirect)
+	spec := service.Spec{Kind: service.KindGeometric, N: 32, Alpha: 0.5}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	owner, other := splitFleet(t, fleet, spec)
+
+	oc, err := client.New(owner.url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.WaitReady(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw request, redirects not followed: the 307 and its Location are
+	// the contract.
+	id := spec.ID()
+	raw := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := raw.Get(other.url + "/v2/mechanisms/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner answered %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, owner.url+"/") {
+		t.Fatalf("Location = %q, want the owner %s", loc, owner.url)
+	}
+
+	// The SDK's default client follows the 307 (stdlib re-sends the
+	// method and body), so the same call just works.
+	nc, err := client.New(other.url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nc.Status(ctx, spec)
+	if err != nil {
+		t.Fatalf("Status via redirecting non-owner: %v", err)
+	}
+	if !st.Ready() {
+		t.Fatalf("Status via redirect = %q, want ready", st.State)
+	}
+}
+
+// TestClusterStatusRoute exercises GET /v2/cluster end to end through
+// the SDK, and the RingClient bootstrap on top of it.
+func TestClusterStatusRoute(t *testing.T) {
+	fleet := startFleet(t, 3, 2, cluster.RouteProxy)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	c, err := client.New(fleet[0].url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatalf("ClusterStatus: %v", err)
+	}
+	if st.Self != fleet[0].url {
+		t.Errorf("Self = %q, want %q", st.Self, fleet[0].url)
+	}
+	if len(st.Peers) != 3 || st.Replication != 2 || st.RouteMode != "proxy" {
+		t.Errorf("ClusterStatus = %+v, want 3 peers, R=2, proxy", st)
+	}
+	if st.VirtualNodes != cluster.DefaultVirtualNodes {
+		t.Errorf("VirtualNodes = %d, want default %d", st.VirtualNodes, cluster.DefaultVirtualNodes)
+	}
+
+	// RingClient: bootstraps the same topology and serves through the
+	// owner directly.
+	rc, err := client.NewRingClient(ctx, fleet[0].url)
+	if err != nil {
+		t.Fatalf("NewRingClient: %v", err)
+	}
+	if got := rc.Peers(); len(got) != 3 {
+		t.Fatalf("RingClient.Peers = %v, want 3", got)
+	}
+	spec := service.Spec{Kind: service.KindGeometric, N: 16, Alpha: 0.5}
+	if _, err := rc.Create(ctx, spec); err != nil {
+		t.Fatalf("RingClient.Create: %v", err)
+	}
+	if _, err := rc.WaitReady(ctx, spec); err != nil {
+		t.Fatalf("RingClient.WaitReady: %v", err)
+	}
+	if _, err := rc.Sample(ctx, spec, 7); err != nil {
+		t.Fatalf("RingClient.Sample: %v", err)
+	}
+	// The mechanism must live on exactly the nodes the ring names as
+	// owner/replica; RingClient talked straight to the owner.
+	id := spec.ID()
+	for _, tn := range fleet {
+		_, err := tn.svc.Peek(spec)
+		held := err == nil
+		if tn.node.Owns(id) {
+			ownerURL, _ := tn.node.Owner(id)
+			if ownerURL == tn.url && !held {
+				t.Errorf("owner %s does not hold %s", tn.url, id)
+			}
+		} else if held {
+			t.Errorf("non-owner %s holds %s; RingClient routed wrong", tn.url, id)
+		}
+	}
+
+	// Mixed-owner batch: ops spread over several mechanisms reassemble
+	// positionally.
+	specs := []service.Spec{
+		{Kind: service.KindGeometric, N: 8, Alpha: 0.5},
+		{Kind: service.KindGeometric, N: 12, Alpha: 0.25},
+		{Kind: service.KindGeometric, N: 20, Alpha: 0.75},
+	}
+	ops := make([]client.Op, len(specs))
+	for i, s := range specs {
+		ops[i] = client.Op{Op: client.OpSample, ID: s.ID(), Count: i}
+	}
+	results, err := rc.Query(ctx, ops)
+	if err != nil {
+		t.Fatalf("RingClient.Query: %v", err)
+	}
+	if len(results) != len(ops) {
+		t.Fatalf("Query returned %d results for %d ops", len(results), len(ops))
+	}
+	for i, res := range results {
+		if res.Error != nil {
+			t.Fatalf("op %d failed: %v", i, res.Error)
+		}
+		if res.Output == nil || *res.Output < 0 || *res.Output > specs[i].N {
+			t.Fatalf("op %d: bad output %v for n=%d", i, res.Output, specs[i].N)
+		}
+	}
+}
+
+// TestClusterSyncRejectsBadArtifact: a peer serving garbage artifact
+// bytes cannot poison a node — the import path re-verifies, the
+// artifact is rejected and counted, and the mechanism stays absent.
+func TestClusterSyncRejectsBadArtifact(t *testing.T) {
+	spec := service.Spec{Kind: service.KindGeometric, N: 16, Alpha: 0.5}
+	id := spec.ID()
+
+	// A hostile "peer": lists a ready mechanism, serves junk for it.
+	hostile := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v2/mechanisms":
+			json.NewEncoder(w).Encode(map[string]any{
+				"mechanisms": []map[string]any{{"id": id, "state": "ready"}},
+			})
+		case "/v2/mechanisms/" + id + "/artifact":
+			w.Write([]byte("not an artifact"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer hostile.Close()
+
+	svc := service.New(service.Config{Capacity: 8})
+	defer svc.Close()
+	self := "http://127.0.0.1:1" // never dialed: sync skips self
+	node, err := cluster.New(svc, cluster.Config{
+		Self:         self,
+		Membership:   cluster.Static([]cluster.Peer{{URL: self}, {URL: hostile.URL}}),
+		Replication:  2,
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	err = node.SyncNow(ctx)
+	if err == nil {
+		t.Fatal("SyncNow succeeded against a peer serving garbage")
+	}
+	if st := node.Status(); st.SyncRejects != 1 {
+		t.Fatalf("SyncRejects = %d, want 1", st.SyncRejects)
+	}
+	if _, err := svc.Peek(spec); !errors.Is(err, service.ErrNotAdmitted) {
+		t.Fatalf("Peek after rejected import: err = %v, want ErrNotAdmitted", err)
+	}
+	if st := node.Status(); st.SyncPulls != 0 {
+		t.Fatalf("SyncPulls = %d after rejection, want 0", st.SyncPulls)
+	}
+}
+
+// TestClusterProxyLoopPrevention: a request already routed once is
+// served locally even by a node that does not own the ID — the header
+// breaks the cycle two disagreeing rings could otherwise produce.
+func TestClusterProxyLoopPrevention(t *testing.T) {
+	fleet := startFleet(t, 3, 1, cluster.RouteProxy)
+	spec := service.Spec{Kind: service.KindGeometric, N: 16, Alpha: 0.5}
+	_, other := splitFleet(t, fleet, spec)
+
+	req, err := http.NewRequest(http.MethodGet, other.url+"/v2/mechanisms/"+spec.ID(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.RoutedHeader, "http://elsewhere:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Served locally: the non-owner's own (empty) cache answers 404
+	// not_admitted instead of proxying onward to the true owner.
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("routed request answered %d, want local 404", resp.StatusCode)
+	}
+	var env client.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("routed 404 had no error envelope: %v", err)
+	}
+	if env.Error.Code != client.CodeNotAdmitted {
+		t.Fatalf("routed 404 code = %q, want not_admitted", env.Error.Code)
+	}
+}
+
+// TestClusterMetricsExposition: the privcount_cluster_* series appear
+// on /metrics with live values.
+func TestClusterMetricsExposition(t *testing.T) {
+	fleet := startFleet(t, 3, 3, cluster.RouteProxy)
+	spec := service.Spec{Kind: service.KindGeometric, N: 8, Alpha: 0.5}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	a, err := client.New(fleet[0].url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WaitReady(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet[1].node.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fleet[1].url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"privcount_cluster_sync_pulls_total 1",
+		"privcount_cluster_ring_size 3",
+		"privcount_cluster_owned_mechanisms 1",
+		"privcount_cluster_sync_passes_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestNodeStartRunsBackgroundPasses pins the background sync loop:
+// Start ticks at PollInterval, each tick completes a pass (counted and
+// timestamped), and Close joins the loop.
+func TestNodeStartRunsBackgroundPasses(t *testing.T) {
+	svc := service.New(service.Config{Capacity: 8})
+	defer svc.Close()
+	self := "http://127.0.0.1:1" // never dialed: the only peer is self
+	node, err := cluster.New(svc, cluster.Config{
+		Self:         self,
+		Membership:   cluster.Static([]cluster.Peer{{URL: self}}),
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Status().SyncPasses < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sync never completed two passes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := node.Status()
+	if st.LastSync.IsZero() {
+		t.Error("LastSync still zero after completed passes")
+	}
+	node.Close()
+	settled := node.Status().SyncPasses
+	time.Sleep(20 * time.Millisecond)
+	if got := node.Status().SyncPasses; got != settled {
+		t.Errorf("passes advanced after Close: %d -> %d", settled, got)
+	}
+}
+
+// TestNodeReplicationClamped pins that a replication factor beyond the
+// fleet size clamps to the fleet size.
+func TestNodeReplicationClamped(t *testing.T) {
+	svc := service.New(service.Config{Capacity: 8})
+	defer svc.Close()
+	self := "http://127.0.0.1:1"
+	node, err := cluster.New(svc, cluster.Config{
+		Self:        self,
+		Membership:  cluster.Static([]cluster.Peer{{URL: self}}),
+		Replication: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if got := node.Replication(); got != 1 {
+		t.Errorf("Replication = %d, want clamped to fleet size 1", got)
+	}
+}
+
+// TestClusterSyncCountsConflicts: a peer whose artifact bytes diverge
+// from a local *ready* copy is a conflict, not a pull — the local
+// mechanism is kept (deterministic encoding makes honest replicas
+// byte-identical, so divergence is a real signal) and the counter
+// records it for operators.
+func TestClusterSyncCountsConflicts(t *testing.T) {
+	spec := service.Spec{Kind: service.KindGeometric, N: 16, Alpha: 0.5}
+	id := spec.ID()
+
+	// A peer that lists the same mechanism ready but serves different
+	// bytes, ignoring If-None-Match (a diverged or corrupted replica).
+	diverged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v2/mechanisms":
+			json.NewEncoder(w).Encode(map[string]any{
+				"mechanisms": []map[string]any{{"id": id, "state": "ready"}},
+			})
+		case "/v2/mechanisms/" + id + "/artifact":
+			w.Header().Set("ETag", `"deadbeef"`)
+			w.Write([]byte("divergent bytes"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer diverged.Close()
+
+	svc := service.New(service.Config{Capacity: 8})
+	defer svc.Close()
+	if _, err := svc.Get(spec); err != nil { // local ready copy first
+		t.Fatal(err)
+	}
+	self := "http://127.0.0.1:1" // never dialed: sync skips self
+	node, err := cluster.New(svc, cluster.Config{
+		Self:         self,
+		Membership:   cluster.Static([]cluster.Peer{{URL: self}, {URL: diverged.URL}}),
+		Replication:  2,
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := node.SyncNow(ctx); err != nil {
+		t.Fatalf("SyncNow: %v", err)
+	}
+	st := node.Status()
+	if st.SyncConflicts != 1 {
+		t.Fatalf("SyncConflicts = %d, want 1", st.SyncConflicts)
+	}
+	if st.SyncPulls != 0 {
+		t.Fatalf("SyncPulls = %d, want 0 (conflicts keep the local copy)", st.SyncPulls)
+	}
+	e, err := svc.Peek(spec)
+	if err != nil || e.State() != service.BuildReady {
+		t.Fatalf("local mechanism after conflict: %v, %v; want still ready", e, err)
+	}
+	// A second pass re-detects the same divergence — conflicts are
+	// per-observation, and the local copy still wins.
+	if err := node.SyncNow(ctx); err != nil {
+		t.Fatalf("second SyncNow: %v", err)
+	}
+	if st := node.Status(); st.SyncConflicts != 2 || st.SyncPulls != 0 {
+		t.Fatalf("after second pass: conflicts=%d pulls=%d, want 2, 0", st.SyncConflicts, st.SyncPulls)
+	}
+}

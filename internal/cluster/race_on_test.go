@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled reports that this test binary runs under the race
+// detector, which slows the LP kernels by an order of magnitude; the
+// acceptance suite downgrades to closed-form mechanisms there.
+const raceEnabled = true

@@ -216,14 +216,14 @@ func buildBand(p Problem, obj Objective, gm *core.Mechanism, d int) (*bandModel,
 		for j := 1; j <= i; j++ {
 			m := math.Max(bm.scale[j-1], bm.scale[j])
 			if _, err := bm.model.AddConstraint("",
-				[]lp.Term{{Var: at(i, j - 1), Coeff: bm.scale[j-1] / m}, {Var: at(i, j), Coeff: -bm.scale[j] / m}}, lp.LE, 0); err != nil {
+				[]lp.Term{{Var: at(i, j-1), Coeff: bm.scale[j-1] / m}, {Var: at(i, j), Coeff: -bm.scale[j] / m}}, lp.LE, 0); err != nil {
 				return nil, err
 			}
 		}
 		for j := i; j < n; j++ {
 			m := math.Max(bm.scale[j], bm.scale[j+1])
 			if _, err := bm.model.AddConstraint("",
-				[]lp.Term{{Var: at(i, j + 1), Coeff: bm.scale[j+1] / m}, {Var: at(i, j), Coeff: -bm.scale[j] / m}}, lp.LE, 0); err != nil {
+				[]lp.Term{{Var: at(i, j+1), Coeff: bm.scale[j+1] / m}, {Var: at(i, j), Coeff: -bm.scale[j] / m}}, lp.LE, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -235,13 +235,13 @@ func buildBand(p Problem, obj Objective, gm *core.Mechanism, d int) (*bandModel,
 	for j := 0; j <= n; j++ {
 		for i := 1; i <= d && i <= j; i++ {
 			if _, err := bm.model.AddConstraint("",
-				[]lp.Term{{Var: at(i - 1, j), Coeff: 1}, {Var: at(i, j), Coeff: -1}}, lp.LE, 0); err != nil {
+				[]lp.Term{{Var: at(i-1, j), Coeff: 1}, {Var: at(i, j), Coeff: -1}}, lp.LE, 0); err != nil {
 				return nil, err
 			}
 		}
 		for i := j; i < d; i++ {
 			if _, err := bm.model.AddConstraint("",
-				[]lp.Term{{Var: at(i + 1, j), Coeff: 1}, {Var: at(i, j), Coeff: -1}}, lp.LE, 0); err != nil {
+				[]lp.Term{{Var: at(i+1, j), Coeff: 1}, {Var: at(i, j), Coeff: -1}}, lp.LE, 0); err != nil {
 				return nil, err
 			}
 		}

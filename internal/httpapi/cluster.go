@@ -1,0 +1,210 @@
+// Cluster request routing: the HTTP layer's half of internal/cluster.
+//
+// A fleet member serves an ID-keyed route itself when it owns or
+// replicates the ID (or already holds the mechanism warm); anything
+// else is sent to the ring owner, either by proxying the request over
+// the node's peer HTTP client or by answering 307 + Location per the
+// node's route mode. Routed requests carry cluster.RoutedHeader, and a
+// request arriving with that header is always served locally — two
+// nodes with momentarily divergent rings can therefore disagree about
+// ownership without bouncing a request between each other.
+
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"privcount/client"
+	"privcount/internal/cluster"
+	"privcount/internal/service"
+)
+
+// routed wraps an ID-keyed handler with cluster ownership routing. On a
+// single-box mux it is the identity; on a fleet member it serves
+// locally when this node should hold the mechanism (owner or replica),
+// already holds it warm, or the request was already routed once — and
+// otherwise proxies or redirects to the ring owner.
+func (a *api) routed(h http.HandlerFunc) http.HandlerFunc {
+	if a.node == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		spec, err := pathSpec(r)
+		if err != nil {
+			// Malformed IDs hash nowhere; let the handler write the
+			// taxonomy error.
+			h(w, r)
+			return
+		}
+		id := spec.ID()
+		if r.Header.Get(cluster.RoutedHeader) != "" || a.node.Owns(id) || a.readyLocally(spec) {
+			h(w, r)
+			return
+		}
+		owner, self := a.node.Owner(id)
+		if self {
+			h(w, r)
+			return
+		}
+		if a.node.RouteMode() == cluster.RouteRedirect {
+			// 307 keeps the method and body, so a PUT redirected here
+			// replays as a PUT against the owner.
+			w.Header().Set("Location", owner+r.URL.RequestURI())
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			return
+		}
+		a.proxyTo(w, r, owner)
+	}
+}
+
+// readyLocally reports whether this node already holds the mechanism
+// warm — a non-owner with a cached copy (a replica that just shed the
+// ID in a ring change, say) keeps serving it rather than bouncing
+// traffic to the owner.
+func (a *api) readyLocally(spec service.Spec) bool {
+	e, err := a.svc.Peek(spec)
+	return err == nil && e.State() == service.BuildReady
+}
+
+// proxyHeaders are the request headers a proxy hop relays; everything
+// else (tracing, auth experiments) stops at the edge node.
+var proxyHeaders = []string{"Content-Type", "Accept", "If-None-Match", "Content-Length"}
+
+// relayHeaders are the response headers relayed back from the owner.
+var relayHeaders = []string{"Content-Type", "ETag", "Retry-After", "Link", "Location"}
+
+// proxyTo relays the request to the owner node and copies the response
+// back verbatim. The forwarded request carries cluster.RoutedHeader so
+// the owner serves it locally no matter what its own ring says.
+func (a *api) proxyTo(w http.ResponseWriter, r *http.Request, owner string) {
+	preq, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		a.writeProxyError(w, owner, err)
+		return
+	}
+	for _, k := range proxyHeaders {
+		if v := r.Header.Get(k); v != "" {
+			preq.Header.Set(k, v)
+		}
+	}
+	preq.ContentLength = r.ContentLength
+	preq.Header.Set(cluster.RoutedHeader, a.node.Self())
+	resp, err := a.node.Client().Do(preq)
+	if err != nil {
+		a.writeProxyError(w, owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	for _, k := range relayHeaders {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is committed; nothing to do but log-by-metric.
+		a.errorCodes.With(string(client.CodeBuildCanceled)).Inc()
+	}
+}
+
+// writeProxyError reports an unreachable owner: 502 with the retryable
+// build_canceled code, so SDK retry policies treat a dead peer like any
+// other transient server condition.
+func (a *api) writeProxyError(w http.ResponseWriter, owner string, err error) {
+	e := &client.Error{
+		Code:       client.CodeBuildCanceled,
+		Message:    fmt.Sprintf("cluster proxy to owner %s failed: %v", owner, err),
+		HTTPStatus: http.StatusBadGateway,
+	}
+	a.countError(e)
+	writeJSON(w, e.HTTPStatus, client.Envelope{Error: e})
+}
+
+// forwardOpTimeout bounds one forwarded query op independently of the
+// enclosing request: the local fallback needs time left on the clock.
+const forwardOpTimeout = 30 * time.Second
+
+// forwardOp sends one query op to the ring owner of its mechanism when
+// this node neither owns nor holds it, returning ok=false whenever
+// local execution should proceed instead — the op targets an owned or
+// warm mechanism, this node is the owner, or the forward failed
+// (availability beats strict build-once: the local solver is always a
+// correct fallback).
+func (a *api) forwardOp(ctx context.Context, op client.Op) (client.OpResult, bool) {
+	var spec service.Spec
+	if err := spec.UnmarshalText([]byte(op.ID)); err != nil {
+		return client.OpResult{}, false
+	}
+	id := spec.ID()
+	if a.node.Owns(id) || a.readyLocally(spec) {
+		return client.OpResult{}, false
+	}
+	owner, self := a.node.Owner(id)
+	if self {
+		return client.OpResult{}, false
+	}
+	body, err := json.Marshal(client.QueryRequest{Ops: []client.Op{op}})
+	if err != nil {
+		return client.OpResult{}, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, forwardOpTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v2/query", bytes.NewReader(body))
+	if err != nil {
+		return client.OpResult{}, false
+	}
+	req.Header.Set("Content-Type", client.ContentTypeJSON)
+	req.Header.Set(cluster.RoutedHeader, a.node.Self())
+	resp, err := a.node.Client().Do(req)
+	if err != nil {
+		return client.OpResult{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return client.OpResult{}, false
+	}
+	var qr client.QueryResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&qr); err != nil || len(qr.Results) != 1 {
+		return client.OpResult{}, false
+	}
+	if e := qr.Results[0].Error; e != nil {
+		// The owner answered with a taxonomy error — that is the result
+		// (it counted the code on its side; count it here too, since this
+		// node's response carries it).
+		a.countError(e)
+	}
+	return qr.Results[0], true
+}
+
+// getCluster serves GET /v2/cluster: the node's ring membership, sync
+// counters, and ownership snapshot.
+func (a *api) getCluster(w http.ResponseWriter, _ *http.Request) {
+	st := a.node.Status()
+	doc := client.ClusterStatus{
+		Self:             st.Self,
+		Peers:            st.Peers,
+		Replication:      st.Replication,
+		VirtualNodes:     st.VirtualNodes,
+		RouteMode:        st.RouteMode,
+		PollSeconds:      st.PollInterval.Seconds(),
+		SyncPasses:       st.SyncPasses,
+		SyncPulls:        st.SyncPulls,
+		SyncBytes:        st.SyncBytes,
+		SyncConflicts:    st.SyncConflicts,
+		SyncRejects:      st.SyncRejects,
+		SyncErrors:       st.SyncErrors,
+		OwnedMechanisms:  st.OwnedMechanisms,
+		CachedMechanisms: st.CachedMechanisms,
+	}
+	if !st.LastSync.IsZero() {
+		doc.LastSyncUnix = st.LastSync.Unix()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -72,6 +72,7 @@ import (
 	"time"
 
 	"privcount/client"
+	"privcount/internal/cluster"
 	"privcount/internal/core"
 	"privcount/internal/metrics"
 	"privcount/internal/service"
@@ -82,6 +83,11 @@ import (
 type api struct {
 	svc *service.Service
 
+	// node, when non-nil, is the cluster membership this mux routes
+	// with: ID-keyed routes for mechanisms this node does not own are
+	// proxied or redirected to the owner (see cluster.go).
+	node *cluster.Node
+
 	// requests counts finished requests by route pattern and HTTP status
 	// code; latency is the per-route request-duration histogram;
 	// errorCodes counts taxonomy errors by wire code (including per-op
@@ -90,6 +96,11 @@ type api struct {
 	requests   *metrics.CounterVec
 	latency    *metrics.HistogramVec
 	errorCodes *metrics.CounterVec
+
+	// routes lists every instrumented route pattern, in registration
+	// order — the iteration set for the per-route latency quantiles in
+	// /v2/stats and the quantile gauges on /metrics.
+	routes []string
 }
 
 // NewMux wires the full v1+v2 route set over svc, with a private
@@ -105,9 +116,19 @@ func NewMux(svc *service.Service) *http.ServeMux {
 // GET /metrics. Each registry can back at most one mux (series names
 // are registered once).
 func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeMux {
+	return NewMuxWithCluster(svc, reg, nil)
+}
+
+// NewMuxWithCluster is NewMuxWithMetrics for a fleet member: requests
+// for mechanism IDs that node does not own are proxied or redirected to
+// the ring owner, GET /v2/cluster serves the node's cluster status, and
+// the privcount_cluster_* series are registered on reg. A nil node
+// yields the plain single-box mux.
+func NewMuxWithCluster(svc *service.Service, reg *metrics.Registry, node *cluster.Node) *http.ServeMux {
 	svc.RegisterMetrics(reg)
 	a := &api{
-		svc: svc,
+		svc:  svc,
+		node: node,
 		requests: reg.NewCounterVec("privcount_http_requests_total",
 			"HTTP requests served, by route pattern and status code.",
 			"route", "code"),
@@ -120,6 +141,7 @@ func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeM
 	}
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
+		a.routes = append(a.routes, pattern)
 		mux.HandleFunc(pattern, a.instrument(pattern, h))
 	}
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -130,18 +152,47 @@ func NewMuxWithMetrics(svc *service.Service, reg *metrics.Registry) *http.ServeM
 	// scraper polling it would otherwise dominate the request series.
 	mux.Handle("GET /metrics", reg.Handler())
 
-	// v2: mechanism identity + multiplexed query.
-	handle("PUT /v2/mechanisms/{id}", a.putMechanism)
-	handle("GET /v2/mechanisms/{id}", a.getMechanism)
-	handle("GET /v2/mechanisms/{id}/artifact", a.getArtifact)
-	handle("PUT /v2/mechanisms/{id}/artifact", a.putArtifact)
+	// v2: mechanism identity + multiplexed query. The ID-keyed routes go
+	// through the cluster routing wrapper (a no-op on single-box muxes).
+	handle("PUT /v2/mechanisms/{id}", a.routed(a.putMechanism))
+	handle("GET /v2/mechanisms/{id}", a.routed(a.getMechanism))
+	handle("GET /v2/mechanisms/{id}/artifact", a.routed(a.getArtifact))
+	handle("PUT /v2/mechanisms/{id}/artifact", a.routed(a.putArtifact))
 	handle("GET /v2/mechanisms", a.listMechanisms)
 	handle("POST /v2/query", a.postQuery)
 	handle("GET /v2/stats", a.getStats)
+	if node != nil {
+		handle("GET /v2/cluster", a.getCluster)
+		node.RegisterMetrics(reg)
+	}
 
 	// v1: retired. Every old route (and any other /v1 path) answers 410
 	// with a Link to its v2 successor.
 	handle("/v1/", a.goneV1)
+
+	// Per-route p50/p99 over the latency histograms, sampled at scrape
+	// time. Pre-creating each route's child here keeps the series set
+	// fixed from the first scrape instead of appearing as routes get
+	// their first hit.
+	for _, route := range a.routes {
+		h := a.latency.With(route)
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.99", 0.99}} {
+			q := q
+			reg.NewLabeledGaugeFunc("privcount_http_request_seconds_quantile",
+				"Estimated request-latency quantiles per route, interpolated from the histogram buckets (0 until the route has traffic).",
+				[]string{"route", "q"}, []string{route, q.label},
+				func() float64 {
+					v := h.Quantile(q.q)
+					if math.IsNaN(v) {
+						return 0
+					}
+					return v
+				})
+		}
+	}
 	return mux
 }
 
@@ -546,12 +597,23 @@ func (a *api) postQuery(w http.ResponseWriter, r *http.Request) {
 		a.writeV2Error(w, fmt.Errorf("%w: empty ops", service.ErrSpecInvalid))
 		return
 	}
+	// On a cluster member, ops naming non-owned cold mechanisms are
+	// forwarded to their ring owner (so the build happens once,
+	// cluster-wide) — unless this request was itself routed here, which
+	// pins execution local to keep forwarding single-hop.
+	mayForward := a.node != nil && r.Header.Get(cluster.RoutedHeader) == ""
 	results := make([]client.OpResult, len(ops))
 	var wg sync.WaitGroup
 	for i, op := range ops {
 		wg.Add(1)
 		go func(i int, op client.Op) {
 			defer wg.Done()
+			if mayForward {
+				if res, ok := a.forwardOp(r.Context(), op); ok {
+					results[i] = res
+					return
+				}
+			}
 			results[i] = a.runOp(r.Context(), op)
 		}(i, op)
 	}
@@ -769,11 +831,27 @@ func (a *api) runOp(ctx context.Context, op client.Op) client.OpResult {
 }
 
 // getStats serves the cache + build-pipeline gauges (v1 and v2 share
-// the document).
+// the document), plus per-route latency quantiles derived from the
+// histogram buckets.
 func (a *api) getStats(w http.ResponseWriter, _ *http.Request) {
 	st := a.svc.Stats()
+	// Quantiles interpolated from the per-route latency histograms; 0
+	// stands in for "no traffic yet" because JSON cannot carry NaN.
+	routeLatency := make(map[string]map[string]float64, len(a.routes))
+	for _, route := range a.routes {
+		h := a.latency.With(route)
+		p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+		if math.IsNaN(p50) {
+			p50 = 0
+		}
+		if math.IsNaN(p99) {
+			p99 = 0
+		}
+		routeLatency[route] = map[string]float64{"p50": p50, "p99": p99}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"entries": st.Entries, "hits": st.Hits,
+		"route_latency": routeLatency,
+		"entries":       st.Entries, "hits": st.Hits,
 		"misses": st.Misses, "evictions": st.Evictions,
 		"build_queue_depth":      st.QueueDepth,
 		"builds_in_flight":       st.InFlight,

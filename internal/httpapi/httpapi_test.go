@@ -118,6 +118,27 @@ func TestHealthAndStats(t *testing.T) {
 	if st["entries"].(float64) != 1 {
 		t.Errorf("entries = %v, want 1", st["entries"])
 	}
+	// The query above went through "POST /v2/query", so its latency
+	// histogram has at least one observation and both quantiles are
+	// positive; routes with no traffic report 0, not NaN.
+	rl, ok := st["route_latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("route_latency missing or wrong shape: %T", st["route_latency"])
+	}
+	q, ok := rl["POST /v2/query"].(map[string]any)
+	if !ok {
+		t.Fatalf("route_latency lacks POST /v2/query: %v", rl)
+	}
+	p50, p99 := q["p50"].(float64), q["p99"].(float64)
+	if p50 <= 0 || p99 <= 0 || p99 < p50 {
+		t.Errorf("query latency quantiles p50=%v p99=%v, want 0 < p50 <= p99", p50, p99)
+	}
+	// A route with no traffic reports 0 (JSON cannot carry NaN).
+	if idle, ok := rl["PUT /v2/mechanisms/{id}"].(map[string]any); !ok {
+		t.Fatalf("route_latency lacks PUT /v2/mechanisms/{id}: %v", rl)
+	} else if idle["p50"].(float64) != 0 || idle["p99"].(float64) != 0 {
+		t.Errorf("idle route quantiles = %v, want 0", idle)
+	}
 }
 
 // TestV1Gone pins the retired surface: every old v1 route (and anything

@@ -373,6 +373,54 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.add(v)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts, the way PromQL's histogram_quantile does: find the bucket the
+// rank falls in, then interpolate linearly between its bounds under the
+// uniform-within-bucket assumption. A rank landing in the +Inf bucket
+// returns the highest finite upper bound — the honest answer for "at
+// least this much" — and an empty histogram returns NaN (callers
+// serving JSON must substitute, since JSON cannot carry NaN).
+//
+// The estimate reads the bucket atomics without a snapshot lock;
+// concurrent Observes can make the walk see a count the total misses,
+// which skews the estimate by at most those in-flight observations —
+// fine for the monitoring use this serves, never worth a hot-path lock.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, ub := range h.upper {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+	}
+	// Rank beyond every finite bucket: observations above the last bound.
+	return h.upper[len(h.upper)-1]
+}
+
 func (h *Histogram) render(b *strings.Builder, name, labels string) {
 	// labels is `{...}` or ""; the le label joins any existing ones.
 	var cum uint64

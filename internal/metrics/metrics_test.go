@@ -225,3 +225,44 @@ func TestConcurrentObserveAndRender(t *testing.T) {
 		t.Errorf("histogram series missing:\n%s", out)
 	}
 }
+
+// TestHistogramQuantile pins the PromQL-style bucket interpolation:
+// known observations, hand-computed quantiles.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_test_seconds", "t", []float64{1, 2, 4, 8})
+
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", v)
+	}
+
+	// 10 observations in (0,1], 10 in (1,2]: the median sits exactly at
+	// the boundary, p25 interpolates halfway into the first bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if v := h.Quantile(0.5); v != 1 {
+		t.Errorf("p50 = %v, want 1 (boundary of first bucket)", v)
+	}
+	if v := h.Quantile(0.25); v != 0.5 {
+		t.Errorf("p25 = %v, want 0.5 (halfway into [0,1])", v)
+	}
+	if v := h.Quantile(1); v != 2 {
+		t.Errorf("p100 = %v, want 2 (upper bound of last occupied bucket)", v)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if v := h.Quantile(-3); v != h.Quantile(0) {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", v, h.Quantile(0))
+	}
+
+	// Observations beyond every finite bucket: the quantile answers the
+	// largest finite bound — "at least this much".
+	h2 := r.NewHistogram("q_test_inf_seconds", "t", []float64{1, 2})
+	for i := 0; i < 4; i++ {
+		h2.Observe(100)
+	}
+	if v := h2.Quantile(0.5); v != 2 {
+		t.Errorf("all-overflow p50 = %v, want 2 (last finite bound)", v)
+	}
+}

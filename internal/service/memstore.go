@@ -1,0 +1,130 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemStore is the in-memory Store: a mutex-guarded map of artifact
+// copies. It exists for fast multi-node cluster tests and as the
+// reference implementation the storetest conformance suite is written
+// against; an object-store backend will slot in behind the same suite.
+// Quarantined artifacts move to a side map — kept for inspection like
+// FSStore's .corrupt files, invisible to Get and List.
+//
+// All methods copy data on the way in and out, so callers can mutate
+// their buffers freely — the same aliasing freedom a filesystem store
+// grants by construction.
+type MemStore struct {
+	mu          sync.RWMutex
+	artifacts   map[string][]byte
+	quarantined map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory artifact store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		artifacts:   make(map[string][]byte),
+		quarantined: make(map[string][]byte),
+	}
+}
+
+// checkID mirrors FSStore's defense-in-depth ID validation so the two
+// stores agree on which IDs are storable (the conformance suite pins
+// this).
+func (s *MemStore) checkID(id string) error {
+	if id == "" {
+		return fmt.Errorf("service: invalid store ID %q", id)
+	}
+	return nil
+}
+
+// Get returns a copy of the stored artifact for id, or
+// ErrArtifactNotFound.
+func (s *MemStore) Get(id string) ([]byte, error) {
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	data, ok := s.artifacts[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrArtifactNotFound, id)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Put replaces the stored artifact for id with a copy of data. Puts are
+// atomic by construction: the map swap happens under the lock, so a
+// concurrent Get sees the old copy or the new one, never a mix.
+func (s *MemStore) Put(id string, data []byte) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.artifacts[id] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the stored artifact for id; a missing artifact is not
+// an error.
+func (s *MemStore) Delete(id string) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.artifacts, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Quarantine moves a corrupt artifact aside (replacing any earlier
+// quarantined copy), so subsequent Gets miss cleanly while the bytes
+// stay inspectable via Quarantined.
+func (s *MemStore) Quarantine(id string) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if data, ok := s.artifacts[id]; ok {
+		s.quarantined[id] = data
+		delete(s.artifacts, id)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Quarantined returns a copy of the quarantined artifact for id, or
+// ok=false — the forensics accessor standing in for reading FSStore's
+// .corrupt file.
+func (s *MemStore) Quarantined(id string) (data []byte, ok bool) {
+	s.mu.RLock()
+	d, ok := s.quarantined[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// List returns the stored Spec IDs, sorted.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.artifacts))
+	for id := range s.artifacts {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Len returns the number of stored (non-quarantined) artifacts.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.artifacts)
+}

@@ -1,0 +1,204 @@
+package service_test
+
+// The Store conformance suite hookups plus the FSStore churn soak.
+// External test package: storetest imports service, so these cannot
+// live in package service without a cycle.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"privcount/internal/service"
+	"privcount/internal/service/storetest"
+)
+
+func TestMemStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) service.Store {
+		return service.NewMemStore()
+	})
+}
+
+func TestFSStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) service.Store {
+		st, err := service.NewFSStore(filepath.Join(t.TempDir(), "store"))
+		if err != nil {
+			t.Fatalf("NewFSStore: %v", err)
+		}
+		return st
+	})
+}
+
+// TestFSStoreChurnSoak hammers one FSStore with the access mix the
+// cluster sync agent produces — concurrent Gets, overwriting Puts,
+// quarantines, and Lists over a small hot ID set — and checks the
+// atomicity contract holds throughout: every successful Get returns one
+// complete version (never a torn mix), quarantined and deleted IDs read
+// as clean ErrArtifactNotFound misses, and List never reports an ID in
+// a form that breaks a follow-up Get.
+func TestFSStoreChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short")
+	}
+	st, err := service.NewFSStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatalf("NewFSStore: %v", err)
+	}
+	ids := []string{"gm:n=4", "lp:n=8:a=0.5", "grr:n=16:a=0.25", "gm:n=32"}
+	version := func(v int) []byte {
+		return bytes.Repeat([]byte{byte('a' + v%26)}, 2048)
+	}
+	for _, id := range ids {
+		if err := st.Put(id, version(0)); err != nil {
+			t.Fatalf("seed Put %s: %v", id, err)
+		}
+	}
+
+	const (
+		writers      = 4
+		readers      = 4
+		quarantiners = 2
+		listers      = 2
+		iters        = 150
+	)
+	var (
+		wg   sync.WaitGroup
+		gets atomic.Int64 // successful complete reads, to prove coverage
+	)
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ids[(w+i)%len(ids)]
+				if err := st.Put(id, version(w*iters+i)); err != nil {
+					fail("Put %s: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ids[(r+i)%len(ids)]
+				data, err := st.Get(id)
+				if errors.Is(err, service.ErrArtifactNotFound) {
+					continue // quarantined out from under us: a clean miss
+				}
+				if err != nil {
+					fail("Get %s: %v", id, err)
+					return
+				}
+				if len(data) != 2048 {
+					fail("Get %s: %d bytes, want 2048", id, len(data))
+					return
+				}
+				for _, b := range data {
+					if b != data[0] {
+						fail("Get %s observed a torn write", id)
+						return
+					}
+				}
+				gets.Add(1)
+			}
+		}(r)
+	}
+	for q := 0; q < quarantiners; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ids[(q*3+i)%len(ids)]
+				if err := st.Quarantine(id); err != nil {
+					fail("Quarantine %s: %v", id, err)
+					return
+				}
+			}
+		}(q)
+	}
+	for l := 0; l < listers; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				listed, err := st.List()
+				if err != nil {
+					fail("List: %v", err)
+					return
+				}
+				for _, id := range listed {
+					if _, err := st.Get(id); err != nil && !errors.Is(err, service.ErrArtifactNotFound) {
+						fail("Get of listed ID %s: %v", id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if gets.Load() == 0 {
+		t.Fatal("soak finished without one successful Get; churn mix is broken")
+	}
+
+	// Settle: after the churn, every ID is either present and complete or
+	// a clean miss, and a final Put/Get round trip works for all of them.
+	for _, id := range ids {
+		want := []byte(fmt.Sprintf("final-%s", id))
+		if err := st.Put(id, want); err != nil {
+			t.Fatalf("final Put %s: %v", id, err)
+		}
+		got, err := st.Get(id)
+		if err != nil {
+			t.Fatalf("final Get %s: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final Get %s = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// TestMemStoreAccessors pins the MemStore-specific inspection surface
+// used by tests and tooling: Len tracks the live population and
+// Quarantined exposes moved-aside payloads.
+func TestMemStoreAccessors(t *testing.T) {
+	ms := service.NewMemStore()
+	if ms.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ms.Len())
+	}
+	if err := ms.Put("a", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ms.Len())
+	}
+	if _, ok := ms.Quarantined("a"); ok {
+		t.Fatal("Quarantined before quarantine")
+	}
+	if err := ms.Quarantine("a"); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 0 {
+		t.Errorf("Len after quarantine = %d, want 0", ms.Len())
+	}
+	got, ok := ms.Quarantined("a")
+	if !ok || len(got) != 3 {
+		t.Errorf("Quarantined = %v, %v; want the moved payload", got, ok)
+	}
+	if err := ms.Delete("missing"); err != nil {
+		t.Errorf("Delete of missing id: %v", err)
+	}
+}

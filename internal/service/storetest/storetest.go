@@ -1,0 +1,253 @@
+// Package storetest is the conformance suite for service.Store
+// implementations. Every store backend — FSStore, MemStore, the future
+// object-store tier — runs the same suite, so the contract the service
+// and the cluster sync agent rely on (ErrArtifactNotFound misses,
+// atomic Puts, idempotent Deletes, quarantine-as-clean-miss) is pinned
+// once and enforced everywhere.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"privcount/internal/service"
+)
+
+// Factory builds a fresh, empty store for one subtest. Cleanup hangs
+// off t.
+type Factory func(t *testing.T) service.Store
+
+// Run exercises the full Store contract against stores built by f.
+// Stores that also implement service.Quarantiner get the quarantine
+// suite too.
+func Run(t *testing.T, f Factory) {
+	t.Run("GetMissing", func(t *testing.T) {
+		s := f(t)
+		_, err := s.Get("gm:n=4")
+		if !errors.Is(err, service.ErrArtifactNotFound) {
+			t.Fatalf("Get on empty store: err = %v, want ErrArtifactNotFound", err)
+		}
+	})
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		s := f(t)
+		data := []byte("artifact-bytes-\x00\x01\x02")
+		if err := s.Put("gm:n=4", data); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, err := s.Get("gm:n=4")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("Get = %q, want %q", got, data)
+		}
+	})
+
+	t.Run("CallerBufferAliasing", func(t *testing.T) {
+		s := f(t)
+		data := []byte("original")
+		if err := s.Put("gm:n=4", data); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		copy(data, "clobber!") // the store must not see this
+		got, err := s.Get("gm:n=4")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(got) != "original" {
+			t.Fatalf("Get after caller mutated Put buffer = %q, want %q", got, "original")
+		}
+	})
+
+	t.Run("Overwrite", func(t *testing.T) {
+		s := f(t)
+		for i, data := range [][]byte{[]byte("v1"), []byte("v2-longer"), []byte("v3")} {
+			if err := s.Put("gm:n=4", data); err != nil {
+				t.Fatalf("Put #%d: %v", i, err)
+			}
+			got, err := s.Get("gm:n=4")
+			if err != nil {
+				t.Fatalf("Get #%d: %v", i, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get #%d = %q, want %q", i, got, data)
+			}
+		}
+	})
+
+	t.Run("DeleteIdempotent", func(t *testing.T) {
+		s := f(t)
+		if err := s.Put("gm:n=4", []byte("x")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := s.Delete("gm:n=4"); err != nil {
+				t.Fatalf("Delete #%d: %v", i, err)
+			}
+		}
+		if _, err := s.Get("gm:n=4"); !errors.Is(err, service.ErrArtifactNotFound) {
+			t.Fatalf("Get after Delete: err = %v, want ErrArtifactNotFound", err)
+		}
+		// Deleting an ID that never existed is equally fine.
+		if err := s.Delete("lp:n=8:a=0.5"); err != nil {
+			t.Fatalf("Delete of never-stored ID: %v", err)
+		}
+	})
+
+	t.Run("ListSorted", func(t *testing.T) {
+		s := f(t)
+		ids, err := s.List()
+		if err != nil {
+			t.Fatalf("List on empty store: %v", err)
+		}
+		if len(ids) != 0 {
+			t.Fatalf("List on empty store = %v, want empty", ids)
+		}
+		// Insert out of order; canonical Spec-ID shaped keys.
+		for _, id := range []string{"lp:n=8:a=0.5", "gm:n=4", "grr:n=16:a=0.25"} {
+			if err := s.Put(id, []byte(id)); err != nil {
+				t.Fatalf("Put %s: %v", id, err)
+			}
+		}
+		ids, err = s.List()
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		want := []string{"gm:n=4", "grr:n=16:a=0.25", "lp:n=8:a=0.5"}
+		if len(ids) != len(want) {
+			t.Fatalf("List = %v, want %v", ids, want)
+		}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Fatalf("List = %v, want %v", ids, want)
+			}
+		}
+	})
+
+	t.Run("EmptyIDRejected", func(t *testing.T) {
+		s := f(t)
+		if err := s.Put("", []byte("x")); err == nil {
+			t.Fatal("Put with empty ID succeeded, want error")
+		}
+		if _, err := s.Get(""); err == nil || errors.Is(err, service.ErrArtifactNotFound) {
+			t.Fatalf("Get with empty ID: err = %v, want a validation error (not a plain miss)", err)
+		}
+	})
+
+	t.Run("ConcurrentPutGet", func(t *testing.T) {
+		// Atomicity under racing writers and readers: every Get must see
+		// one complete version, never a torn mix. Versions are
+		// self-describing (repeated byte) so tearing is detectable.
+		s := f(t)
+		const id = "gm:n=4"
+		version := func(v byte) []byte { return bytes.Repeat([]byte{v}, 4096) }
+		if err := s.Put(id, version(0)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		var wg sync.WaitGroup
+		for w := byte(1); w <= 4; w++ {
+			wg.Add(1)
+			go func(v byte) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if err := s.Put(id, version(v)); err != nil {
+						t.Errorf("Put v%d: %v", v, err)
+						return
+					}
+				}
+			}(w)
+		}
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					data, err := s.Get(id)
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if len(data) != 4096 {
+						t.Errorf("Get: %d bytes, want 4096", len(data))
+						return
+					}
+					for _, b := range data {
+						if b != data[0] {
+							t.Error("Get observed a torn write")
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+
+	t.Run("Quarantine", func(t *testing.T) {
+		s := f(t)
+		q, ok := s.(service.Quarantiner)
+		if !ok {
+			t.Skipf("%T does not implement Quarantiner", s)
+		}
+		if err := s.Put("gm:n=4", []byte("corrupt")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := q.Quarantine("gm:n=4"); err != nil {
+			t.Fatalf("Quarantine: %v", err)
+		}
+		if _, err := s.Get("gm:n=4"); !errors.Is(err, service.ErrArtifactNotFound) {
+			t.Fatalf("Get after Quarantine: err = %v, want ErrArtifactNotFound", err)
+		}
+		ids, err := s.List()
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		for _, id := range ids {
+			if id == "gm:n=4" {
+				t.Fatal("List still shows a quarantined ID")
+			}
+		}
+		// Quarantining a missing ID is a no-op, and re-quarantining after
+		// a fresh Put replaces the earlier quarantined copy.
+		if err := q.Quarantine("lp:n=8:a=0.5"); err != nil {
+			t.Fatalf("Quarantine of missing ID: %v", err)
+		}
+		if err := s.Put("gm:n=4", []byte("corrupt-again")); err != nil {
+			t.Fatalf("re-Put: %v", err)
+		}
+		if err := q.Quarantine("gm:n=4"); err != nil {
+			t.Fatalf("re-Quarantine: %v", err)
+		}
+	})
+
+	t.Run("ManyIDs", func(t *testing.T) {
+		s := f(t)
+		const n = 32
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("gm:n=%d", i+1)
+			if err := s.Put(id, []byte(id)); err != nil {
+				t.Fatalf("Put %s: %v", id, err)
+			}
+		}
+		ids, err := s.List()
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		if len(ids) != n {
+			t.Fatalf("List returned %d IDs, want %d", len(ids), n)
+		}
+		for _, id := range ids {
+			data, err := s.Get(id)
+			if err != nil {
+				t.Fatalf("Get %s: %v", id, err)
+			}
+			if string(data) != id {
+				t.Fatalf("Get %s = %q", id, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package storetest_test
+
+import (
+	"testing"
+
+	"privcount/internal/service"
+	"privcount/internal/service/storetest"
+)
+
+// TestSuiteAgainstMemStore runs the conformance suite against the
+// in-memory reference store from inside this package, so the suite's
+// own statements appear in its own coverage profile (the per-backend
+// hookups in package service_test cover the backends, not the suite).
+func TestSuiteAgainstMemStore(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) service.Store { return service.NewMemStore() })
+}
